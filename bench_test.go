@@ -1,0 +1,294 @@
+// Benchmarks regenerating the paper's evaluation (§5): one benchmark family
+// per figure and table. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure 8  → BenchmarkFig8Encode{PBIO,XML}/<size>
+// Figure 9  → BenchmarkFig9Decode{PBIO,XML}/<size>
+// Figure 10 → BenchmarkFig10{Morphing,XSLT}/<size>
+// Table 1   → BenchmarkTable1Sizes/<size> (sizes via b.ReportMetric)
+// Ablations → BenchmarkAblation*
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/echo"
+	"repro/internal/pbio"
+)
+
+// sizedInputs precomputes the workload for every paper size once per
+// benchmark family.
+type sizedInput struct {
+	label    string
+	rec      *pbio.Record
+	pbioData []byte
+	xmlData  []byte
+}
+
+func inputs(b *testing.B, h *bench.Harness) []sizedInput {
+	b.Helper()
+	out := make([]sizedInput, len(bench.FigureSizes))
+	for i, size := range bench.FigureSizes {
+		rec := bench.Response(size)
+		out[i] = sizedInput{
+			label:    bench.FigureLabels[i],
+			rec:      rec,
+			pbioData: h.PBIOEncode(rec),
+			xmlData:  h.XMLEncode(rec),
+		}
+	}
+	return out
+}
+
+func harness(b *testing.B) *bench.Harness {
+	b.Helper()
+	h, err := bench.NewHarness()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+var sinkBytes []byte
+
+// BenchmarkFig8EncodePBIO is the PBIO series of Figure 8 (encoding cost).
+func BenchmarkFig8EncodePBIO(b *testing.B) {
+	h := harness(b)
+	for _, in := range inputs(b, h) {
+		b.Run(in.label, func(b *testing.B) {
+			b.SetBytes(int64(in.rec.NativeSize()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkBytes = h.PBIOEncode(in.rec)
+			}
+		})
+	}
+}
+
+// BenchmarkFig8EncodeXML is the XML series of Figure 8.
+func BenchmarkFig8EncodeXML(b *testing.B) {
+	h := harness(b)
+	for _, in := range inputs(b, h) {
+		b.Run(in.label, func(b *testing.B) {
+			b.SetBytes(int64(in.rec.NativeSize()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkBytes = h.XMLEncode(in.rec)
+			}
+		})
+	}
+}
+
+// BenchmarkFig9DecodePBIO is the PBIO series of Figure 9 (decoding cost
+// without evolution).
+func BenchmarkFig9DecodePBIO(b *testing.B) {
+	h := harness(b)
+	for _, in := range inputs(b, h) {
+		b.Run(in.label, func(b *testing.B) {
+			b.SetBytes(int64(in.rec.NativeSize()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.PBIODecode(in.pbioData); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9DecodeXML is the XML series of Figure 9 (parse + traverse).
+func BenchmarkFig9DecodeXML(b *testing.B) {
+	h := harness(b)
+	for _, in := range inputs(b, h) {
+		b.Run(in.label, func(b *testing.B) {
+			b.SetBytes(int64(in.rec.NativeSize()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.XMLDecode(in.xmlData); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Morphing is the PBIO-morphing series of Figure 10: decode
+// the v2.0 message, then run the Figure 5 transformation to v1.0.
+func BenchmarkFig10Morphing(b *testing.B) {
+	h := harness(b)
+	for _, in := range inputs(b, h) {
+		b.Run(in.label, func(b *testing.B) {
+			b.SetBytes(int64(in.rec.NativeSize()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.MorphDecode(in.pbioData); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10XSLT is the XML/XSLT series of Figure 10: parse the
+// document, apply the stylesheet, traverse the result into a v1.0 record.
+func BenchmarkFig10XSLT(b *testing.B) {
+	h := harness(b)
+	for _, in := range inputs(b, h) {
+		b.Run(in.label, func(b *testing.B) {
+			b.SetBytes(int64(in.rec.NativeSize()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.XSLTDecode(in.xmlData); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Sizes regenerates Table 1: per base size it reports the
+// message size in each representation as benchmark metrics (bytes).
+func BenchmarkTable1Sizes(b *testing.B) {
+	h := harness(b)
+	for i, size := range bench.FigureSizes {
+		label := bench.Table1Labels[i] + "KB"
+		b.Run(label, func(b *testing.B) {
+			rows, err := h.SizeTable([]int{size}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rows[0]
+			for i := 0; i < b.N; i++ {
+				sinkBytes = h.PBIOEncode(bench.Response(size))
+			}
+			b.ReportMetric(float64(r.UnencodedV2), "unencoded-v2-B")
+			b.ReportMetric(float64(r.PBIOV2), "pbio-v2-B")
+			b.ReportMetric(float64(r.UnencodedV1), "unencoded-v1-B")
+			b.ReportMetric(float64(r.XMLV2), "xml-v2-B")
+			b.ReportMetric(float64(r.XMLV1), "xml-v1-B")
+		})
+	}
+}
+
+// BenchmarkAblationColdVsCached measures the cold first-message path
+// (MaxMatch + transformation compile, Algorithm 2 lines 11–27) against the
+// cached steady state.
+func BenchmarkAblationColdVsCached(b *testing.B) {
+	rec := bench.Response(1_000)
+	handler := func(*pbio.Record) error { return nil }
+	x := &core.Xform{From: echo.ResponseV2Format, To: echo.ResponseV1Format, Code: echo.Figure5Transform}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := core.NewMorpher(core.DefaultThresholds)
+			if err := m.RegisterFormat(echo.ResponseV1Format, handler); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.AddTransform(x); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Deliver(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		m := core.NewMorpher(core.DefaultThresholds)
+		if err := m.RegisterFormat(echo.ResponseV1Format, handler); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.AddTransform(x); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Deliver(rec); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Deliver(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationEcodeVsNative prices the repo's no-DCG substitution: the
+// Figure 5 transformation through the ecode VM vs the same logic
+// hand-written in Go.
+func BenchmarkAblationEcodeVsNative(b *testing.B) {
+	h := harness(b)
+	rec := bench.Response(10_000)
+	b.Run("ecode-vm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := h.MorphRecord(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("native-go", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			members := echo.MembersFromV2(rec)
+			if out := echo.ResponseV1Record(members); out == nil {
+				b.Fatal("nil")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBrokerVsReceiver contrasts the two B2B architectures of
+// §4.2: the broker transforming every message itself (Figure 6, the
+// XSLT-at-broker bottleneck) vs the broker forwarding and the receiver
+// morphing (Figure 7).
+func BenchmarkAblationBrokerVsReceiver(b *testing.B) {
+	h := harness(b)
+	rec := bench.Response(10_000)
+	xmlData := h.XMLEncode(rec)
+	pbioData := h.PBIOEncode(rec)
+
+	b.Run("broker-transforms-xslt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Broker cost per message: parse + transform + re-encode.
+			out, err := h.XSLTDecode(xmlData)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkBytes = h.XMLEncode(out)
+		}
+	})
+	b.Run("broker-forwards-receiver-morphs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Broker cost: none (meta-data attached once, out of band).
+			// Receiver cost per message: decode + compiled transform.
+			if _, err := h.MorphDecode(pbioData); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWireRoundtrip measures the full transport path (framing + format
+// cache) for a steady-state connection, the end-to-end context the figures
+// sit in.
+func BenchmarkWireRoundtrip(b *testing.B) {
+	h := harness(b)
+	rec := bench.Response(1_000)
+	data := h.PBIOEncode(rec)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got, err := pbio.DecodeRecord(data, h.V2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkBytes = pbio.AppendRecord(sinkBytes[:0], got)
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/echo"
+	"repro/internal/ecode"
+)
+
+// TestQuoteTransformCompiles guards the demo's embedded E-Code against
+// drifting from the demo's formats.
+func TestQuoteTransformCompiles(t *testing.T) {
+	x := &core.Xform{From: quoteV2, To: quoteV1, Code: quoteXform}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ecode.Compile(quoteXform,
+		ecode.Param{Name: core.SrcParam, Format: quoteV2},
+		ecode.Param{Name: core.DstParam, Format: quoteV1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.NumOps() == 0 {
+		t.Fatal("empty program")
+	}
+}
+
+// TestRunAll drives the full multi-party scenario in-process.
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a server and three clients")
+	}
+	if err := runAll("test-channel", 1); err != nil {
+		t.Fatal(err)
+	}
+	_ = echo.Figure5Transform // the demo leans on the canonical transform
+}

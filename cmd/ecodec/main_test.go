@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestRunFigure5 exercises the demo end to end: the canonical Figure 5
+// transform must compile against the canonical formats and run on the
+// sample data.
+func TestRunFigure5(t *testing.T) {
+	if err := runFigure5(); err != nil {
+		t.Fatal(err)
+	}
+}

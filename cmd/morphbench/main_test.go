@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunTable1 drives the tool end to end for the cheapest experiment and
+// checks both the paper-layout output and the CSV side channel.
+func TestRunTable1(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run(&out, []string{"-exp", "table1", "-quick", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1.", "Unencoded v2.0", "PBIO Encoded v2.0", "XML v1.0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "label,unencoded_v2") {
+		t.Errorf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flags must error")
+	}
+	// An unknown experiment name simply selects nothing; it must not crash.
+	if err := run(&out, []string{"-exp", "nothing", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}

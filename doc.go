@@ -1,0 +1,20 @@
+// Package repro is a Go reproduction of "Lightweight Morphing Support for
+// Evolving Middleware Data Exchanges in Distributed Applications"
+// (Agarwala, Eisenhauer, Schwan — ICDCS 2005).
+//
+// The implementation lives under internal/:
+//
+//	internal/core   — message morphing: Diff, MaxMatch, the Morpher engine
+//	internal/pbio   — PBIO-style binary wire format with out-of-band meta-data
+//	internal/ecode  — the E-Code C subset (lexer → parser → bytecode → VM)
+//	internal/echo   — the ECho publish/subscribe middleware of §4.1
+//	internal/wire   — framed transport carrying formats and transforms out-of-band
+//	internal/xmlx   — XML encode/parse/bind baseline
+//	internal/xslt   — XSLT 1.0 subset + XPath-lite baseline
+//	internal/bench  — workload generator and evaluation harness (§5)
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; `go run ./cmd/morphbench` prints them in the paper's
+// layout. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// measured-vs-paper results.
+package repro

@@ -1,0 +1,244 @@
+// B2B messaging (§4.2 of the paper, Figures 6 and 7): a retailer and a
+// supplier exchange orders through an integration broker, each speaking its
+// own message structure.
+//
+// In the conventional architecture (Figure 6, Oracle AQ-style) the broker
+// transforms every message itself with XSLT and becomes the bottleneck.
+// With message morphing (Figure 7) the broker merely *associates an ECode
+// segment with the message meta-data* and forwards bytes; the actual
+// conversion runs at each receiver, compiled once and cached.
+//
+// This example runs all three parties over real TCP and shows both
+// directions: orders flowing retailer → supplier and status updates flowing
+// supplier → retailer, each morphed at its receiver.
+//
+//	go run ./examples/b2b
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/pbio"
+	"repro/internal/wire"
+)
+
+// Vendor formats. The two sides structure the same business messages
+// differently; only the message *names* are shared (morphing's matching is
+// name-scoped, as in the paper's Algorithm 2).
+var (
+	retailerOrder = pbio.MustFormat("Order", []pbio.Field{
+		{Name: "order_id", Kind: pbio.String},
+		{Name: "sku", Kind: pbio.String},
+		{Name: "quantity", Kind: pbio.Integer},
+		{Name: "unit_price_cents", Kind: pbio.Integer},
+	})
+	supplierOrder = pbio.MustFormat("Order", []pbio.Field{
+		{Name: "po_number", Kind: pbio.String},
+		{Name: "item", Kind: pbio.String},
+		{Name: "count", Kind: pbio.Integer},
+		{Name: "total_dollars", Kind: pbio.Float},
+	})
+	supplierStatus = pbio.MustFormat("OrderStatus", []pbio.Field{
+		{Name: "po_number", Kind: pbio.String},
+		{Name: "state", Kind: pbio.String},
+		{Name: "eta_days", Kind: pbio.Integer},
+	})
+	retailerStatus = pbio.MustFormat("OrderStatus", []pbio.Field{
+		{Name: "order_id", Kind: pbio.String},
+		{Name: "status", Kind: pbio.String},
+	})
+)
+
+// The ECode segments the broker attaches (it authors these once, per vendor
+// pair — versus transforming every message itself).
+const (
+	orderXform = `
+old.po_number = new.order_id;
+old.item = new.sku;
+old.count = new.quantity;
+old.total_dollars = (new.quantity * new.unit_price_cents) / 100.0;
+`
+	statusXform = `
+old.order_id = new.po_number;
+old.status = new.state + " (eta " + itoa(new.eta_days) + "d)";
+`
+)
+
+func main() {
+	// --- Supplier: understands only its own formats. ---
+	supplierLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer supplierLn.Close()
+
+	supplierDone := make(chan error, 1)
+	go func() { supplierDone <- runSupplier(supplierLn) }()
+
+	// --- Broker: listens for the retailer, relays to the supplier. ---
+	brokerLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer brokerLn.Close()
+	go func() {
+		if err := runBroker(brokerLn, supplierLn.Addr().String()); err != nil {
+			log.Printf("broker: %v", err)
+		}
+	}()
+
+	// --- Retailer: sends orders in its own format, receives status. ---
+	if err := runRetailer(brokerLn.Addr().String()); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-supplierDone; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nB2B flow complete: the broker never transformed a message body.")
+}
+
+// runSupplier accepts the broker's connection, morphs incoming orders into
+// its own structure, and answers each with a status update in its own
+// format.
+func runSupplier(ln net.Listener) error {
+	nc, err := ln.Accept()
+	if err != nil {
+		return err
+	}
+	morpher := core.NewMorpher(core.DefaultThresholds)
+	conn := wire.NewConn(nc, wire.WithMorpher(morpher))
+
+	n := 0
+	err = morpher.RegisterFormat(supplierOrder, func(rec *pbio.Record) error {
+		po, _ := rec.Get("po_number")
+		item, _ := rec.Get("item")
+		count, _ := rec.Get("count")
+		total, _ := rec.Get("total_dollars")
+		fmt.Printf("supplier received order: po=%s item=%s count=%d total=$%.2f\n",
+			po.Strval(), item.Strval(), count.Int64(), total.Float64())
+		n++
+
+		// Reply with a status update in the supplier's structure; the
+		// broker will attach the retro-transform for the retailer.
+		status := pbio.NewRecord(supplierStatus).
+			MustSet("po_number", po).
+			MustSet("state", pbio.Str("accepted")).
+			MustSet("eta_days", pbio.Int(int64(2+n)))
+		return conn.WriteRecord(status)
+	})
+	if err != nil {
+		return err
+	}
+
+	for n < 2 {
+		rec, err := conn.ReadRecord()
+		if err != nil {
+			return err
+		}
+		if err := morpher.Deliver(rec); err != nil {
+			return err
+		}
+	}
+	st := morpher.Stats()
+	fmt.Printf("supplier middleware: compiled %d transform(s), morphed %d message(s)\n",
+		st.Compiled, st.Transformed)
+	return conn.Close()
+}
+
+// runBroker relays frames both ways. Its only morphing duty is attaching
+// the right ECode segment to each vendor's formats — once, as out-of-band
+// meta-data — exactly Figure 7.
+func runBroker(ln net.Listener, supplierAddr string) error {
+	retailerNC, err := ln.Accept()
+	if err != nil {
+		return err
+	}
+	supplierNC, err := net.Dial("tcp", supplierAddr)
+	if err != nil {
+		return err
+	}
+
+	toSupplier := wire.NewConn(supplierNC)
+	toRetailer := wire.NewConn(retailerNC)
+	// The broker's added value: evolution meta-data for both directions.
+	toSupplier.Declare(retailerOrder, &core.Xform{From: retailerOrder, To: supplierOrder, Code: orderXform})
+	toRetailer.Declare(supplierStatus, &core.Xform{From: supplierStatus, To: retailerStatus, Code: statusXform})
+
+	relay := func(from, to *wire.Conn, label string) {
+		for {
+			rec, err := from.ReadRecord()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+					log.Printf("broker %s: %v", label, err)
+				}
+				_ = to.Close()
+				return
+			}
+			fmt.Printf("broker forwarding %-11s (%q, untouched payload)\n", label, rec.Format().Name())
+			if err := to.WriteRecord(rec); err != nil {
+				return
+			}
+		}
+	}
+	go relay(toRetailer, toSupplier, "to supplier")
+	relay(toSupplier, toRetailer, "to retailer")
+	return nil
+}
+
+// runRetailer sends two orders and waits for both status updates, morphed
+// into the retailer's own structure.
+func runRetailer(brokerAddr string) error {
+	nc, err := net.Dial("tcp", brokerAddr)
+	if err != nil {
+		return err
+	}
+	morpher := core.NewMorpher(core.DefaultThresholds)
+	conn := wire.NewConn(nc, wire.WithMorpher(morpher))
+
+	got := 0
+	err = morpher.RegisterFormat(retailerStatus, func(rec *pbio.Record) error {
+		id, _ := rec.Get("order_id")
+		status, _ := rec.Get("status")
+		fmt.Printf("retailer received status: order=%s status=%q\n", id.Strval(), status.Strval())
+		got++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	orders := []struct {
+		id, sku  string
+		qty, cts int64
+	}{
+		{"R-1001", "WIDGET-9", 12, 199},
+		{"R-1002", "GADGET-3", 5, 1450},
+	}
+	for _, o := range orders {
+		rec := pbio.NewRecord(retailerOrder).
+			MustSet("order_id", pbio.Str(o.id)).
+			MustSet("sku", pbio.Str(o.sku)).
+			MustSet("quantity", pbio.Int(o.qty)).
+			MustSet("unit_price_cents", pbio.Int(o.cts))
+		fmt.Printf("retailer sending order:  id=%s sku=%s qty=%d unit=%d¢\n", o.id, o.sku, o.qty, o.cts)
+		if err := conn.WriteRecord(rec); err != nil {
+			return err
+		}
+	}
+
+	for got < len(orders) {
+		rec, err := conn.ReadRecord()
+		if err != nil {
+			return err
+		}
+		if err := morpher.Deliver(rec); err != nil {
+			return err
+		}
+	}
+	return conn.Close()
+}

@@ -1,0 +1,180 @@
+// Cluster load monitoring: the paper's Figure 2 message (a CPU/memory/
+// network load report) streaming through an event channel, with two
+// generations of reporting agents and a derived-channel filter.
+//
+// The v1 agents send the exact Figure 2 record. The upgraded v2 agents
+// report memory in megabytes and add a load average; their format carries
+// transformation code so the unchanged dashboard keeps working. An alerting
+// sink uses an E-Code filter so only overloaded-node reports cross the
+// network to it (ECho's derived event channels).
+//
+//	go run ./examples/monitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/echo"
+	"repro/internal/pbio"
+)
+
+// The dashboard's native message type — Figure 2 of the paper, bound via
+// struct tags.
+type loadMsg struct {
+	CPU     int32 `pbio:"load"`
+	Memory  int32 `pbio:"mem"` // kilobytes, as v1 agents report
+	Network int32 `pbio:"net"`
+}
+
+func main() {
+	srv := echo.NewServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil {
+			log.Printf("server: %v", err)
+		}
+	}()
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	var reg pbio.Registry
+	msgV1 := reg.MustRegister(loadMsg{}, "Msg")
+
+	// The upgraded agents' format: memory in MB, extra load average.
+	msgV2 := pbio.MustFormat("Msg", []pbio.Field{
+		{Name: "load", Kind: pbio.Integer, Size: 4},
+		{Name: "mem_mb", Kind: pbio.Float},
+		{Name: "net", Kind: pbio.Integer, Size: 4},
+		{Name: "loadavg", Kind: pbio.Float},
+	})
+	const v2ToV1 = `
+old.load = new.load;
+old.mem = new.mem_mb * 1024.0;
+old.net = new.net;
+`
+
+	// Dashboard: the unchanged v1 consumer, typed structs end to end.
+	dash, err := echo.Open(addr, "load", echo.Options{Sink: true, Contact: "dashboard"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dash.Close()
+	dashGot := make(chan loadMsg, 16)
+	if err := dash.Handle(msgV1, func(r *pbio.Record) error {
+		var m loadMsg
+		if err := reg.FromRecord(r, &m); err != nil {
+			return err
+		}
+		dashGot <- m
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = dash.Run() }()
+
+	// Alerting sink: only wants overloaded nodes; the event domain filters
+	// before the bytes ever reach it.
+	alerts, err := echo.Open(addr, "load", echo.Options{
+		Sink:    true,
+		Contact: "alerts",
+		Filter:  "return event.load > 90;",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alerts.Close()
+	alertGot := make(chan int64, 16)
+	if err := alerts.Handle(msgV1, func(r *pbio.Record) error {
+		v, _ := r.Get("load")
+		alertGot <- v.Int64()
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	// The filter runs on v2 records too; but alerts only understands v1, so
+	// morphing still applies after filtering.
+	go func() { _ = alerts.Run() }()
+
+	// A v1 agent reports through the struct API.
+	agentV1, err := echo.Open(addr, "load", echo.Options{Source: true, Contact: "agent-v1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agentV1.Close()
+	report := func(cpu, memKB, net int32) {
+		rec, err := reg.ToRecord(&loadMsg{CPU: cpu, Memory: memKB, Network: net})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := agentV1.Publish(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// An upgraded v2 agent declares its transformation once.
+	agentV2, err := echo.Open(addr, "load", echo.Options{Source: true, Contact: "agent-v2"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agentV2.Close()
+	agentV2.Declare(msgV2, &core.Xform{From: msgV2, To: msgV1, Code: v2ToV1})
+	reportV2 := func(cpu int32, memMB, loadavg float64, net int32) {
+		rec := pbio.NewRecord(msgV2).
+			MustSet("load", pbio.Int(int64(cpu))).
+			MustSet("mem_mb", pbio.Float64(memMB)).
+			MustSet("net", pbio.Int(int64(net))).
+			MustSet("loadavg", pbio.Float64(loadavg))
+		if err := agentV2.Publish(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("publishing: v1 agent (cpu 42), v2 agent (cpu 95, 512 MB), v1 agent (cpu 97)")
+	report(42, 2048, 10)
+	reportV2(95, 512, 3.5, 20)
+	report(97, 4096, 30)
+
+	for i := 0; i < 3; i++ {
+		m := <-dashGot
+		src := "v1"
+		if m.Memory == 512*1024 {
+			src = "v2 (morphed: MB→KB, loadavg dropped)"
+		}
+		fmt.Printf("dashboard: cpu=%d%% mem=%dKB net=%d  [%s agent]\n", m.CPU, m.Memory, m.Network, src)
+	}
+
+	overloaded := map[int64]bool{}
+	for i := 0; i < 2; i++ {
+		select {
+		case l := <-alertGot:
+			overloaded[l] = true
+		case <-time.After(5 * time.Second):
+			log.Fatal("alert not delivered")
+		}
+	}
+	fmt.Printf("alert sink (filter 'load > 90'): saw %v — the 42%% report never crossed its wire\n", keys(overloaded))
+
+	select {
+	case l := <-alertGot:
+		log.Fatalf("alert sink received unexpected load %d", l)
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+func keys(m map[int64]bool) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	if len(out) == 2 && out[0] > out[1] {
+		out[0], out[1] = out[1], out[0]
+	}
+	return out
+}

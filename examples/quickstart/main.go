@@ -1,0 +1,95 @@
+// Quickstart: the smallest complete message-morphing program.
+//
+// A receiver registers the only format it understands (Quote "v1"). A newer
+// sender produces messages in an evolved format ("v2": price became a float
+// in dollars, a volume field was added) and associates transformation code
+// with it. The receiver's Morpher compiles that code on first contact and
+// every v2 message is delivered as a v1 record — no negotiation, no
+// version checks in application code.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/pbio"
+)
+
+func main() {
+	// 1. The receiving application's native message type, bound to a PBIO
+	//    format through struct tags (the Go analog of Figure 2's IOField
+	//    declaration).
+	type QuoteV1 struct {
+		Symbol string `pbio:"symbol"`
+		Cents  int64  `pbio:"cents"`
+	}
+	var reg pbio.Registry
+	v1 := reg.MustRegister(QuoteV1{}, "Quote")
+
+	// 2. The sender's evolved format. In a real deployment this arrives
+	//    out-of-band over the wire (see internal/wire); here we declare it
+	//    directly.
+	v2 := pbio.MustFormat("Quote", []pbio.Field{
+		{Name: "symbol", Kind: pbio.String},
+		{Name: "dollars", Kind: pbio.Float},
+		{Name: "volume", Kind: pbio.Integer},
+	})
+
+	// 3. The receiver-side morphing engine: register what we understand...
+	morpher := core.NewMorpher(core.DefaultThresholds)
+	err := morpher.RegisterFormat(v1, func(rec *pbio.Record) error {
+		var q QuoteV1
+		if err := reg.FromRecord(rec, &q); err != nil {
+			return err
+		}
+		fmt.Printf("application received: %+v\n", q)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ...and the transformation the new format carries with it.
+	err = morpher.AddTransform(&core.Xform{
+		From: v2,
+		To:   v1,
+		Code: `old.symbol = new.symbol; old.cents = new.dollars * 100.0;`,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. A v2 message arrives (here encoded and decoded to show the real
+	//    path: only the 8-byte fingerprint travels with the data).
+	msg := pbio.NewRecord(v2).
+		MustSet("symbol", pbio.Str("ACME")).
+		MustSet("dollars", pbio.Float64(12.5)).
+		MustSet("volume", pbio.Int(1000))
+	encoded := pbio.EncodeRecord(msg)
+	fmt.Printf("wire message: %d bytes (native %d + %d envelope)\n",
+		len(encoded), msg.NativeSize(), pbio.EnvelopeSize)
+
+	if err := morpher.DeliverEncoded(encoded, v2); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. The decision is cached: delivering again reuses the compiled
+	//    transformation.
+	if err := morpher.Deliver(msg); err != nil {
+		log.Fatal(err)
+	}
+	st := morpher.Stats()
+	fmt.Printf("morpher stats: %d delivered, %d compiled (cached after the first), %d transformed\n",
+		st.Delivered, st.Compiled, st.Transformed)
+
+	// 6. Ask the engine to explain its plan for the evolved format.
+	ex, err := morpher.Explain(v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan for %q: %d transformation step(s) into %q, perfect=%v\n",
+		v2.Name(), ex.ChainLen, ex.Target.Name(), ex.Perfect)
+}

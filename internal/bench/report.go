@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// ms renders a duration in milliseconds the way the paper's log-scale plots
+// label values.
+func ms(d time.Duration) string {
+	v := float64(d) / float64(time.Millisecond)
+	switch {
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// kb renders a byte count in KB with the precision Table 1 uses.
+func kb(n int) string {
+	v := float64(n) / 1000.0
+	switch {
+	case v >= 10:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// PrintFigure writes a two-series figure as an aligned text table plus the
+// PBIO:XML ratio column, e.g. Figure 8/9/10.
+func PrintFigure(w io.Writer, title, pbioName, xmlName string, points []Point) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-8s %14s %14s %10s\n", "size", pbioName+" (ms)", xmlName+" (ms)", "ratio")
+	for _, p := range points {
+		ratio := float64(p.XML) / float64(p.PBIO)
+		fmt.Fprintf(w, "%-8s %14s %14s %9.1fx\n", p.Label, ms(p.PBIO), ms(p.XML), ratio)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintFigureCSV writes a figure as CSV (size,pbio_ns,xml_ns).
+func PrintFigureCSV(w io.Writer, points []Point) {
+	fmt.Fprintln(w, "size_label,base_bytes,pbio_ns,xml_ns")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s,%d,%d,%d\n", p.Label, p.Base, p.PBIO.Nanoseconds(), p.XML.Nanoseconds())
+	}
+}
+
+// PrintTable1 writes the message-size table in the paper's orientation:
+// one row per representation, one column per base size.
+func PrintTable1(w io.Writer, rows []SizeRow) {
+	fmt.Fprintln(w, "Table 1. ChannelOpenResponse message size (KB) in different formats")
+	header := fmt.Sprintf("%-18s", "Message size (KB)")
+	for _, r := range rows {
+		header += fmt.Sprintf(" %9s", r.Label)
+	}
+	fmt.Fprintln(w, header)
+	line := func(name string, pick func(SizeRow) int) {
+		out := fmt.Sprintf("%-18s", name)
+		for _, r := range rows {
+			out += fmt.Sprintf(" %9s", kb(pick(r)))
+		}
+		fmt.Fprintln(w, out)
+	}
+	line("Unencoded v2.0", func(r SizeRow) int { return r.UnencodedV2 })
+	line("PBIO Encoded v2.0", func(r SizeRow) int { return r.PBIOV2 })
+	line("Unencoded v1.0", func(r SizeRow) int { return r.UnencodedV1 })
+	line("XML v2.0", func(r SizeRow) int { return r.XMLV2 })
+	line("XML v1.0", func(r SizeRow) int { return r.XMLV1 })
+	fmt.Fprintln(w)
+}
+
+// PrintTable1CSV writes the size table as CSV.
+func PrintTable1CSV(w io.Writer, rows []SizeRow) {
+	fmt.Fprintln(w, "label,unencoded_v2,pbio_v2,unencoded_v1,xml_v2,xml_v1")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d\n",
+			r.Label, r.UnencodedV2, r.PBIOV2, r.UnencodedV1, r.XMLV2, r.XMLV1)
+	}
+}
+
+// Summary condenses a full run into the qualitative claims the paper makes,
+// for EXPERIMENTS.md and the morphbench tool's closing output.
+func Summary(encode, decode, morph []Point, sizes []SizeRow) string {
+	var b strings.Builder
+	geo := func(points []Point) float64 {
+		sum := 0.0
+		for _, p := range points {
+			sum += math.Log(float64(p.XML) / float64(p.PBIO))
+		}
+		return math.Exp(sum / float64(len(points)))
+	}
+	fmt.Fprintf(&b, "geo-mean XML/PBIO encode ratio:  %.1fx (paper: ≥2x)\n", geo(encode))
+	fmt.Fprintf(&b, "geo-mean XML/PBIO decode ratio:  %.1fx (paper: 1–2 orders)\n", geo(decode))
+	fmt.Fprintf(&b, "geo-mean XSLT/morphing ratio:    %.1fx (paper: ~1 order)\n", geo(morph))
+	if len(sizes) > 0 {
+		last := sizes[len(sizes)-1]
+		fmt.Fprintf(&b, "PBIO encoded − unencoded at %s:  %+d bytes (paper: < +30; negative means\n"+
+			"                                 the varint wire form is tighter than native pointers)\n",
+			last.Label, last.PBIOV2-last.UnencodedV2)
+		fmt.Fprintf(&b, "v1.0 rollback growth:            %.1fx (paper: ~3x)\n",
+			float64(last.UnencodedV1)/float64(last.UnencodedV2))
+		fmt.Fprintf(&b, "XML v2.0 inflation:              %.1fx unencoded\n",
+			float64(last.XMLV2)/float64(last.UnencodedV2))
+	}
+	return b.String()
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pbio"
+)
+
+// Converter is a compiled name-wise conversion plan between two formats. It
+// implements lines 26–29 of Algorithm 2: fields of the target that the
+// source cannot supply are filled with the target's declared defaults (or
+// zero values), and source fields absent from the target are dropped.
+// Because matching is by name, a Converter also absorbs pure reorderings
+// and nesting-preserving renames of width (sizes may differ; values are
+// coerced).
+//
+// Building the plan costs one walk over both formats; converting a record
+// is then a flat interpretation of precomputed steps — the same
+// compile-once structure PBIO gets from generated code.
+type Converter struct {
+	from, to *pbio.Format
+	steps    []convStep
+}
+
+type convMode uint8
+
+const (
+	convFill convMode = iota // no source: default or zero value
+	convCopyScalar
+	convCopyString
+	convComplex // recurse with sub-plan
+	convListScalar
+	convListString
+	convListComplex
+)
+
+type convStep struct {
+	dstIdx int
+	srcIdx int
+	mode   convMode
+	sub    *Converter // convComplex, convListComplex
+	fill   pbio.Value // convFill with a declared default
+}
+
+// NewConverter builds the conversion plan from → to.
+func NewConverter(from, to *pbio.Format) *Converter {
+	c := &Converter{from: from, to: to}
+	for j := 0; j < to.NumFields(); j++ {
+		dst := to.Field(j)
+		step := convStep{dstIdx: j, srcIdx: -1, mode: convFill}
+		if !dst.Default.IsZero() {
+			step.fill = dst.Default
+		}
+		if i := from.Lookup(dst.Name); i >= 0 {
+			src := from.Field(i)
+			if mode, sub, ok := planField(src, dst); ok {
+				step.srcIdx = i
+				step.mode = mode
+				step.sub = sub
+			}
+		}
+		c.steps = append(c.steps, step)
+	}
+	return c
+}
+
+func planField(src, dst *pbio.Field) (convMode, *Converter, bool) {
+	switch dst.Kind {
+	case pbio.Complex:
+		if src.Kind != pbio.Complex {
+			return 0, nil, false
+		}
+		return convComplex, NewConverter(src.Sub, dst.Sub), true
+	case pbio.List:
+		if src.Kind != pbio.List {
+			return 0, nil, false
+		}
+		return planListElem(src.Elem, dst.Elem)
+	case pbio.String:
+		if src.Kind != pbio.String {
+			return 0, nil, false
+		}
+		return convCopyString, nil, true
+	default: // numeric basic
+		if !src.Kind.IsBasic() || src.Kind == pbio.String {
+			return 0, nil, false
+		}
+		return convCopyScalar, nil, true
+	}
+}
+
+func planListElem(src, dst *pbio.Field) (convMode, *Converter, bool) {
+	switch dst.Kind {
+	case pbio.Complex:
+		if src.Kind != pbio.Complex {
+			return 0, nil, false
+		}
+		return convListComplex, NewConverter(src.Sub, dst.Sub), true
+	case pbio.String:
+		if src.Kind != pbio.String {
+			return 0, nil, false
+		}
+		return convListString, nil, true
+	case pbio.List:
+		// Lists of lists are excluded by pbio format validation.
+		return 0, nil, false
+	default:
+		if !src.Kind.IsBasic() || src.Kind == pbio.String {
+			return 0, nil, false
+		}
+		return convListScalar, nil, true
+	}
+}
+
+// From returns the plan's source format.
+func (c *Converter) From() *pbio.Format { return c.from }
+
+// To returns the plan's target format.
+func (c *Converter) To() *pbio.Format { return c.to }
+
+// Dropped returns the names of source fields the plan discards (present in
+// From, absent or incompatible in To). Useful for diagnostics.
+func (c *Converter) Dropped() []string {
+	used := make(map[int]bool, len(c.steps))
+	for _, s := range c.steps {
+		if s.srcIdx >= 0 {
+			used[s.srcIdx] = true
+		}
+	}
+	var dropped []string
+	for i := 0; i < c.from.NumFields(); i++ {
+		if !used[i] {
+			dropped = append(dropped, c.from.Field(i).Name)
+		}
+	}
+	return dropped
+}
+
+// Defaulted returns the names of target fields the plan fills rather than
+// copies.
+func (c *Converter) Defaulted() []string {
+	var names []string
+	for _, s := range c.steps {
+		if s.mode == convFill {
+			names = append(names, c.to.Field(s.dstIdx).Name)
+		}
+	}
+	return names
+}
+
+// Convert produces a new record of the target format from rec, which must
+// have the plan's source format.
+func (c *Converter) Convert(rec *pbio.Record) (*pbio.Record, error) {
+	if !rec.Format().SameStructure(c.from) {
+		return nil, fmt.Errorf("core: converter expects format %q (%016x), got %q (%016x)",
+			c.from.Name(), c.from.Fingerprint(), rec.Format().Name(), rec.Format().Fingerprint())
+	}
+	return c.convert(rec)
+}
+
+func (c *Converter) convert(rec *pbio.Record) (*pbio.Record, error) {
+	out := pbio.NewRecord(c.to)
+	for _, s := range c.steps {
+		switch s.mode {
+		case convFill:
+			if !s.fill.IsZero() {
+				if err := out.SetIndex(s.dstIdx, s.fill); err != nil {
+					return nil, err
+				}
+			}
+		case convCopyScalar, convCopyString:
+			if err := out.SetIndex(s.dstIdx, rec.GetIndex(s.srcIdx)); err != nil {
+				return nil, err
+			}
+		case convComplex:
+			sub, err := s.sub.convert(rec.GetIndex(s.srcIdx).Record())
+			if err != nil {
+				return nil, err
+			}
+			if err := out.SetIndex(s.dstIdx, pbio.RecordOf(sub)); err != nil {
+				return nil, err
+			}
+		case convListScalar, convListString:
+			src := rec.GetIndex(s.srcIdx).List()
+			elems := make([]pbio.Value, len(src))
+			copy(elems, src)
+			if err := out.SetIndex(s.dstIdx, pbio.ListOf(elems)); err != nil {
+				return nil, err
+			}
+		case convListComplex:
+			src := rec.GetIndex(s.srcIdx).List()
+			elems := make([]pbio.Value, len(src))
+			for i, e := range src {
+				sub, err := s.sub.convert(e.Record())
+				if err != nil {
+					return nil, err
+				}
+				elems[i] = pbio.RecordOf(sub)
+			}
+			if err := out.SetIndex(s.dstIdx, pbio.ListOf(elems)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// ConvertByName is a one-shot NewConverter + Convert for callers that do not
+// reuse the plan.
+func ConvertByName(rec *pbio.Record, to *pbio.Format) (*pbio.Record, error) {
+	return NewConverter(rec.Format(), to).Convert(rec)
+}

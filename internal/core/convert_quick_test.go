@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pbio"
+)
+
+// randomFormat builds a pseudo-random format from a deterministic seed:
+// a handful of fields drawn from a shared name pool (so pairs overlap),
+// with nesting and lists up to depth 2.
+func randomFormat(rng *rand.Rand, depth int) *pbio.Format {
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	n := 1 + rng.Intn(len(names)-1)
+	fields := make([]pbio.Field, 0, n)
+	for i := 0; i < n; i++ {
+		fields = append(fields, randomField(rng, names[i], depth))
+	}
+	f, err := pbio.NewFormat("quick", fields)
+	if err != nil {
+		panic(err) // generator bug, not a property failure
+	}
+	return f
+}
+
+func randomField(rng *rand.Rand, name string, depth int) pbio.Field {
+	kinds := []pbio.Kind{pbio.Integer, pbio.Unsigned, pbio.Float, pbio.String, pbio.Boolean, pbio.Char, pbio.Enum}
+	if depth > 0 {
+		kinds = append(kinds, pbio.Complex, pbio.List)
+	}
+	k := kinds[rng.Intn(len(kinds))]
+	switch k {
+	case pbio.Complex:
+		return pbio.Field{Name: name, Kind: pbio.Complex, Sub: randomFormat(rng, depth-1)}
+	case pbio.List:
+		elemKinds := []pbio.Kind{pbio.Integer, pbio.Float, pbio.String}
+		ek := elemKinds[rng.Intn(len(elemKinds))]
+		if depth > 1 && rng.Intn(2) == 0 {
+			return pbio.Field{Name: name, Kind: pbio.List,
+				Elem: &pbio.Field{Kind: pbio.Complex, Sub: randomFormat(rng, depth-2)}}
+		}
+		return pbio.Field{Name: name, Kind: pbio.List, Elem: &pbio.Field{Kind: ek}}
+	case pbio.Integer, pbio.Unsigned, pbio.Enum:
+		sizes := []int{1, 2, 4, 8}
+		return pbio.Field{Name: name, Kind: k, Size: sizes[rng.Intn(len(sizes))]}
+	case pbio.Float:
+		sizes := []int{4, 8}
+		return pbio.Field{Name: name, Kind: k, Size: sizes[rng.Intn(len(sizes))]}
+	default:
+		return pbio.Field{Name: name, Kind: k}
+	}
+}
+
+func randomRecordOf(rng *rand.Rand, f *pbio.Format) *pbio.Record {
+	r := pbio.NewRecord(f)
+	for i := 0; i < f.NumFields(); i++ {
+		fld := f.Field(i)
+		if err := r.SetIndex(i, randomValueOf(rng, fld)); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+func randomValueOf(rng *rand.Rand, fld *pbio.Field) pbio.Value {
+	switch fld.Kind {
+	case pbio.Integer:
+		return pbio.Int(int64(int8(rng.Uint64())))
+	case pbio.Unsigned:
+		return pbio.Uint(uint64(uint8(rng.Uint64())))
+	case pbio.Enum:
+		return pbio.EnumOf(int64(rng.Intn(4)))
+	case pbio.Char:
+		return pbio.CharOf(byte('a' + rng.Intn(26)))
+	case pbio.Float:
+		return pbio.Float64(float64(rng.Intn(1000)) / 4)
+	case pbio.String:
+		return pbio.Str(string(rune('A' + rng.Intn(26))))
+	case pbio.Boolean:
+		return pbio.Bool(rng.Intn(2) == 1)
+	case pbio.Complex:
+		return pbio.RecordOf(randomRecordOf(rng, fld.Sub))
+	case pbio.List:
+		n := rng.Intn(3)
+		elems := make([]pbio.Value, n)
+		for i := range elems {
+			elems[i] = randomValueOf(rng, fld.Elem)
+		}
+		return pbio.ListOf(elems)
+	default:
+		return pbio.Value{}
+	}
+}
+
+// TestQuickConverterTotal: for ANY pair of formats, the name-wise converter
+// must succeed on any well-formed input record and produce a record of the
+// target format that itself encodes and decodes cleanly. This is the
+// invariant Algorithm 2's fill/drop step relies on: once MaxMatch accepts a
+// pair, conversion cannot fail at message time.
+func TestQuickConverterTotal(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		from := randomFormat(rng, 2)
+		to := randomFormat(rng, 2)
+		conv := NewConverter(from, to)
+		rec := randomRecordOf(rng, from)
+
+		out, err := conv.Convert(rec)
+		if err != nil {
+			t.Logf("seed %d: convert failed: %v\nfrom:\n%s\nto:\n%s", seed, err, from, to)
+			return false
+		}
+		if !out.Format().SameStructure(to) {
+			t.Logf("seed %d: output format mismatch", seed)
+			return false
+		}
+		// The converted record must be a valid instance of `to`.
+		back, err := pbio.DecodeRecord(pbio.EncodeRecord(out), to)
+		if err != nil {
+			t.Logf("seed %d: converted record does not round-trip: %v", seed, err)
+			return false
+		}
+		return back.Equal(out)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDiffTriangle sanity-checks metric behaviour over random formats:
+// Diff(f, f) = 0, Diff is non-negative, and a perfect pair always converts
+// without loss of any field value that both sides share.
+func TestQuickDiffProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f1 := randomFormat(rng, 2)
+		f2 := randomFormat(rng, 2)
+		if Diff(f1, f1) != 0 || Diff(f2, f2) != 0 {
+			return false
+		}
+		if Diff(f1, f2) < 0 || Diff(f2, f1) < 0 {
+			return false
+		}
+		if MismatchRatio(f1, f2) < 0 || MismatchRatio(f1, f2) > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

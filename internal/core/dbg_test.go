@@ -1,0 +1,26 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pbio"
+)
+
+func TestDebugSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4916193831908799512))
+	from := randomFormat(rng, 2)
+	to := randomFormat(rng, 2)
+	t.Logf("from:\n%s", from)
+	t.Logf("to:\n%s", to)
+	conv := NewConverter(from, to)
+	rec := randomRecordOf(rng, from)
+	out, err := conv.Convert(rec)
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	t.Logf("out: %v", out)
+	if _, err := pbio.DecodeRecord(pbio.EncodeRecord(out), to); err != nil {
+		t.Fatalf("roundtrip: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import "repro/internal/pbio"
+
+// Thresholds bound how much mismatch MaxMatch will tolerate, the paper's
+// DIFF_THRESHOLD and MISMATCH_THRESHOLD. They "add another dimension of
+// flexibility by allowing control of the amount of mismatch that will be
+// allowed in a particular system"; setting Diff to zero admits only perfect
+// matches.
+type Thresholds struct {
+	// Diff is the maximum allowed Diff(f1, f2): basic fields of the incoming
+	// format that the target cannot represent (they will be dropped).
+	Diff int
+
+	// Mismatch is the maximum allowed MismatchRatio(f1, f2): the fraction of
+	// the target's fields the incoming format cannot supply (they will be
+	// filled with defaults).
+	Mismatch float64
+}
+
+// DefaultThresholds tolerates moderate evolution: up to 8 dropped fields and
+// up to half of the target filled by defaults.
+var DefaultThresholds = Thresholds{Diff: 8, Mismatch: 0.5}
+
+// Match is a MaxMatch result pair: From ∈ F1 is the format the message will
+// be brought into; To ∈ F2 is the reader-side format it will be delivered
+// as.
+type Match struct {
+	From     *pbio.Format
+	To       *pbio.Format
+	Diff     int     // Diff(From, To): incoming fields that will be dropped
+	Mismatch float64 // MismatchRatio(From, To): target fields defaulted
+}
+
+// IsPerfect reports whether the pair matched with no differences either way.
+func (m Match) IsPerfect() bool { return m.Diff == 0 && m.Mismatch == 0 }
+
+// MaxMatch returns the best matching format pair between F1 (the formats an
+// incoming message can be transformed into, including its own) and F2 (the
+// formats the reader understands), per the paper's conditions:
+//
+//	 (i) f1 ∈ F1,  (ii) f2 ∈ F2,
+//	(iii) Diff(f1, f2) ≤ th.Diff,
+//	 (iv) MismatchRatio(f1, f2) ≤ th.Mismatch,
+//	 (v) among candidates, least M_r first, then least Diff; remaining ties
+//	     are broken deterministically (by position in F1 then F2, so callers
+//	     can bias the choice by ordering — e.g. putting the identity
+//	     transformation first).
+//
+// ok is false if no pair satisfies the thresholds.
+func MaxMatch(f1s, f2s []*pbio.Format, th Thresholds) (best Match, ok bool) {
+	for _, f1 := range f1s {
+		if f1 == nil {
+			continue
+		}
+		for _, f2 := range f2s {
+			if f2 == nil {
+				continue
+			}
+			d := Diff(f1, f2)
+			if d > th.Diff {
+				continue
+			}
+			mr := MismatchRatio(f1, f2)
+			if mr > th.Mismatch {
+				continue
+			}
+			cand := Match{From: f1, To: f2, Diff: d, Mismatch: mr}
+			if !ok || less(cand, best) {
+				best, ok = cand, true
+			}
+		}
+	}
+	return best, ok
+}
+
+// less orders candidate matches per condition (v). Strict inequality keeps
+// the earliest candidate on ties, making the scan order the deterministic
+// tie-break.
+func less(a, b Match) bool {
+	if a.Mismatch != b.Mismatch {
+		return a.Mismatch < b.Mismatch
+	}
+	return a.Diff < b.Diff
+}

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ecode"
+	"repro/internal/pbio"
+)
+
+// Handler consumes a delivered record. The record's format is always one the
+// handler's owner registered.
+type Handler func(*pbio.Record) error
+
+// Morpher errors.
+var (
+	// ErrRejected is returned when no registered format matches an incoming
+	// message within the thresholds and no default handler is installed
+	// (Algorithm 2 line 18: "Reject this message").
+	ErrRejected = errors.New("core: message rejected: no matching format")
+
+	// ErrBadTransform is wrapped when network-supplied transformation code
+	// fails to compile against its declared formats.
+	ErrBadTransform = errors.New("core: transformation does not compile")
+)
+
+// Stats counts Morpher activity. Reads are approximate under concurrency.
+type Stats struct {
+	Delivered   uint64 // messages processed
+	CacheHits   uint64 // messages whose format decision was already cached
+	Compiled    uint64 // transformation programs compiled (cold path)
+	Transformed uint64 // messages that ran ≥1 transformation step
+	Converted   uint64 // messages that needed name-wise fill/drop conversion
+	Rejected    uint64 // messages with no acceptable match
+}
+
+// Morpher is the receiver-side morphing engine (the paper's Algorithm 2).
+//
+// Readers register the formats they understand together with handlers;
+// format meta-data arriving from the network contributes transformations
+// (AddTransform). When a message arrives in an unknown format, the Morpher
+// runs MaxMatch over the formats the message can be transformed into and the
+// registered formats, compiles the needed transformation chain, caches the
+// whole decision under the incoming fingerprint, and delivers. Subsequent
+// messages of that format take the cached fast path.
+type Morpher struct {
+	th Thresholds
+
+	mu             sync.RWMutex
+	weigher        Weigher
+	regs           []*registration
+	byFP           map[uint64]*registration
+	xforms         map[uint64][]*Xform // outgoing edges keyed by From fingerprint
+	cache          map[uint64]*decision
+	defaultHandler Handler
+
+	stats struct {
+		delivered, cacheHits, compiled, transformed, converted, rejected atomic.Uint64
+	}
+}
+
+type registration struct {
+	format  *pbio.Format
+	handler Handler
+}
+
+// decision is the cached outcome of the expensive path of Algorithm 2 for
+// one incoming format fingerprint.
+type decision struct {
+	reject bool
+	steps  []*ecode.Program // transformation chain, in application order
+	dsts   []*pbio.Format   // destination format of each step
+	conv   *Converter       // name-wise fill/drop; nil when structures align
+	reg    *registration
+}
+
+// NewMorpher returns a Morpher with the given thresholds. Use
+// DefaultThresholds when in doubt; Thresholds{} (all zero) admits only
+// perfect matches, as the paper prescribes for strict deployments.
+func NewMorpher(th Thresholds) *Morpher {
+	return &Morpher{
+		th:     th,
+		byFP:   make(map[uint64]*registration),
+		xforms: make(map[uint64][]*Xform),
+		cache:  make(map[uint64]*decision),
+	}
+}
+
+// Thresholds returns the matcher's configured thresholds.
+func (m *Morpher) Thresholds() Thresholds { return m.th }
+
+// RegisterFormat declares that the reader understands format f and wants
+// matching messages delivered to handler. Registering a format with the
+// same fingerprint again replaces its handler. Registration order matters
+// for ties: earlier formats win equal MaxMatch scores.
+func (m *Morpher) RegisterFormat(f *pbio.Format, handler Handler) error {
+	if f == nil {
+		return errors.New("core: nil format")
+	}
+	if handler == nil {
+		return errors.New("core: nil handler")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if existing, ok := m.byFP[f.Fingerprint()]; ok {
+		existing.handler = handler
+		return nil
+	}
+	reg := &registration{format: f, handler: handler}
+	m.regs = append(m.regs, reg)
+	m.byFP[f.Fingerprint()] = reg
+	m.invalidateLocked()
+	return nil
+}
+
+// SetWeigher installs field-importance weights for match decisions (the
+// paper's §6 future-work extension). When set, the engine decides with
+// WeightedDiff/WeightedMismatchRatio against the same thresholds
+// (Thresholds.Diff is read as a summed-importance cap). Pass nil to return
+// to unweighted matching.
+func (m *Morpher) SetWeigher(w Weigher) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.weigher = w
+	m.invalidateLocked()
+}
+
+// matchLocked runs the configured matcher (weighted or classic) and reduces
+// the result to what decision building needs.
+func (m *Morpher) matchLocked(f1s, f2s []*pbio.Format) (Match, bool) {
+	if m.weigher == nil {
+		return MaxMatch(f1s, f2s, m.th)
+	}
+	wth := WeightedThresholds{Diff: float64(m.th.Diff), Mismatch: m.th.Mismatch}
+	wm, ok := MaxMatchWeighted(f1s, f2s, wth, m.weigher)
+	if !ok {
+		return Match{}, false
+	}
+	// Preserve exact perfect-match semantics in the reduced form: any
+	// positive weighted diff must not round down to "perfect".
+	diff := int(wm.Diff)
+	if wm.Diff > 0 && diff == 0 {
+		diff = 1
+	}
+	return Match{From: wm.From, To: wm.To, Diff: diff, Mismatch: wm.Mismatch}, true
+}
+
+// SetDefaultHandler installs the handler invoked for messages no registered
+// format matches. Records reach it in their original incoming format.
+func (m *Morpher) SetDefaultHandler(h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.defaultHandler = h
+	m.invalidateLocked()
+}
+
+// AddTransform registers transformation meta-data: an edge From → To in the
+// retro-transformation graph (Figure 1). The code is compiled lazily, when
+// a decision first needs it; Validate can be called eagerly by transports
+// that distrust their peers.
+func (m *Morpher) AddTransform(x *Xform) error {
+	if x == nil || x.From == nil || x.To == nil {
+		return errors.New("core: transform needs From and To formats")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := x.From.Fingerprint()
+	for _, existing := range m.xforms[key] {
+		if existing.To.Fingerprint() == x.To.Fingerprint() {
+			existing.Code = x.Code // refresh
+			m.invalidateLocked()
+			return nil
+		}
+	}
+	m.xforms[key] = append(m.xforms[key], x)
+	m.invalidateLocked()
+	return nil
+}
+
+// invalidateLocked drops cached decisions; new registrations or transforms
+// can change every match.
+func (m *Morpher) invalidateLocked() {
+	if len(m.cache) > 0 {
+		m.cache = make(map[uint64]*decision)
+	}
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (m *Morpher) Stats() Stats {
+	return Stats{
+		Delivered:   m.stats.delivered.Load(),
+		CacheHits:   m.stats.cacheHits.Load(),
+		Compiled:    m.stats.compiled.Load(),
+		Transformed: m.stats.transformed.Load(),
+		Converted:   m.stats.converted.Load(),
+		Rejected:    m.stats.rejected.Load(),
+	}
+}
+
+// Deliver runs Algorithm 2 on rec: match (cached after the first message of
+// a format), transform, fill/drop, and invoke the matched format's handler.
+func (m *Morpher) Deliver(rec *pbio.Record) error {
+	m.stats.delivered.Add(1)
+	d, err := m.decide(rec.Format())
+	if err != nil {
+		return err
+	}
+	if d.reject {
+		m.stats.rejected.Add(1)
+		m.mu.RLock()
+		dh := m.defaultHandler
+		m.mu.RUnlock()
+		if dh != nil {
+			return dh(rec)
+		}
+		return fmt.Errorf("%w: %q (%016x)", ErrRejected, rec.Format().Name(), rec.Format().Fingerprint())
+	}
+	out, err := m.applyDecision(d, rec)
+	if err != nil {
+		return err
+	}
+	return d.reg.handler(out)
+}
+
+// Morph converts rec into a registered format without invoking its handler;
+// the second result is the matched registered format. Transports that
+// deliver typed structs use this, as do the benchmarks.
+func (m *Morpher) Morph(rec *pbio.Record) (*pbio.Record, *pbio.Format, error) {
+	m.stats.delivered.Add(1)
+	d, err := m.decide(rec.Format())
+	if err != nil {
+		return nil, nil, err
+	}
+	if d.reject {
+		m.stats.rejected.Add(1)
+		return nil, nil, fmt.Errorf("%w: %q (%016x)", ErrRejected, rec.Format().Name(), rec.Format().Fingerprint())
+	}
+	out, err := m.applyDecision(d, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, d.reg.format, nil
+}
+
+// DeliverEncoded decodes an enveloped message (whose wire format the
+// transport looked up out-of-band) and delivers it.
+func (m *Morpher) DeliverEncoded(data []byte, wire *pbio.Format) error {
+	rec, err := pbio.DecodeRecord(data, wire)
+	if err != nil {
+		return err
+	}
+	return m.Deliver(rec)
+}
+
+func (m *Morpher) applyDecision(d *decision, rec *pbio.Record) (*pbio.Record, error) {
+	cur := rec
+	for i, prog := range d.steps {
+		dst := pbio.NewRecord(d.dsts[i])
+		if _, err := prog.Run(cur, dst); err != nil {
+			return nil, fmt.Errorf("core: transformation step %d (%q→%q): %w",
+				i, cur.Format().Name(), d.dsts[i].Name(), err)
+		}
+		cur = dst
+	}
+	if len(d.steps) > 0 {
+		m.stats.transformed.Add(1)
+	}
+	if d.conv != nil {
+		out, err := d.conv.Convert(cur)
+		if err != nil {
+			return nil, err
+		}
+		m.stats.converted.Add(1)
+		cur = out
+	}
+	return cur, nil
+}
+
+// decide returns the cached decision for the incoming format, computing and
+// caching it on first sight (the expensive steps 11–27 of Algorithm 2).
+func (m *Morpher) decide(fm *pbio.Format) (*decision, error) {
+	fp := fm.Fingerprint()
+	m.mu.RLock()
+	d, ok := m.cache[fp]
+	m.mu.RUnlock()
+	if ok {
+		m.stats.cacheHits.Add(1)
+		return d, nil
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d, ok := m.cache[fp]; ok {
+		m.stats.cacheHits.Add(1)
+		return d, nil
+	}
+	d, err := m.buildDecisionLocked(fm)
+	if err != nil {
+		return nil, err
+	}
+	m.cache[fp] = d
+	return d, nil
+}
+
+func (m *Morpher) buildDecisionLocked(fm *pbio.Format) (*decision, error) {
+	// Fast path: exact structure registered.
+	if reg, ok := m.byFP[fm.Fingerprint()]; ok {
+		return &decision{reg: reg}, nil
+	}
+
+	// Fr: registered formats with the same name as fm.
+	var fr []*pbio.Format
+	for _, reg := range m.regs {
+		if reg.format.Name() == fm.Name() {
+			fr = append(fr, reg.format)
+		}
+	}
+
+	// Line 11: try the incoming format alone, accepting only a perfect pair.
+	if match, ok := m.matchLocked([]*pbio.Format{fm}, fr); ok && match.IsPerfect() {
+		return m.finishDecisionLocked(nil, fm, match)
+	}
+
+	// Line 16: consider everything fm can be transformed into.
+	chains := m.reachableLocked(fm)
+	ft := make([]*pbio.Format, len(chains))
+	for i, ch := range chains {
+		ft[i] = ch.format
+	}
+	match, ok := m.matchLocked(ft, fr)
+	if !ok {
+		return &decision{reject: true}, nil
+	}
+
+	var path []*Xform
+	for _, ch := range chains {
+		if ch.format == match.From {
+			path = ch.path
+			break
+		}
+	}
+	return m.finishDecisionLocked(path, fm, match)
+}
+
+// finishDecisionLocked compiles the chosen chain and builds the fill/drop
+// converter if the matched pair is not structure-identical.
+func (m *Morpher) finishDecisionLocked(path []*Xform, fm *pbio.Format, match Match) (*decision, error) {
+	d := &decision{reg: m.byFP[match.To.Fingerprint()]}
+	if d.reg == nil {
+		// match.To always comes from m.regs; this guards internal drift.
+		return nil, fmt.Errorf("core: matched format %q is not registered", match.To.Name())
+	}
+	for _, x := range path {
+		prog, err := x.compile()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q→%q: %v", ErrBadTransform, x.From.Name(), x.To.Name(), err)
+		}
+		m.stats.compiled.Add(1)
+		d.steps = append(d.steps, prog)
+		d.dsts = append(d.dsts, x.To)
+	}
+	if !match.From.SameStructure(match.To) {
+		d.conv = NewConverter(match.From, match.To)
+	}
+	return d, nil
+}
+
+// chain is a format reachable from the incoming one plus the transform path
+// that reaches it.
+type chain struct {
+	format *pbio.Format
+	path   []*Xform
+}
+
+// maxChainDepth bounds retro-transformation chains; realistic format
+// histories are short, and the bound keeps adversarial transform graphs
+// from exploding the search.
+const maxChainDepth = 8
+
+// reachableLocked returns fm plus every format reachable through registered
+// transforms, breadth-first, so the shortest chain to any format is found
+// first. The identity chain is first, biasing MaxMatch ties toward
+// "no transformation".
+func (m *Morpher) reachableLocked(fm *pbio.Format) []chain {
+	visited := map[uint64]bool{fm.Fingerprint(): true}
+	out := []chain{{format: fm}}
+	frontier := out
+	for depth := 0; depth < maxChainDepth && len(frontier) > 0; depth++ {
+		var next []chain
+		for _, ch := range frontier {
+			for _, x := range m.xforms[ch.format.Fingerprint()] {
+				fp := x.To.Fingerprint()
+				if visited[fp] {
+					continue
+				}
+				visited[fp] = true
+				path := make([]*Xform, len(ch.path)+1)
+				copy(path, ch.path)
+				path[len(ch.path)] = x
+				nc := chain{format: x.To, path: path}
+				out = append(out, nc)
+				next = append(next, nc)
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// Explanation describes how the Morpher would treat a format — the
+// diagnostic counterpart of decide, for tooling.
+type Explanation struct {
+	Rejected  bool
+	Target    *pbio.Format // registered format messages are delivered as
+	ChainLen  int          // transformation steps applied
+	Perfect   bool         // no fill/drop needed after the chain
+	Defaulted []string     // target fields filled with defaults
+	Dropped   []string     // incoming fields discarded
+}
+
+// Explain reports the delivery plan for a format without delivering
+// anything. It populates the decision cache as a side effect.
+func (m *Morpher) Explain(fm *pbio.Format) (Explanation, error) {
+	d, err := m.decide(fm)
+	if err != nil {
+		return Explanation{}, err
+	}
+	if d.reject {
+		return Explanation{Rejected: true}, nil
+	}
+	e := Explanation{
+		Target:   d.reg.format,
+		ChainLen: len(d.steps),
+		Perfect:  d.conv == nil,
+	}
+	if d.conv != nil {
+		e.Defaulted = d.conv.Defaulted()
+		e.Dropped = d.conv.Dropped()
+	}
+	return e, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pbio"
+)
+
+func TestDiffReportEchoVersions(t *testing.T) {
+	v1, v2 := echoV1V2(t)
+	changes := DiffReport(v1, v2)
+
+	byPath := make(map[string]FieldChange, len(changes))
+	for _, c := range changes {
+		byPath[c.Path] = c
+	}
+	// Going v1 → v2: the parallel lists and their counts disappear, the
+	// member entries gain role booleans.
+	for _, removed := range []string{"src_count", "src_list", "sink_count", "sink_list"} {
+		c, ok := byPath[removed]
+		if !ok || c.Kind != FieldRemoved {
+			t.Errorf("expected %q removed, got %+v", removed, c)
+		}
+	}
+	for _, added := range []string{"member_list.is_Source", "member_list.is_Sink"} {
+		c, ok := byPath[added]
+		if !ok || c.Kind != FieldAdded {
+			t.Errorf("expected %q added, got %+v", added, c)
+		}
+	}
+	if len(changes) != 6 {
+		t.Errorf("changes = %d, want 6:\n%s", len(changes), FormatChanges(changes))
+	}
+
+	// The report is consistent with Algorithm 1: removed+retyped counts
+	// match Diff(a, b) in weight terms for this flat-ish case.
+	if got := Diff(v1, v2); got != 6 {
+		t.Errorf("Diff = %d", got)
+	}
+}
+
+func TestDiffReportKinds(t *testing.T) {
+	a := fmtOrDie(t, "m", []pbio.Field{
+		bf("same", pbio.Integer),
+		{Name: "widened", Kind: pbio.Integer, Size: 4},
+		bf("retyped", pbio.String),
+		bf("gone", pbio.Float),
+		{Name: "nums", Kind: pbio.List, Elem: &pbio.Field{Kind: pbio.Integer}},
+	})
+	b := fmtOrDie(t, "m", []pbio.Field{
+		bf("same", pbio.Integer),
+		{Name: "widened", Kind: pbio.Integer, Size: 8},
+		bf("retyped", pbio.Integer),
+		bf("brandnew", pbio.String),
+		{Name: "nums", Kind: pbio.List, Elem: &pbio.Field{Kind: pbio.Float}},
+	})
+	changes := DiffReport(a, b)
+	want := map[string]ChangeKind{
+		"widened":  FieldResized,
+		"retyped":  FieldRetyped,
+		"gone":     FieldRemoved,
+		"brandnew": FieldAdded,
+		"nums":     FieldResized, // int elems → float elems: compatible width change
+	}
+	if len(changes) != len(want) {
+		t.Fatalf("changes:\n%s", FormatChanges(changes))
+	}
+	for _, c := range changes {
+		if want[c.Path] != c.Kind {
+			t.Errorf("%s: kind = %v, want %v", c.Path, c.Kind, want[c.Path])
+		}
+	}
+
+	text := FormatChanges(changes)
+	for _, needle := range []string{"+ brandnew", "- gone", "~ widened", "(resized)", "(retyped)"} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("rendered report missing %q:\n%s", needle, text)
+		}
+	}
+}
+
+func TestDiffReportIdentical(t *testing.T) {
+	f := fmtOrDie(t, "m", []pbio.Field{bf("x", pbio.Integer)})
+	if changes := DiffReport(f, f); len(changes) != 0 {
+		t.Errorf("identical formats reported changes: %v", changes)
+	}
+	if FormatChanges(nil) != "no structural changes\n" {
+		t.Error("empty rendering wrong")
+	}
+}
+
+func TestDiffReportListVsScalar(t *testing.T) {
+	a := fmtOrDie(t, "m", []pbio.Field{{Name: "l", Kind: pbio.List, Elem: &pbio.Field{Kind: pbio.Integer}}})
+	b := fmtOrDie(t, "m", []pbio.Field{bf("l", pbio.Integer)})
+	changes := DiffReport(a, b)
+	if len(changes) != 1 || changes[0].Kind != FieldRetyped {
+		t.Errorf("changes = %+v", changes)
+	}
+	if !strings.Contains(changes[0].From, "list of") {
+		t.Errorf("From = %q", changes[0].From)
+	}
+}

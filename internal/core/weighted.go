@@ -1,0 +1,184 @@
+package core
+
+import "repro/internal/pbio"
+
+// Weighted matching implements the paper's future-work direction: "the
+// ability to weight different fields and sub-fields based on some measure
+// of importance" (§6). A Weigher assigns an importance to every basic
+// field; WeightedDiff and WeightedMismatchRatio generalize Algorithm 1 and
+// M_r by summing importances instead of counting fields, so losing a
+// critical field can veto a match that losing ten cosmetic fields would
+// not.
+
+// Weigher returns the importance of a basic field. path is the
+// dot-separated field path from the base format (list elements use their
+// list field's path, e.g. "member_list.info"). Return 1 for the paper's
+// unweighted behaviour, 0 to make a field fully optional, and larger
+// values for fields whose loss should dominate the match decision.
+type Weigher func(path string, fld *pbio.Field) float64
+
+// UnitWeigher weighs every field 1, reducing the weighted metrics to the
+// paper's original Diff and MismatchRatio.
+func UnitWeigher(string, *pbio.Field) float64 { return 1 }
+
+// WeightedDiff is Algorithm 1 with importance weights: the summed
+// importance of basic fields present in f1 but not in f2.
+func WeightedDiff(f1, f2 *pbio.Format, w Weigher) float64 {
+	if w == nil {
+		w = UnitWeigher
+	}
+	return weightedFormatDiff(f1, f2, w, "")
+}
+
+func weightedFormatDiff(f1, f2 *pbio.Format, w Weigher, prefix string) float64 {
+	d := 0.0
+	for i := 0; i < f1.NumFields(); i++ {
+		fld := f1.Field(i)
+		d += weightedFieldDiff(fld, f2.FieldByName(fld.Name), w, joinPath(prefix, fld.Name))
+	}
+	return d
+}
+
+func joinPath(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "." + name
+}
+
+func weightedFieldDiff(a, b *pbio.Field, w Weigher, path string) float64 {
+	switch a.Kind {
+	case pbio.Complex:
+		if b == nil || b.Kind != pbio.Complex {
+			return weightedWeightOf(a, w, path)
+		}
+		return weightedFormatDiff(a.Sub, b.Sub, w, path)
+	case pbio.List:
+		if b == nil || b.Kind != pbio.List {
+			return weightedWeightOf(a, w, path)
+		}
+		return weightedElemDiff(a.Elem, b.Elem, w, path)
+	default:
+		if b == nil || !b.Kind.IsBasic() || !basicCompatible(a.Kind, b.Kind) {
+			return w(path, a)
+		}
+		return 0
+	}
+}
+
+func weightedElemDiff(a, b *pbio.Field, w Weigher, path string) float64 {
+	switch a.Kind {
+	case pbio.Complex:
+		if b.Kind != pbio.Complex {
+			return weightedWeightOf(a, w, path)
+		}
+		return weightedFormatDiff(a.Sub, b.Sub, w, path)
+	case pbio.List:
+		if b.Kind != pbio.List {
+			return weightedWeightOf(a, w, path)
+		}
+		return weightedElemDiff(a.Elem, b.Elem, w, path)
+	default:
+		if !b.Kind.IsBasic() || !basicCompatible(a.Kind, b.Kind) {
+			return w(path, a)
+		}
+		return 0
+	}
+}
+
+// weightedWeightOf is the weighted analog of Format.Weight for one field:
+// the summed importance of all basic fields it contains.
+func weightedWeightOf(f *pbio.Field, w Weigher, path string) float64 {
+	switch f.Kind {
+	case pbio.Complex:
+		return weightedFormatWeight(f.Sub, w, path)
+	case pbio.List:
+		return weightedWeightOf(f.Elem, w, path)
+	default:
+		return w(path, f)
+	}
+}
+
+func weightedFormatWeight(f *pbio.Format, w Weigher, prefix string) float64 {
+	total := 0.0
+	for i := 0; i < f.NumFields(); i++ {
+		fld := f.Field(i)
+		total += weightedWeightOf(fld, w, joinPath(prefix, fld.Name))
+	}
+	return total
+}
+
+// WeightedFormatWeight is the importance-weighted W_f of a whole format.
+func WeightedFormatWeight(f *pbio.Format, w Weigher) float64 {
+	if w == nil {
+		w = UnitWeigher
+	}
+	return weightedFormatWeight(f, w, "")
+}
+
+// WeightedMismatchRatio is M_r with importances: the fraction of f2's
+// summed importance that f1 cannot supply.
+func WeightedMismatchRatio(f1, f2 *pbio.Format, w Weigher) float64 {
+	total := WeightedFormatWeight(f2, w)
+	if total == 0 {
+		return 0
+	}
+	return WeightedDiff(f2, f1, w) / total
+}
+
+// WeightedThresholds bound weighted matching: Diff caps the summed
+// importance of dropped fields; Mismatch caps the defaulted fraction of the
+// target's importance.
+type WeightedThresholds struct {
+	Diff     float64
+	Mismatch float64
+}
+
+// WeightedMatch is a MaxMatchWeighted result.
+type WeightedMatch struct {
+	From     *pbio.Format
+	To       *pbio.Format
+	Diff     float64
+	Mismatch float64
+}
+
+// IsPerfect reports a zero-loss pair under the given weights.
+func (m WeightedMatch) IsPerfect() bool { return m.Diff == 0 && m.Mismatch == 0 }
+
+// MaxMatchWeighted is MaxMatch with importance weights: same conditions
+// (i)–(v), with Diff and M_r replaced by their weighted forms.
+func MaxMatchWeighted(f1s, f2s []*pbio.Format, th WeightedThresholds, w Weigher) (best WeightedMatch, ok bool) {
+	if w == nil {
+		w = UnitWeigher
+	}
+	for _, f1 := range f1s {
+		if f1 == nil {
+			continue
+		}
+		for _, f2 := range f2s {
+			if f2 == nil {
+				continue
+			}
+			d := WeightedDiff(f1, f2, w)
+			if d > th.Diff {
+				continue
+			}
+			mr := WeightedMismatchRatio(f1, f2, w)
+			if mr > th.Mismatch {
+				continue
+			}
+			cand := WeightedMatch{From: f1, To: f2, Diff: d, Mismatch: mr}
+			if !ok || weightedLess(cand, best) {
+				best, ok = cand, true
+			}
+		}
+	}
+	return best, ok
+}
+
+func weightedLess(a, b WeightedMatch) bool {
+	if a.Mismatch != b.Mismatch {
+		return a.Mismatch < b.Mismatch
+	}
+	return a.Diff < b.Diff
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pbio"
+)
+
+func TestWeightedReducesToClassicWithUnitWeights(t *testing.T) {
+	v1, v2 := echoV1V2(t)
+	pairs := [][2]*pbio.Format{{v1, v2}, {v2, v1}, {v1, v1}}
+	for _, p := range pairs {
+		if got, want := WeightedDiff(p[0], p[1], UnitWeigher), float64(Diff(p[0], p[1])); got != want {
+			t.Errorf("WeightedDiff(unit) = %g, Diff = %g", got, want)
+		}
+		if got, want := WeightedMismatchRatio(p[0], p[1], nil), MismatchRatio(p[0], p[1]); got != want {
+			t.Errorf("WeightedMismatchRatio(nil) = %g, MismatchRatio = %g", got, want)
+		}
+	}
+	if got, want := WeightedFormatWeight(v1, nil), float64(v1.Weight()); got != want {
+		t.Errorf("WeightedFormatWeight = %g, Weight = %g", got, want)
+	}
+}
+
+// TestQuickWeightedUnitEquivalence: the equivalence holds for arbitrary
+// random pairs drawn from a family of formats.
+func TestQuickWeightedUnitEquivalence(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	kinds := []pbio.Kind{pbio.Integer, pbio.Float, pbio.String, pbio.Boolean}
+	build := func(mask uint8, kindSel uint8) *pbio.Format {
+		var fields []pbio.Field
+		for i, n := range names {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			fields = append(fields, pbio.Field{Name: n, Kind: kinds[int(kindSel>>(2*i))%len(kinds)]})
+		}
+		if len(fields) == 0 {
+			fields = append(fields, pbio.Field{Name: "z", Kind: pbio.Integer})
+		}
+		f, err := pbio.NewFormat("m", fields)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	prop := func(m1, k1, m2, k2 uint8) bool {
+		f1, f2 := build(m1, k1), build(m2, k2)
+		return WeightedDiff(f1, f2, UnitWeigher) == float64(Diff(f1, f2)) &&
+			WeightedMismatchRatio(f1, f2, UnitWeigher) == MismatchRatio(f1, f2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedPaths(t *testing.T) {
+	inner := fmtOrDie(t, "inner", []pbio.Field{bf("deep", pbio.Integer)})
+	f := fmtOrDie(t, "m", []pbio.Field{
+		bf("top", pbio.Integer),
+		{Name: "sub", Kind: pbio.Complex, Sub: inner},
+		{Name: "list", Kind: pbio.List, Elem: &pbio.Field{Kind: pbio.Complex, Sub: inner}},
+	})
+	var paths []string
+	WeightedFormatWeight(f, func(path string, _ *pbio.Field) float64 {
+		paths = append(paths, path)
+		return 1
+	})
+	want := map[string]bool{"top": true, "sub.deep": true, "list.deep": true}
+	if len(paths) != len(want) {
+		t.Fatalf("paths = %v", paths)
+	}
+	for _, p := range paths {
+		if !want[p] {
+			t.Errorf("unexpected path %q", p)
+		}
+	}
+}
+
+// TestWeightedImportanceFlipsDecision: a heavily weighted critical field
+// vetoes a match that unweighted counting would accept, and zero weights
+// make optional fields free to drop.
+func TestWeightedImportanceFlipsDecision(t *testing.T) {
+	incoming := fmtOrDie(t, "m", []pbio.Field{
+		bf("checksum", pbio.String),
+		bf("note1", pbio.String),
+		bf("note2", pbio.String),
+	})
+	target := fmtOrDie(t, "m", []pbio.Field{
+		bf("note1", pbio.String),
+		bf("note2", pbio.String),
+	})
+
+	// Unweighted: diff = 1 (checksum dropped), easily within thresholds.
+	if _, ok := MaxMatch([]*pbio.Format{incoming}, []*pbio.Format{target}, DefaultThresholds); !ok {
+		t.Fatal("unweighted match must succeed")
+	}
+
+	// Weighted: dropping the checksum is intolerable.
+	weigher := func(path string, _ *pbio.Field) float64 {
+		if path == "checksum" {
+			return 100
+		}
+		return 1
+	}
+	wth := WeightedThresholds{Diff: 8, Mismatch: 0.5}
+	if _, ok := MaxMatchWeighted([]*pbio.Format{incoming}, []*pbio.Format{target}, wth, weigher); ok {
+		t.Error("weighted match must refuse to drop the critical field")
+	}
+
+	// Zero-weight fields are fully optional: even a tiny Diff budget admits
+	// dropping them.
+	optional := func(path string, _ *pbio.Field) float64 {
+		if path == "checksum" {
+			return 0
+		}
+		return 1
+	}
+	m, ok := MaxMatchWeighted([]*pbio.Format{incoming}, []*pbio.Format{target},
+		WeightedThresholds{Diff: 0, Mismatch: 0}, optional)
+	if !ok || !m.IsPerfect() {
+		t.Errorf("zero-weighted drop must be a perfect match: ok=%v m=%+v", ok, m)
+	}
+}
+
+func TestWeightedTieBreakPrefersLeastMismatch(t *testing.T) {
+	target := fmtOrDie(t, "m", []pbio.Field{bf("x", pbio.Integer), bf("y", pbio.Integer)})
+	full := fmtOrDie(t, "m", []pbio.Field{bf("x", pbio.Integer), bf("y", pbio.Integer), bf("e", pbio.Integer)})
+	partial := fmtOrDie(t, "m", []pbio.Field{bf("x", pbio.Integer), bf("e", pbio.Integer)})
+
+	m, ok := MaxMatchWeighted([]*pbio.Format{partial, full}, []*pbio.Format{target},
+		WeightedThresholds{Diff: 5, Mismatch: 1}, nil)
+	if !ok || m.From != full {
+		t.Errorf("least weighted mismatch must win: got %+v", m)
+	}
+}
+
+func TestMorpherWithWeigher(t *testing.T) {
+	oldFmt := fmtOrDie(t, "Quote", []pbio.Field{bf("symbol", pbio.String), bf("price", pbio.Float)})
+	newFmt := fmtOrDie(t, "Quote", []pbio.Field{bf("symbol", pbio.String), bf("price", pbio.Float), bf("audit", pbio.String)})
+
+	m := NewMorpher(DefaultThresholds)
+	delivered := 0
+	if err := m.RegisterFormat(oldFmt, func(*pbio.Record) error { delivered++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	rec := pbio.NewRecord(newFmt).MustSet("symbol", pbio.Str("A"))
+
+	// Unweighted: the audit field drops silently.
+	if err := m.Deliver(rec); err != nil {
+		t.Fatalf("unweighted delivery: %v", err)
+	}
+
+	// With the audit trail marked critical, the same message is rejected.
+	m.SetWeigher(func(path string, _ *pbio.Field) float64 {
+		if path == "audit" {
+			return 1000
+		}
+		return 1
+	})
+	if err := m.Deliver(rec); err == nil {
+		t.Fatal("weighted morpher must reject dropping the audit field")
+	}
+
+	// Clearing the weigher restores the old behaviour (and invalidates the
+	// cached rejection).
+	m.SetWeigher(nil)
+	if err := m.Deliver(rec); err != nil {
+		t.Fatalf("after clearing weigher: %v", err)
+	}
+	if delivered != 2 {
+		t.Errorf("delivered = %d, want 2", delivered)
+	}
+}

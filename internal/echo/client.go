@@ -1,0 +1,205 @@
+package echo
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pbio"
+	"repro/internal/wire"
+)
+
+// Options configures a Subscriber.
+type Options struct {
+	// Source and Sink declare the roles requested in the
+	// ChannelOpenRequest. A pure publisher sets only Source; a pure
+	// listener only Sink.
+	Source, Sink bool
+
+	// Contact is the contact string reported to other members; defaults to
+	// the connection's local address.
+	Contact string
+
+	// V1Compat makes the subscriber behave like an un-upgraded ECho v1.0
+	// process: it sends the original ChannelOpenRequest and registers only
+	// the v1.0 ChannelOpenResponse format. It still interoperates with
+	// v2.0 servers because their responses carry the Figure 5 morphing
+	// code (and the server morphs its old request on the way in).
+	V1Compat bool
+
+	// Filter is an optional derived-channel predicate: E-Code over a
+	// record parameter named "event", evaluated by the event domain before
+	// forwarding events to this sink. Events whose formats the filter does
+	// not compile against are suppressed (fail closed). Ignored for
+	// V1Compat subscribers, whose request format predates filters.
+	Filter string
+
+	// Thresholds configures the subscriber's morphing engine; the zero
+	// value means core.DefaultThresholds.
+	Thresholds *core.Thresholds
+
+	// HandshakeTimeout bounds the open handshake; defaults to 10 seconds.
+	HandshakeTimeout time.Duration
+}
+
+// Subscriber is one endpoint of an event channel: it can publish events
+// (if opened as a source) and receive them through registered handlers (if
+// opened as a sink). Every subscriber owns a core.Morpher, so both protocol
+// messages and event payloads benefit from morphing.
+type Subscriber struct {
+	conn    *wire.Conn
+	morpher *core.Morpher
+	channel string
+
+	mu      sync.Mutex
+	members []Member
+}
+
+// ErrHandshake is returned when the channel-open handshake fails.
+var ErrHandshake = errors.New("echo: channel open handshake failed")
+
+// Open connects to the event domain at addr and joins the named channel.
+func Open(addr, channelID string, opts Options) (*Subscriber, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("echo: dial %s: %w", addr, err)
+	}
+	return open(nc, channelID, opts)
+}
+
+func open(nc net.Conn, channelID string, opts Options) (*Subscriber, error) {
+	th := core.DefaultThresholds
+	if opts.Thresholds != nil {
+		th = *opts.Thresholds
+	}
+	timeout := opts.HandshakeTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+
+	s := &Subscriber{
+		morpher: core.NewMorpher(th),
+		channel: channelID,
+	}
+	s.conn = wire.NewConn(nc, wire.WithMorpher(s.morpher))
+
+	// Register the ChannelOpenResponse format this client understands.
+	// A v1-compat client knows nothing about v2.0; morphing bridges the gap.
+	responseSeen := make(chan []Member, 1)
+	respond := func(members []Member) error {
+		select {
+		case responseSeen <- members:
+		default:
+		}
+		return nil
+	}
+	var regErr error
+	if opts.V1Compat {
+		regErr = s.morpher.RegisterFormat(ResponseV1Format, func(r *pbio.Record) error {
+			return respond(MembersFromV1(r))
+		})
+	} else {
+		regErr = s.morpher.RegisterFormat(ResponseV2Format, func(r *pbio.Record) error {
+			return respond(MembersFromV2(r))
+		})
+	}
+	if regErr != nil {
+		_ = nc.Close()
+		return nil, regErr
+	}
+
+	contact := opts.Contact
+	if contact == "" {
+		contact = nc.LocalAddr().String()
+	}
+	deadline := time.Now().Add(timeout)
+	_ = nc.SetDeadline(deadline)
+	if err := s.conn.WriteRecord(encodeRequest(openRequest{
+		ChannelID: channelID,
+		Contact:   contact,
+		IsSource:  opts.Source,
+		IsSink:    opts.Sink,
+		Filter:    opts.Filter,
+	}, opts.V1Compat)); err != nil {
+		_ = nc.Close()
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+
+	// Pump the connection until the response handler fires.
+	for {
+		select {
+		case members := <-responseSeen:
+			_ = nc.SetDeadline(time.Time{})
+			s.mu.Lock()
+			s.members = members
+			s.mu.Unlock()
+			return s, nil
+		default:
+		}
+		rec, err := s.conn.ReadRecord()
+		if err != nil {
+			_ = nc.Close()
+			return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		if err := s.morpher.Deliver(rec); err != nil {
+			_ = nc.Close()
+			return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+	}
+}
+
+// Channel returns the channel this subscriber joined.
+func (s *Subscriber) Channel() string { return s.channel }
+
+// Members returns the channel membership reported at open time (including
+// this subscriber).
+func (s *Subscriber) Members() []Member {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Member(nil), s.members...)
+}
+
+// Handle registers a handler for events arriving in (or morphable to)
+// format f. Call before Run.
+func (s *Subscriber) Handle(f *pbio.Format, h core.Handler) error {
+	return s.morpher.RegisterFormat(f, h)
+}
+
+// HandleDefault registers the handler for events no registered format
+// matches.
+func (s *Subscriber) HandleDefault(h core.Handler) {
+	s.morpher.SetDefaultHandler(h)
+}
+
+// Declare attaches transformation meta-data to an event payload format this
+// subscriber publishes, so older sinks can morph it (the B2B broker pattern
+// of Figure 7: conversion code travels with the data, the receiver pays the
+// conversion cost).
+func (s *Subscriber) Declare(f *pbio.Format, xforms ...*core.Xform) {
+	s.conn.Declare(f, xforms...)
+}
+
+// Publish submits an event record to the channel.
+func (s *Subscriber) Publish(rec *pbio.Record) error {
+	return s.conn.WriteRecord(rec)
+}
+
+// Morpher exposes the subscriber's morphing engine (for stats and
+// diagnostics).
+func (s *Subscriber) Morpher() *core.Morpher { return s.morpher }
+
+// Run receives events and dispatches them through the subscriber's
+// handlers until the connection closes. It returns nil on clean shutdown.
+func (s *Subscriber) Run() error {
+	err := s.conn.Serve()
+	if err == nil || errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+// Close leaves the channel by closing the connection.
+func (s *Subscriber) Close() error { return s.conn.Close() }

@@ -1,0 +1,199 @@
+package echo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pbio"
+)
+
+// collectSink opens a filtered sink and returns a channel of received
+// values of the "n" field.
+func collectSink(t *testing.T, addr, channel, filter string) chan int64 {
+	t.Helper()
+	f := pbio.MustFormat("Tick", []pbio.Field{
+		{Name: "n", Kind: pbio.Integer},
+		{Name: "tag", Kind: pbio.String},
+	})
+	sub, err := Open(addr, channel, Options{Sink: true, Filter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sub.Close() })
+	got := make(chan int64, 64)
+	if err := sub.Handle(f, func(r *pbio.Record) error {
+		v, _ := r.Get("n")
+		got <- v.Int64()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = sub.Run() }()
+	return got
+}
+
+func publishTicks(t *testing.T, addr, channel string, ns []int64) {
+	t.Helper()
+	f := pbio.MustFormat("Tick", []pbio.Field{
+		{Name: "n", Kind: pbio.Integer},
+		{Name: "tag", Kind: pbio.String},
+	})
+	pub, err := Open(addr, channel, Options{Source: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = pub.Close() })
+	for _, n := range ns {
+		tag := "even"
+		if n%2 == 1 {
+			tag = "odd"
+		}
+		rec := pbio.NewRecord(f).
+			MustSet("n", pbio.Int(n)).
+			MustSet("tag", pbio.Str(tag))
+		if err := pub.Publish(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func drain(ch chan int64, wait time.Duration) []int64 {
+	var out []int64
+	for {
+		select {
+		case n := <-ch:
+			out = append(out, n)
+		case <-time.After(wait):
+			return out
+		}
+	}
+}
+
+// TestDerivedChannelFilter: a sink with an E-Code predicate receives only
+// matching events — ECho's derived event channels, with the filter applied
+// at the event domain before the network hop.
+func TestDerivedChannelFilter(t *testing.T) {
+	_, addr := startServer(t)
+	all := collectSink(t, addr, "ticks", "")
+	evens := collectSink(t, addr, "ticks", "return event.n % 2 == 0;")
+	tagged := collectSink(t, addr, "ticks", `return event.tag == "odd" && event.n > 3;`)
+
+	publishTicks(t, addr, "ticks", []int64{1, 2, 3, 4, 5, 6})
+
+	if got := drain(all, 500*time.Millisecond); len(got) != 6 {
+		t.Errorf("unfiltered sink got %v, want all 6", got)
+	}
+	if got := drain(evens, 500*time.Millisecond); len(got) != 3 || got[0] != 2 || got[2] != 6 {
+		t.Errorf("even sink got %v, want [2 4 6]", got)
+	}
+	if got := drain(tagged, 500*time.Millisecond); len(got) != 1 || got[0] != 5 {
+		t.Errorf("tagged sink got %v, want [5]", got)
+	}
+}
+
+// TestFilterFailsClosed: a filter referencing fields the event format lacks
+// suppresses those events rather than crashing the domain or delivering
+// unchecked.
+func TestFilterFailsClosed(t *testing.T) {
+	_, addr := startServer(t)
+	bad := collectSink(t, addr, "fc", "return event.no_such_field > 0;")
+	good := collectSink(t, addr, "fc", "")
+
+	publishTicks(t, addr, "fc", []int64{1, 2})
+
+	if got := drain(good, 500*time.Millisecond); len(got) != 2 {
+		t.Errorf("unfiltered sink got %v", got)
+	}
+	if got := drain(bad, 300*time.Millisecond); len(got) != 0 {
+		t.Errorf("non-compiling filter delivered %v, want nothing (fail closed)", got)
+	}
+}
+
+// TestFilterWithFunction: derived-channel predicates may use user-defined
+// functions.
+func TestFilterWithFunction(t *testing.T) {
+	_, addr := startServer(t)
+	filtered := collectSink(t, addr, "fn", `
+		int in_range(int v, int lo, int hi) { return v >= lo && v <= hi; }
+		return in_range(event.n, 3, 4);
+	`)
+	publishTicks(t, addr, "fn", []int64{1, 2, 3, 4, 5})
+	if got := drain(filtered, 500*time.Millisecond); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Errorf("got %v, want [3 4]", got)
+	}
+}
+
+// TestOldRequestFormatAccepted: the request message itself evolved (v2 adds
+// the filter field); the server accepts the original format by morphing it,
+// so a legacy client joins without knowing filters exist.
+func TestOldRequestFormatAccepted(t *testing.T) {
+	srv, addr := startServer(t)
+	old, err := Open(addr, "legacy-req", Options{Sink: true, V1Compat: true, Contact: "legacy"})
+	if err != nil {
+		t.Fatalf("legacy request rejected: %v", err)
+	}
+	defer old.Close()
+	members := srv.Members("legacy-req")
+	if len(members) != 1 || members[0].Info != "legacy" || !members[0].IsSink {
+		t.Errorf("members = %+v", members)
+	}
+}
+
+// TestFilterAcrossFormats: one filter text is compiled per event format; a
+// format it fits passes, a format it does not fit stays suppressed.
+func TestFilterAcrossFormats(t *testing.T) {
+	_, addr := startServer(t)
+	tick := pbio.MustFormat("Tick", []pbio.Field{
+		{Name: "n", Kind: pbio.Integer},
+		{Name: "tag", Kind: pbio.String},
+	})
+	other := pbio.MustFormat("Other", []pbio.Field{{Name: "x", Kind: pbio.Float}})
+
+	sub, err := Open(addr, "mixed", Options{Sink: true, Filter: "return event.n > 0;"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	gotTick := make(chan int64, 8)
+	if err := sub.Handle(tick, func(r *pbio.Record) error {
+		v, _ := r.Get("n")
+		gotTick <- v.Int64()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gotOther := make(chan struct{}, 8)
+	if err := sub.Handle(other, func(*pbio.Record) error {
+		gotOther <- struct{}{}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = sub.Run() }()
+
+	pub, err := Open(addr, "mixed", Options{Source: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish(pbio.NewRecord(tick).MustSet("n", pbio.Int(9)).MustSet("tag", pbio.Str("t"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(pbio.NewRecord(other).MustSet("x", pbio.Float64(1))); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case n := <-gotTick:
+		if n != 9 {
+			t.Errorf("tick = %d", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("tick not delivered")
+	}
+	select {
+	case <-gotOther:
+		t.Error("event of a format the filter cannot apply to must be suppressed")
+	case <-time.After(300 * time.Millisecond):
+	}
+}

@@ -1,0 +1,226 @@
+package echo
+
+import "repro/internal/pbio"
+
+// Canonical protocol formats. The ChannelOpenResponse exists in two
+// revisions, reproducing the paper's Figure 4:
+//
+//	v1.0 (Fig. 4a): parallel member / source / sink lists — the contact
+//	information of one client can appear up to three times.
+//	v2.0 (Fig. 4b): a single member list whose entries carry is_Source /
+//	is_Sink booleans, cutting the message size by more than half.
+//
+// New-version servers always send v2.0 and attach Figure5Transform so old
+// subscribers can morph responses back to v1.0.
+var (
+	// MemberEntryFormat is one (contact, channel ID) pair, the element of
+	// every v1.0 list.
+	MemberEntryFormat = pbio.MustFormat("MemberEntry", []pbio.Field{
+		{Name: "info", Kind: pbio.String},
+		{Name: "ID", Kind: pbio.Integer, Size: 4},
+	})
+
+	// MemberV2Format is a v2.0 member entry with role booleans.
+	MemberV2Format = pbio.MustFormat("MemberV2", []pbio.Field{
+		{Name: "info", Kind: pbio.String},
+		{Name: "ID", Kind: pbio.Integer, Size: 4},
+		{Name: "is_Source", Kind: pbio.Boolean},
+		{Name: "is_Sink", Kind: pbio.Boolean},
+	})
+
+	// ResponseV1Format is ChannelOpenResponse in ECho v1.0 (Figure 4a).
+	ResponseV1Format = pbio.MustFormat("ChannelOpenResponse", []pbio.Field{
+		{Name: "member_count", Kind: pbio.Integer, Size: 4},
+		{Name: "member_list", Kind: pbio.List, Elem: &pbio.Field{Kind: pbio.Complex, Sub: MemberEntryFormat}},
+		{Name: "src_count", Kind: pbio.Integer, Size: 4},
+		{Name: "src_list", Kind: pbio.List, Elem: &pbio.Field{Kind: pbio.Complex, Sub: MemberEntryFormat}},
+		{Name: "sink_count", Kind: pbio.Integer, Size: 4},
+		{Name: "sink_list", Kind: pbio.List, Elem: &pbio.Field{Kind: pbio.Complex, Sub: MemberEntryFormat}},
+	})
+
+	// ResponseV2Format is ChannelOpenResponse in ECho v2.0 (Figure 4b).
+	ResponseV2Format = pbio.MustFormat("ChannelOpenResponse", []pbio.Field{
+		{Name: "member_count", Kind: pbio.Integer, Size: 4},
+		{Name: "member_list", Kind: pbio.List, Elem: &pbio.Field{Kind: pbio.Complex, Sub: MemberV2Format}},
+	})
+
+	// RequestFormat is the original ChannelOpenRequest: sent by a process
+	// that wants to join a channel, to the channel's creator.
+	RequestFormat = pbio.MustFormat("ChannelOpenRequest", []pbio.Field{
+		{Name: "channel_id", Kind: pbio.String},
+		{Name: "contact", Kind: pbio.String},
+		{Name: "is_Source", Kind: pbio.Boolean},
+		{Name: "is_Sink", Kind: pbio.Boolean},
+	})
+
+	// RequestV2Format evolves the request with a derived-channel filter: an
+	// E-Code predicate the event domain applies before forwarding events to
+	// this sink (ECho's derived event channels). The protocol's own request
+	// message thus exercises the machinery the paper describes: servers
+	// accept old requests through name-wise morphing, with the missing
+	// filter defaulting to "everything".
+	RequestV2Format = pbio.MustFormat("ChannelOpenRequest", []pbio.Field{
+		{Name: "channel_id", Kind: pbio.String},
+		{Name: "contact", Kind: pbio.String},
+		{Name: "is_Source", Kind: pbio.Boolean},
+		{Name: "is_Sink", Kind: pbio.Boolean},
+		{Name: "filter", Kind: pbio.String},
+	})
+)
+
+// Figure5Transform is the paper's Figure 5: the ecode that converts a
+// ChannelOpenResponse v2.0 record ("new") into its v1.0 form ("old").
+const Figure5Transform = `
+int i, sink_count = 0, src_count = 0;
+old.member_count = new.member_count;
+for (i = 0; i < new.member_count; i++) {
+    old.member_list[i].info = new.member_list[i].info;
+    old.member_list[i].ID = new.member_list[i].ID;
+    if (new.member_list[i].is_Source) {
+        old.src_count = src_count + 1;
+        old.src_list[src_count].info = new.member_list[i].info;
+        old.src_list[src_count].ID = new.member_list[i].ID;
+        src_count++;
+    }
+    if (new.member_list[i].is_Sink) {
+        old.sink_count = sink_count + 1;
+        old.sink_list[sink_count].info = new.member_list[i].info;
+        old.sink_list[sink_count].ID = new.member_list[i].ID;
+        sink_count++;
+    }
+}
+`
+
+// Member describes one channel participant, as reported by a
+// ChannelOpenResponse (either version).
+type Member struct {
+	Info     string
+	ID       int32
+	IsSource bool
+	IsSink   bool
+}
+
+// openRequest mirrors RequestV2Format for internal use.
+type openRequest struct {
+	ChannelID string
+	Contact   string
+	IsSource  bool
+	IsSink    bool
+	Filter    string
+}
+
+// encodeRequest produces the request record. Old-protocol clients
+// (legacy=true) emit the original format, exactly as an un-upgraded binary
+// would; new clients emit v2 with the filter field.
+func encodeRequest(r openRequest, legacy bool) *pbio.Record {
+	if legacy {
+		return pbio.NewRecord(RequestFormat).
+			MustSet("channel_id", pbio.Str(r.ChannelID)).
+			MustSet("contact", pbio.Str(r.Contact)).
+			MustSet("is_Source", pbio.Bool(r.IsSource)).
+			MustSet("is_Sink", pbio.Bool(r.IsSink))
+	}
+	return pbio.NewRecord(RequestV2Format).
+		MustSet("channel_id", pbio.Str(r.ChannelID)).
+		MustSet("contact", pbio.Str(r.Contact)).
+		MustSet("is_Source", pbio.Bool(r.IsSource)).
+		MustSet("is_Sink", pbio.Bool(r.IsSink)).
+		MustSet("filter", pbio.Str(r.Filter))
+}
+
+func decodeRequest(rec *pbio.Record) openRequest {
+	get := func(name string) pbio.Value { v, _ := rec.Get(name); return v }
+	return openRequest{
+		ChannelID: get("channel_id").Strval(),
+		Contact:   get("contact").Strval(),
+		IsSource:  get("is_Source").Bool(),
+		IsSink:    get("is_Sink").Bool(),
+		Filter:    get("filter").Strval(),
+	}
+}
+
+// ResponseV2Record builds a v2.0 ChannelOpenResponse from a member list.
+func ResponseV2Record(members []Member) *pbio.Record {
+	elems := make([]pbio.Value, len(members))
+	for i, m := range members {
+		rec := pbio.NewRecord(MemberV2Format).
+			MustSet("info", pbio.Str(m.Info)).
+			MustSet("ID", pbio.Int(int64(m.ID))).
+			MustSet("is_Source", pbio.Bool(m.IsSource)).
+			MustSet("is_Sink", pbio.Bool(m.IsSink))
+		elems[i] = pbio.RecordOf(rec)
+	}
+	return pbio.NewRecord(ResponseV2Format).
+		MustSet("member_count", pbio.Int(int64(len(members)))).
+		MustSet("member_list", pbio.ListOf(elems))
+}
+
+// ResponseV1Record builds a v1.0 ChannelOpenResponse from a member list,
+// duplicating contact information into the source and sink lists exactly as
+// ECho v1.0 did — the redundancy the v2.0 format was introduced to remove.
+func ResponseV1Record(members []Member) *pbio.Record {
+	entry := func(m Member) pbio.Value {
+		rec := pbio.NewRecord(MemberEntryFormat).
+			MustSet("info", pbio.Str(m.Info)).
+			MustSet("ID", pbio.Int(int64(m.ID)))
+		return pbio.RecordOf(rec)
+	}
+	var memberList, srcList, sinkList []pbio.Value
+	for _, m := range members {
+		memberList = append(memberList, entry(m))
+		if m.IsSource {
+			srcList = append(srcList, entry(m))
+		}
+		if m.IsSink {
+			sinkList = append(sinkList, entry(m))
+		}
+	}
+	return pbio.NewRecord(ResponseV1Format).
+		MustSet("member_count", pbio.Int(int64(len(memberList)))).
+		MustSet("member_list", pbio.ListOf(memberList)).
+		MustSet("src_count", pbio.Int(int64(len(srcList)))).
+		MustSet("src_list", pbio.ListOf(srcList)).
+		MustSet("sink_count", pbio.Int(int64(len(sinkList)))).
+		MustSet("sink_list", pbio.ListOf(sinkList))
+}
+
+// MembersFromV1 extracts the membership from a v1.0-format response record,
+// merging the three lists back into role-annotated members (what an old
+// client does internally).
+func MembersFromV1(rec *pbio.Record) []Member {
+	lists := map[string]map[string]bool{"src_list": {}, "sink_list": {}}
+	for name, set := range lists {
+		v, _ := rec.Get(name)
+		for _, e := range v.List() {
+			set[e.Record().GetIndex(0).Strval()] = true
+		}
+	}
+	ml, _ := rec.Get("member_list")
+	members := make([]Member, 0, ml.Len())
+	for _, e := range ml.List() {
+		info := e.Record().GetIndex(0).Strval()
+		members = append(members, Member{
+			Info:     info,
+			ID:       int32(e.Record().GetIndex(1).Int64()),
+			IsSource: lists["src_list"][info],
+			IsSink:   lists["sink_list"][info],
+		})
+	}
+	return members
+}
+
+// MembersFromV2 extracts the membership from a v2.0-format response record.
+func MembersFromV2(rec *pbio.Record) []Member {
+	ml, _ := rec.Get("member_list")
+	members := make([]Member, 0, ml.Len())
+	for _, e := range ml.List() {
+		r := e.Record()
+		members = append(members, Member{
+			Info:     r.GetIndex(0).Strval(),
+			ID:       int32(r.GetIndex(1).Int64()),
+			IsSource: r.GetIndex(2).Bool(),
+			IsSink:   r.GetIndex(3).Bool(),
+		})
+	}
+	return members
+}

@@ -1,0 +1,358 @@
+package echo
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ecode"
+	"repro/internal/pbio"
+	"repro/internal/wire"
+)
+
+// Server is an event domain: it hosts event channels, answers
+// ChannelOpenRequests, tracks membership, and fans submitted events out to
+// sink subscribers. It always speaks protocol v2.0 and attaches the
+// Figure 5 retro-transformation to its responses, so v1.0 subscribers work
+// without any version checks in server code — the situation the paper
+// contrasts with the "include version information in the request" workaround.
+type Server struct {
+	mu       sync.Mutex
+	ln       net.Listener
+	channels map[string]*channel
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns an empty event domain.
+func NewServer() *Server {
+	return &Server{channels: make(map[string]*channel)}
+}
+
+type channel struct {
+	id string
+
+	mu      sync.Mutex
+	nextID  int32
+	members map[*memberConn]Member
+	// eventMeta accumulates payload formats (and their transformations)
+	// seen from publishers, so late subscribers still receive the
+	// evolution meta-data.
+	eventMeta []eventMeta
+}
+
+type eventMeta struct {
+	format *pbio.Format
+	xforms []*core.Xform
+}
+
+type memberConn struct {
+	conn   *wire.Conn
+	member Member
+
+	// filter is the member's derived-channel predicate (E-Code over a
+	// record parameter named "event"); empty means "deliver everything".
+	// Compiled programs are cached per event-format fingerprint; a nil
+	// cache entry marks a filter that does not compile against that format
+	// (fail closed: no events of that format are delivered).
+	filter  string
+	fmu     sync.Mutex
+	filters map[uint64]*ecode.Program
+}
+
+// filterFor returns the member's compiled filter for an event format,
+// compiling and caching on first use, or (nil, false) if the filter cannot
+// apply to this format.
+func (mc *memberConn) filterFor(f *pbio.Format) (*ecode.Program, bool) {
+	mc.fmu.Lock()
+	defer mc.fmu.Unlock()
+	if prog, seen := mc.filters[f.Fingerprint()]; seen {
+		return prog, prog != nil
+	}
+	prog, err := ecode.Compile(mc.filter, ecode.Param{Name: "event", Format: f})
+	if err != nil {
+		prog = nil
+	}
+	if mc.filters == nil {
+		mc.filters = make(map[uint64]*ecode.Program)
+	}
+	mc.filters[f.Fingerprint()] = prog
+	return prog, prog != nil
+}
+
+// wants reports whether the member's filter admits the event. Errors during
+// filter evaluation fail closed.
+func (mc *memberConn) wants(ev *pbio.Record) bool {
+	if mc.filter == "" {
+		return true
+	}
+	prog, ok := mc.filterFor(ev.Format())
+	if !ok {
+		return false
+	}
+	v, err := prog.Run(ev)
+	if err != nil {
+		return false
+	}
+	switch v.Kind() {
+	case pbio.Float:
+		return v.Float64() != 0
+	case pbio.String:
+		return v.Strval() != ""
+	default:
+		return v.Int64() != 0
+	}
+}
+
+// channelFor returns (creating if needed) the named channel.
+func (s *Server) channelFor(id string) *channel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch, ok := s.channels[id]
+	if !ok {
+		ch = &channel{id: id, members: make(map[*memberConn]Member)}
+		s.channels[id] = ch
+	}
+	return ch
+}
+
+// Members returns the current membership of a channel (empty if the channel
+// does not exist).
+func (s *Server) Members(channelID string) []Member {
+	s.mu.Lock()
+	ch, ok := s.channels[channelID]
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	out := make([]Member, 0, len(ch.members))
+	for _, m := range ch.members {
+		out = append(out, m)
+	}
+	return out
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. Each connection performs the
+// ChannelOpenRequest handshake and then publishes/receives events.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("echo: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(nc)
+		}()
+	}
+}
+
+// Addr returns the listener address, once Serve has been called.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting and closes every member connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	channels := make([]*channel, 0, len(s.channels))
+	for _, ch := range s.channels {
+		channels = append(channels, ch)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, ch := range channels {
+		ch.mu.Lock()
+		for mc := range ch.members {
+			_ = mc.conn.Close()
+		}
+		ch.mu.Unlock()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handleConn(nc net.Conn) {
+	var (
+		ch *channel
+		mc *memberConn
+	)
+	conn := wire.NewConn(nc, wire.WithFormatHook(func(f *pbio.Format, xforms []*core.Xform) {
+		// Remember payload formats and their evolution meta-data so they
+		// can be re-declared toward every sink (existing and future).
+		if ch == nil || f.SameStructure(RequestFormat) || f.SameStructure(RequestV2Format) {
+			return
+		}
+		ch.recordEventMeta(f, xforms)
+	}))
+	defer func() { _ = conn.Close() }()
+
+	// Handshake: the first record must be a ChannelOpenRequest — either
+	// revision. Old-format requests are morphed name-wise into v2, with the
+	// missing filter defaulting to "deliver everything"; the server has no
+	// per-version code path.
+	rec, err := conn.ReadRecord()
+	if err != nil {
+		return
+	}
+	switch {
+	case rec.Format().SameStructure(RequestV2Format):
+	case rec.Format().SameStructure(RequestFormat):
+		if rec, err = core.ConvertByName(rec, RequestV2Format); err != nil {
+			return
+		}
+	default:
+		return
+	}
+	req := decodeRequest(rec)
+	if req.ChannelID == "" {
+		return
+	}
+	ch = s.channelFor(req.ChannelID)
+
+	contact := req.Contact
+	if contact == "" {
+		contact = nc.RemoteAddr().String()
+	}
+	mc = &memberConn{conn: conn, filter: req.Filter}
+
+	ch.mu.Lock()
+	ch.nextID++
+	mc.member = Member{Info: contact, ID: ch.nextID, IsSource: req.IsSource, IsSink: req.IsSink}
+	members := make([]Member, 0, len(ch.members)+1)
+	for _, m := range ch.members {
+		members = append(members, m)
+	}
+	members = append(members, mc.member)
+	meta := append([]eventMeta(nil), ch.eventMeta...)
+	ch.mu.Unlock()
+
+	// Respond in v2.0, with the v2→v1 morphing code attached out-of-band.
+	conn.Declare(ResponseV2Format, &core.Xform{
+		From: ResponseV2Format,
+		To:   ResponseV1Format,
+		Code: Figure5Transform,
+	})
+	// Replay evolution meta-data for event formats this channel has seen.
+	for _, em := range meta {
+		conn.Declare(em.format, em.xforms...)
+	}
+	if err := conn.WriteRecord(ResponseV2Record(members)); err != nil {
+		return
+	}
+	// Join the membership only after the response is on the wire, so a
+	// concurrent fanout cannot slip an event frame in front of the
+	// handshake response.
+	ch.mu.Lock()
+	ch.members[mc] = mc.member
+	ch.mu.Unlock()
+
+	// Event loop: everything else the member sends is an event submission.
+	for {
+		ev, err := conn.ReadRecord()
+		if err != nil {
+			ch.remove(mc)
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				_ = err // connection-level failure; membership already cleaned up
+			}
+			return
+		}
+		ch.fanout(mc, ev)
+	}
+}
+
+func (ch *channel) recordEventMeta(f *pbio.Format, xforms []*core.Xform) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	for i := range ch.eventMeta {
+		if ch.eventMeta[i].format.SameStructure(f) {
+			ch.eventMeta[i].xforms = xforms
+			return
+		}
+	}
+	ch.eventMeta = append(ch.eventMeta, eventMeta{format: f, xforms: xforms})
+}
+
+func (ch *channel) remove(mc *memberConn) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	delete(ch.members, mc)
+}
+
+// fanout forwards an event to every sink subscriber except its publisher.
+// Dead sinks are dropped from the membership.
+func (ch *channel) fanout(from *memberConn, ev *pbio.Record) {
+	ch.mu.Lock()
+	sinks := make([]*memberConn, 0, len(ch.members))
+	for mc, m := range ch.members {
+		if mc != from && m.IsSink {
+			sinks = append(sinks, mc)
+		}
+	}
+	meta := append([]eventMeta(nil), ch.eventMeta...)
+	ch.mu.Unlock()
+
+	for _, mc := range sinks {
+		// Derived channels: apply the member's filter at the source side,
+		// so uninteresting events never cross the network.
+		if !mc.wants(ev) {
+			continue
+		}
+		// Relay evolution meta-data before first use of the format on this
+		// connection; Declare is idempotent enough (the format frame is
+		// only emitted once per conn).
+		for _, em := range meta {
+			if em.format.SameStructure(ev.Format()) {
+				mc.conn.Declare(em.format, em.xforms...)
+			}
+		}
+		if err := mc.conn.WriteRecord(ev); err != nil {
+			ch.remove(mc)
+			_ = mc.conn.Close()
+		}
+	}
+}

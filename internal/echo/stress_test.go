@@ -1,0 +1,114 @@
+package echo
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pbio"
+)
+
+// TestStressManyChannels runs several channels concurrently, each with
+// multiple publishers and sinks, and verifies exact delivery counts: every
+// sink sees every event published on its channel and nothing from other
+// channels.
+func TestStressManyChannels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	_, addr := startServer(t)
+	f := pbio.MustFormat("Stress", []pbio.Field{
+		{Name: "channel", Kind: pbio.Integer},
+		{Name: "publisher", Kind: pbio.Integer},
+		{Name: "seq", Kind: pbio.Integer},
+	})
+
+	const (
+		channels   = 3
+		publishers = 2
+		sinks      = 2
+		perPub     = 25
+	)
+
+	type sinkState struct {
+		channel int
+		count   atomic.Int64
+		wrong   atomic.Int64
+	}
+	var states []*sinkState
+	var wg sync.WaitGroup
+
+	for ch := 0; ch < channels; ch++ {
+		for s := 0; s < sinks; s++ {
+			st := &sinkState{channel: ch}
+			states = append(states, st)
+			sub, err := Open(addr, fmt.Sprintf("stress-%d", ch), Options{
+				Sink:    true,
+				Contact: fmt.Sprintf("sink-%d-%d", ch, s),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = sub.Close() })
+			if err := sub.Handle(f, func(r *pbio.Record) error {
+				v, _ := r.Get("channel")
+				if int(v.Int64()) != st.channel {
+					st.wrong.Add(1)
+				}
+				st.count.Add(1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			go func() { _ = sub.Run() }()
+		}
+	}
+
+	for ch := 0; ch < channels; ch++ {
+		for p := 0; p < publishers; p++ {
+			wg.Add(1)
+			go func(ch, p int) {
+				defer wg.Done()
+				pub, err := Open(addr, fmt.Sprintf("stress-%d", ch), Options{
+					Source:  true,
+					Contact: fmt.Sprintf("pub-%d-%d", ch, p),
+				})
+				if err != nil {
+					t.Errorf("open publisher: %v", err)
+					return
+				}
+				defer pub.Close()
+				for i := 0; i < perPub; i++ {
+					rec := pbio.NewRecord(f).
+						MustSet("channel", pbio.Int(int64(ch))).
+						MustSet("publisher", pbio.Int(int64(p))).
+						MustSet("seq", pbio.Int(int64(i)))
+					if err := pub.Publish(rec); err != nil {
+						t.Errorf("publish: %v", err)
+						return
+					}
+				}
+				// Keep the connection open until all deliveries settle;
+				// closing immediately could drop queued fanout writes.
+				time.Sleep(300 * time.Millisecond)
+			}(ch, p)
+		}
+	}
+	wg.Wait()
+
+	want := int64(publishers * perPub)
+	deadline := time.Now().Add(10 * time.Second)
+	for _, st := range states {
+		for st.count.Load() < want && time.Now().Before(deadline) {
+			time.Sleep(20 * time.Millisecond)
+		}
+		if got := st.count.Load(); got != want {
+			t.Errorf("sink on channel %d received %d events, want %d", st.channel, got, want)
+		}
+		if st.wrong.Load() != 0 {
+			t.Errorf("sink on channel %d received %d cross-channel events", st.channel, st.wrong.Load())
+		}
+	}
+}

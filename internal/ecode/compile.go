@@ -1,0 +1,1124 @@
+package ecode
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pbio"
+)
+
+// ErrCompile is wrapped by all semantic (type-checking and resolution)
+// failures. Syntax failures wrap ErrSyntax instead.
+var ErrCompile = errors.New("ecode: compile error")
+
+func compileErrf(pos Pos, format string, args ...any) error {
+	return fmt.Errorf("%w at %v: %s", ErrCompile, pos, fmt.Sprintf(format, args...))
+}
+
+type localVar struct {
+	slot int
+	typ  etype
+}
+
+type loopCtx struct {
+	breaks    []int // op indices whose jump target is the loop end
+	continues []int // op indices whose jump target is the loop post/cond
+	isSwitch  bool  // break applies, continue skips past (targets the loop)
+}
+
+type compiler struct {
+	params  []Param
+	pindex  map[string]int
+	locals  map[string]*localVar
+	nslots  int
+	ops     []op
+	loops   []loopCtx
+	hasRet  bool
+	retType etype
+
+	funcs  []*ufunc
+	findex map[string]int
+	inFunc bool
+	curRet etype // declared return type while compiling a function body
+}
+
+// ufunc is a compiled user-defined function.
+type ufunc struct {
+	name    string
+	params  []etype
+	result  etype // k == tVoid for void functions
+	nlocals int
+	ops     []op
+}
+
+func newCompiler(params []Param) (*compiler, error) {
+	c := &compiler{
+		params: params,
+		pindex: make(map[string]int, len(params)),
+		locals: make(map[string]*localVar),
+	}
+	for i, p := range params {
+		if p.Name == "" || p.Format == nil {
+			return nil, fmt.Errorf("%w: parameter %d needs a name and a format", ErrCompile, i)
+		}
+		if _, dup := c.pindex[p.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate parameter %q", ErrCompile, p.Name)
+		}
+		c.pindex[p.Name] = i
+	}
+	return c, nil
+}
+
+func (c *compiler) emit(o op) int {
+	c.ops = append(c.ops, o)
+	return len(c.ops) - 1
+}
+
+func (c *compiler) patch(at, target int) { c.ops[at].a = target }
+
+func (c *compiler) here() int { return len(c.ops) }
+
+// --- statements ---
+
+// compileProgram compiles a top-level program: function signatures are
+// collected first so functions may call each other (and themselves)
+// regardless of definition order; bodies and main statements then compile
+// in source order.
+func (c *compiler) compileProgram(stmts []stmt) error {
+	c.findex = make(map[string]int)
+	for _, s := range stmts {
+		fd, ok := s.(*funcDecl)
+		if !ok {
+			continue
+		}
+		if _, dup := c.findex[fd.name]; dup {
+			return compileErrf(fd.pos, "function %q redefined", fd.name)
+		}
+		if _, isBuiltin := builtinIndex[fd.name]; isBuiltin {
+			return compileErrf(fd.pos, "function %q shadows a builtin", fd.name)
+		}
+		if _, isParam := c.pindex[fd.name]; isParam {
+			return compileErrf(fd.pos, "function %q shadows a record parameter", fd.name)
+		}
+		fn := &ufunc{name: fd.name, result: declReturnType(fd.ret)}
+		for _, p := range fd.params {
+			fn.params = append(fn.params, declTypeOf(p.typ))
+		}
+		c.findex[fd.name] = len(c.funcs)
+		c.funcs = append(c.funcs, fn)
+	}
+	for _, s := range stmts {
+		if fd, ok := s.(*funcDecl); ok {
+			if err := c.compileFunc(fd); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := c.compileStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func declReturnType(d declType) etype {
+	if d == declVoid {
+		return etype{k: tVoid}
+	}
+	return declTypeOf(d)
+}
+
+// compileFunc compiles a function body into its own instruction stream with
+// a fresh local scope whose first slots hold the parameters.
+func (c *compiler) compileFunc(fd *funcDecl) error {
+	fn := c.funcs[c.findex[fd.name]]
+
+	savedOps, savedLocals, savedSlots := c.ops, c.locals, c.nslots
+	savedLoops, savedInFunc, savedRet := c.loops, c.inFunc, c.curRet
+	defer func() {
+		c.ops, c.locals, c.nslots = savedOps, savedLocals, savedSlots
+		c.loops, c.inFunc, c.curRet = savedLoops, savedInFunc, savedRet
+	}()
+
+	c.ops = nil
+	c.locals = make(map[string]*localVar)
+	c.nslots = 0
+	c.loops = nil
+	c.inFunc = true
+	c.curRet = fn.result
+
+	for i, p := range fd.params {
+		if _, dup := c.locals[p.name]; dup {
+			return compileErrf(p.pos, "duplicate parameter %q", p.name)
+		}
+		if _, isParam := c.pindex[p.name]; isParam {
+			return compileErrf(p.pos, "parameter %q shadows a record parameter", p.name)
+		}
+		c.locals[p.name] = &localVar{slot: i, typ: declTypeOf(p.typ)}
+		c.nslots++
+	}
+	if err := c.compileStmts(fd.body.stmts); err != nil {
+		return err
+	}
+	// Falling off the end: void functions just halt; value functions
+	// return the zero of their type (defined behaviour here, unlike C).
+	c.emit(op{code: opHalt, pos: fd.pos})
+	fn.ops = c.ops
+	fn.nlocals = c.nslots
+	return nil
+}
+
+func (c *compiler) compileStmts(stmts []stmt) error {
+	for _, s := range stmts {
+		if err := c.compileStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) compileStmt(s stmt) error {
+	switch s := s.(type) {
+	case *declStmt:
+		return c.compileDecl(s)
+	case *exprStmt:
+		t, err := c.compileExpr(s.e)
+		if err != nil {
+			return err
+		}
+		if t.k != tVoid {
+			c.emit(op{code: opPop, pos: s.pos})
+		}
+		return nil
+	case *assignStmt:
+		return c.compileAssign(s)
+	case *ifStmt:
+		return c.compileIf(s)
+	case *forStmt:
+		return c.compileFor(s)
+	case *whileStmt:
+		return c.compileFor(&forStmt{pos: s.pos, cond: s.cond, body: s.body})
+	case *blockStmt:
+		return c.compileStmts(s.stmts)
+	case *breakStmt:
+		if len(c.loops) == 0 {
+			return compileErrf(s.pos, "break outside loop")
+		}
+		at := c.emit(op{code: opJmp, pos: s.pos})
+		top := &c.loops[len(c.loops)-1]
+		top.breaks = append(top.breaks, at)
+		return nil
+	case *continueStmt:
+		// continue targets the nearest enclosing loop, skipping switches
+		// (C semantics).
+		target := -1
+		for i := len(c.loops) - 1; i >= 0; i-- {
+			if !c.loops[i].isSwitch {
+				target = i
+				break
+			}
+		}
+		if target < 0 {
+			return compileErrf(s.pos, "continue outside loop")
+		}
+		at := c.emit(op{code: opJmp, pos: s.pos})
+		c.loops[target].continues = append(c.loops[target].continues, at)
+		return nil
+	case *doWhileStmt:
+		return c.compileDoWhile(s)
+	case *switchStmt:
+		return c.compileSwitch(s)
+	case *returnStmt:
+		if s.val == nil {
+			if c.inFunc && c.curRet.k != tVoid {
+				return compileErrf(s.pos, "function must return a %v value", c.curRet)
+			}
+			c.emit(op{code: opHalt, pos: s.pos})
+			return nil
+		}
+		t, err := c.compileExpr(s.val)
+		if err != nil {
+			return err
+		}
+		if c.inFunc {
+			if c.curRet.k == tVoid {
+				return compileErrf(s.pos, "void function cannot return a value")
+			}
+			if err := c.convertForStore(t, c.curRet, s.pos); err != nil {
+				return err
+			}
+		}
+		c.hasRet = true
+		c.retType = t
+		c.emit(op{code: opRet, pos: s.pos})
+		return nil
+	case *funcDecl:
+		return compileErrf(s.pos, "function definitions are only allowed at the top level")
+	default:
+		return compileErrf(s.stmtPos(), "unsupported statement")
+	}
+}
+
+func (c *compiler) compileDecl(s *declStmt) error {
+	dt := declTypeOf(s.typ)
+	for _, item := range s.items {
+		if _, exists := c.locals[item.name]; exists {
+			return compileErrf(item.pos, "redeclaration of %q", item.name)
+		}
+		if _, isParam := c.pindex[item.name]; isParam {
+			return compileErrf(item.pos, "%q shadows a record parameter", item.name)
+		}
+		lv := &localVar{slot: c.nslots, typ: dt}
+		c.nslots++
+		c.locals[item.name] = lv
+		if item.init == nil {
+			continue
+		}
+		it, err := c.compileExpr(item.init)
+		if err != nil {
+			return err
+		}
+		if err := c.convertForStore(it, dt, item.pos); err != nil {
+			return err
+		}
+		c.emit(op{code: opStoreLocal, a: lv.slot, pos: item.pos})
+	}
+	return nil
+}
+
+// convertForStore emits the numeric conversion needed to store a value of
+// type 'have' into a slot of type 'want', or reports an incompatibility.
+func (c *compiler) convertForStore(have, want etype, pos Pos) error {
+	switch {
+	case have.k == want.k:
+		return nil
+	case have.k == tInt && want.k == tFloat:
+		c.emit(op{code: opI2F, pos: pos})
+		return nil
+	case have.k == tFloat && want.k == tInt:
+		c.emit(op{code: opF2I, pos: pos})
+		return nil
+	default:
+		return compileErrf(pos, "cannot assign %v to %v", have, want)
+	}
+}
+
+func (c *compiler) compileAssign(s *assignStmt) error {
+	// Desugar compound assignment: "lhs op= rhs" → "lhs = lhs op rhs".
+	rhs := s.rhs
+	switch s.op {
+	case tokAssign:
+	case tokPlusEq:
+		rhs = &binaryExpr{pos: s.pos, op: tokPlus, l: s.lhs, r: s.rhs}
+	case tokMinusEq:
+		rhs = &binaryExpr{pos: s.pos, op: tokMinus, l: s.lhs, r: s.rhs}
+	case tokStarEq:
+		rhs = &binaryExpr{pos: s.pos, op: tokStar, l: s.lhs, r: s.rhs}
+	case tokSlashEq:
+		rhs = &binaryExpr{pos: s.pos, op: tokSlash, l: s.lhs, r: s.rhs}
+	case tokPercentEq:
+		rhs = &binaryExpr{pos: s.pos, op: tokPercent, l: s.lhs, r: s.rhs}
+	default:
+		return compileErrf(s.pos, "unsupported assignment operator %v", s.op)
+	}
+
+	switch lhs := s.lhs.(type) {
+	case *identExpr:
+		lv, ok := c.locals[lhs.name]
+		if !ok {
+			if _, isParam := c.pindex[lhs.name]; isParam {
+				return compileErrf(lhs.pos, "cannot reassign record parameter %q; assign its fields instead", lhs.name)
+			}
+			return compileErrf(lhs.pos, "undefined variable %q", lhs.name)
+		}
+		rt, err := c.compileExpr(rhs)
+		if err != nil {
+			return err
+		}
+		if err := c.convertForStore(rt, lv.typ, s.pos); err != nil {
+			return err
+		}
+		c.emit(op{code: opStoreLocal, a: lv.slot, pos: s.pos})
+		return nil
+
+	case *fieldExpr, *indexExpr:
+		return c.compileStorePath(s.lhs, rhs, s.pos)
+
+	default:
+		return compileErrf(s.pos, "left side of assignment is not assignable")
+	}
+}
+
+// pathSeg is one navigation step of an lvalue: a field of the current
+// record, optionally subscripted.
+type pathSeg struct {
+	pos   Pos
+	field string
+	idx   expr // nil if no subscript
+}
+
+// splitPath decomposes an lvalue like base.f1[i].f2 into the base parameter
+// and its segments.
+func (c *compiler) splitPath(e expr) (baseParam int, segs []pathSeg, err error) {
+	var walk func(e expr) error
+	walk = func(e expr) error {
+		switch e := e.(type) {
+		case *identExpr:
+			p, ok := c.pindex[e.name]
+			if !ok {
+				if _, isLocal := c.locals[e.name]; isLocal {
+					return compileErrf(e.pos, "%q is a scalar local, not a record", e.name)
+				}
+				return compileErrf(e.pos, "undefined record %q", e.name)
+			}
+			baseParam = p
+			return nil
+		case *fieldExpr:
+			if err := walk(e.base); err != nil {
+				return err
+			}
+			segs = append(segs, pathSeg{pos: e.pos, field: e.name})
+			return nil
+		case *indexExpr:
+			if err := walk(e.base); err != nil {
+				return err
+			}
+			if len(segs) == 0 {
+				return compileErrf(e.pos, "cannot subscript a record parameter")
+			}
+			last := &segs[len(segs)-1]
+			if last.idx != nil {
+				return compileErrf(e.pos, "multiple subscripts on one field are not supported")
+			}
+			last.idx = e.idx
+			return nil
+		default:
+			return compileErrf(e.exprPos(), "left side of assignment is not assignable")
+		}
+	}
+	if err := walk(e); err != nil {
+		return 0, nil, err
+	}
+	return baseParam, segs, nil
+}
+
+// compileStorePath emits code for "base.f1[i]...fn [op]= rhs".
+func (c *compiler) compileStorePath(lhs, rhs expr, pos Pos) error {
+	baseParam, segs, err := c.splitPath(lhs)
+	if err != nil {
+		return err
+	}
+	cur := etype{k: tRec, format: c.params[baseParam].Format}
+	c.emit(op{code: opLoadParam, a: baseParam, pos: pos})
+
+	// Navigate all segments but the last.
+	for i := 0; i < len(segs)-1; i++ {
+		seg := segs[i]
+		fidx := cur.format.Lookup(seg.field)
+		if fidx < 0 {
+			return compileErrf(seg.pos, "format %q has no field %q", cur.format.Name(), seg.field)
+		}
+		fld := cur.format.Field(fidx)
+		if seg.idx != nil {
+			if fld.Kind != pbio.List || fld.Elem.Kind != pbio.Complex {
+				return compileErrf(seg.pos, "field %q is not a list of records", seg.field)
+			}
+			it, err := c.compileExpr(seg.idx)
+			if err != nil {
+				return err
+			}
+			if it.k != tInt {
+				return compileErrf(seg.pos, "list index must be an int, got %v", it)
+			}
+			c.emit(op{code: opNavElem, a: fidx, pos: seg.pos})
+			cur = etype{k: tRec, format: fld.Elem.Sub}
+		} else {
+			if fld.Kind != pbio.Complex {
+				return compileErrf(seg.pos, "field %q is not a record; only the final path segment may be a scalar", seg.field)
+			}
+			c.emit(op{code: opGetField, a: fidx, pos: seg.pos})
+			cur = etype{k: tRec, format: fld.Sub}
+		}
+	}
+
+	last := segs[len(segs)-1]
+	fidx := cur.format.Lookup(last.field)
+	if fidx < 0 {
+		return compileErrf(last.pos, "format %q has no field %q", cur.format.Name(), last.field)
+	}
+	fld := cur.format.Field(fidx)
+
+	if last.idx != nil {
+		// dst.list[i] = rhs
+		if fld.Kind != pbio.List {
+			return compileErrf(last.pos, "field %q is not a list", last.field)
+		}
+		it, err := c.compileExpr(last.idx)
+		if err != nil {
+			return err
+		}
+		if it.k != tInt {
+			return compileErrf(last.pos, "list index must be an int, got %v", it)
+		}
+		rt, err := c.compileExpr(rhs)
+		if err != nil {
+			return err
+		}
+		want := fieldType(fld.Elem)
+		if err := c.checkFieldStore(rt, want, fld.Elem, last.pos); err != nil {
+			return err
+		}
+		c.emit(op{code: opStoreElem, a: fidx, pos: pos})
+		return nil
+	}
+
+	// dst.field = rhs
+	rt, err := c.compileExpr(rhs)
+	if err != nil {
+		return err
+	}
+	want := fieldType(fld)
+	if err := c.checkFieldStore(rt, want, fld, last.pos); err != nil {
+		return err
+	}
+	c.emit(op{code: opStoreField, a: fidx, pos: pos})
+	return nil
+}
+
+// checkFieldStore validates rhs type rt against a field store of type want
+// and emits conversions / clones as needed.
+func (c *compiler) checkFieldStore(rt, want etype, fld *pbio.Field, pos Pos) error {
+	switch want.k {
+	case tInt, tFloat:
+		if !rt.isNumeric() {
+			return compileErrf(pos, "cannot assign %v to numeric field %q", rt, fld.Name)
+		}
+		// pbio coerces numerics on store; no conversion op needed, but make
+		// the value category match so coercion is lossless where possible.
+		if rt.k == tFloat && want.k == tInt {
+			c.emit(op{code: opF2I, pos: pos})
+		} else if rt.k == tInt && want.k == tFloat {
+			c.emit(op{code: opI2F, pos: pos})
+		}
+		return nil
+	case tStr:
+		if rt.k != tStr {
+			return compileErrf(pos, "cannot assign %v to string field %q", rt, fld.Name)
+		}
+		return nil
+	case tRec:
+		if rt.k != tRec || !rt.format.SameStructure(want.format) {
+			return compileErrf(pos, "cannot assign %v to record field %q of format %q (structures must match; otherwise assign field-by-field)",
+				rt, fld.Name, want.format.Name())
+		}
+		c.emit(op{code: opCloneTop, pos: pos})
+		return nil
+	case tList:
+		if rt.k != tList || !sameElem(rt.elem, want.elem) {
+			return compileErrf(pos, "cannot assign %v to list field %q (element types must match; otherwise copy element-wise)", rt, fld.Name)
+		}
+		c.emit(op{code: opCloneTop, pos: pos})
+		return nil
+	default:
+		return compileErrf(pos, "field %q is not assignable", fld.Name)
+	}
+}
+
+func sameElem(a, b *pbio.Field) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case pbio.Complex:
+		return a.Sub.SameStructure(b.Sub)
+	case pbio.List:
+		return sameElem(a.Elem, b.Elem)
+	default:
+		return a.Size == b.Size
+	}
+}
+
+func (c *compiler) compileIf(s *ifStmt) error {
+	if err := c.compileCond(s.cond); err != nil {
+		return err
+	}
+	jz := c.emit(op{code: opJz, pos: s.pos})
+	if err := c.compileStmt(s.then); err != nil {
+		return err
+	}
+	if s.els == nil {
+		c.patch(jz, c.here())
+		return nil
+	}
+	jend := c.emit(op{code: opJmp, pos: s.pos})
+	c.patch(jz, c.here())
+	if err := c.compileStmt(s.els); err != nil {
+		return err
+	}
+	c.patch(jend, c.here())
+	return nil
+}
+
+func (c *compiler) compileFor(s *forStmt) error {
+	if s.init != nil {
+		if err := c.compileStmt(s.init); err != nil {
+			return err
+		}
+	}
+	condAt := c.here()
+	jexit := -1
+	if s.cond != nil {
+		if err := c.compileCond(s.cond); err != nil {
+			return err
+		}
+		jexit = c.emit(op{code: opJz, pos: s.pos})
+	}
+	c.loops = append(c.loops, loopCtx{})
+	if err := c.compileStmt(s.body); err != nil {
+		return err
+	}
+	postAt := c.here()
+	if s.post != nil {
+		if err := c.compileStmt(s.post); err != nil {
+			return err
+		}
+	}
+	c.emit(op{code: opJmp, a: condAt, pos: s.pos})
+	end := c.here()
+	if jexit >= 0 {
+		c.patch(jexit, end)
+	}
+	ctx := c.loops[len(c.loops)-1]
+	c.loops = c.loops[:len(c.loops)-1]
+	for _, at := range ctx.breaks {
+		c.patch(at, end)
+	}
+	for _, at := range ctx.continues {
+		c.patch(at, postAt)
+	}
+	return nil
+}
+
+// compileDoWhile compiles C's do/while: the body runs once before the
+// condition is first tested; continue re-tests the condition.
+func (c *compiler) compileDoWhile(s *doWhileStmt) error {
+	bodyAt := c.here()
+	c.loops = append(c.loops, loopCtx{})
+	if err := c.compileStmt(s.body); err != nil {
+		return err
+	}
+	condAt := c.here()
+	if err := c.compileCond(s.cond); err != nil {
+		return err
+	}
+	c.emit(op{code: opJnz, a: bodyAt, pos: s.pos})
+	end := c.here()
+	ctx := c.loops[len(c.loops)-1]
+	c.loops = c.loops[:len(c.loops)-1]
+	for _, at := range ctx.breaks {
+		c.patch(at, end)
+	}
+	for _, at := range ctx.continues {
+		c.patch(at, condAt)
+	}
+	return nil
+}
+
+// compileSwitch compiles C's switch with fallthrough. Case labels must fold
+// to integer constants; the dispatch is a compare-and-jump chain (cases in
+// realistic transformations are few).
+func (c *compiler) compileSwitch(s *switchStmt) error {
+	ct, err := c.compileExpr(s.cond)
+	if err != nil {
+		return err
+	}
+	if ct.k != tInt {
+		return compileErrf(s.pos, "switch expression must be an int, got %v", ct)
+	}
+	// Stash the scrutinee in a hidden slot so each case comparison can
+	// reload it.
+	slot := c.nslots
+	c.nslots++
+	c.emit(op{code: opStoreLocal, a: slot, pos: s.pos})
+
+	// Dispatch chain.
+	seen := make(map[int64]bool)
+	caseJumps := make([]int, len(s.cases)) // opJnz per case, -1 for default
+	defaultIdx := -1
+	for i, cs := range s.cases {
+		caseJumps[i] = -1
+		if cs.isDefault {
+			defaultIdx = i
+			continue
+		}
+		lit, ok := foldExpr(cs.val).(*intLit)
+		if !ok {
+			return compileErrf(cs.pos, "case label must be an integer constant expression")
+		}
+		if seen[lit.v] {
+			return compileErrf(cs.pos, "duplicate case value %d", lit.v)
+		}
+		seen[lit.v] = true
+		c.emit(op{code: opLoadLocal, a: slot, pos: cs.pos})
+		c.emit(op{code: opConst, k: pbio.Int(lit.v), pos: cs.pos})
+		c.emit(op{code: opCmpI, a: cmpEq, pos: cs.pos})
+		caseJumps[i] = c.emit(op{code: opJnz, pos: cs.pos})
+	}
+	missJump := c.emit(op{code: opJmp, pos: s.pos}) // to default or end
+
+	// Bodies, sequential: fallthrough comes free.
+	c.loops = append(c.loops, loopCtx{isSwitch: true})
+	bodyAt := make([]int, len(s.cases))
+	for i, cs := range s.cases {
+		bodyAt[i] = c.here()
+		for _, st := range cs.body {
+			if err := c.compileStmt(st); err != nil {
+				return err
+			}
+		}
+	}
+	end := c.here()
+
+	for i, at := range caseJumps {
+		if at >= 0 {
+			c.patch(at, bodyAt[i])
+		}
+	}
+	if defaultIdx >= 0 {
+		c.patch(missJump, bodyAt[defaultIdx])
+	} else {
+		c.patch(missJump, end)
+	}
+	ctx := c.loops[len(c.loops)-1]
+	c.loops = c.loops[:len(c.loops)-1]
+	for _, at := range ctx.breaks {
+		c.patch(at, end)
+	}
+	return nil
+}
+
+// compileCond compiles an expression used as a condition, validating that it
+// has a truthiness (int, float or string — like C, where any scalar works).
+func (c *compiler) compileCond(e expr) error {
+	t, err := c.compileExpr(e)
+	if err != nil {
+		return err
+	}
+	if t.k == tRec || t.k == tList || t.k == tVoid {
+		return compileErrf(e.exprPos(), "%v cannot be used as a condition", t)
+	}
+	return nil
+}
+
+// --- expressions ---
+
+func (c *compiler) compileExpr(e expr) (etype, error) {
+	e = foldExpr(e)
+	switch e := e.(type) {
+	case *intLit:
+		c.emit(op{code: opConst, k: pbio.Int(e.v), pos: e.pos})
+		return etype{k: tInt}, nil
+	case *floatLit:
+		c.emit(op{code: opConst, k: pbio.Float64(e.v), pos: e.pos})
+		return etype{k: tFloat}, nil
+	case *strLit:
+		c.emit(op{code: opConst, k: pbio.Str(e.v), pos: e.pos})
+		return etype{k: tStr}, nil
+	case *identExpr:
+		if lv, ok := c.locals[e.name]; ok {
+			c.emit(op{code: opLoadLocal, a: lv.slot, pos: e.pos})
+			return lv.typ, nil
+		}
+		if p, ok := c.pindex[e.name]; ok {
+			c.emit(op{code: opLoadParam, a: p, pos: e.pos})
+			return etype{k: tRec, format: c.params[p].Format}, nil
+		}
+		return etype{}, compileErrf(e.pos, "undefined variable %q", e.name)
+	case *fieldExpr:
+		bt, err := c.compileExpr(e.base)
+		if err != nil {
+			return etype{}, err
+		}
+		if bt.k != tRec {
+			return etype{}, compileErrf(e.pos, "%v has no fields", bt)
+		}
+		fidx := bt.format.Lookup(e.name)
+		if fidx < 0 {
+			return etype{}, compileErrf(e.pos, "format %q has no field %q", bt.format.Name(), e.name)
+		}
+		c.emit(op{code: opGetField, a: fidx, pos: e.pos})
+		return fieldType(bt.format.Field(fidx)), nil
+	case *indexExpr:
+		bt, err := c.compileExpr(e.base)
+		if err != nil {
+			return etype{}, err
+		}
+		if bt.k != tList {
+			return etype{}, compileErrf(e.pos, "%v is not subscriptable", bt)
+		}
+		it, err := c.compileExpr(e.idx)
+		if err != nil {
+			return etype{}, err
+		}
+		if it.k != tInt {
+			return etype{}, compileErrf(e.pos, "list index must be an int, got %v", it)
+		}
+		c.emit(op{code: opIndex, pos: e.pos})
+		return fieldType(bt.elem), nil
+	case *callExpr:
+		return c.compileCall(e)
+	case *unaryExpr:
+		return c.compileUnary(e)
+	case *binaryExpr:
+		return c.compileBinary(e)
+	case *condExpr:
+		return c.compileTernary(e)
+	default:
+		return etype{}, compileErrf(e.exprPos(), "unsupported expression")
+	}
+}
+
+func (c *compiler) compileUnary(e *unaryExpr) (etype, error) {
+	t, err := c.compileExpr(e.x)
+	if err != nil {
+		return etype{}, err
+	}
+	switch e.op {
+	case tokMinus:
+		switch t.k {
+		case tInt:
+			c.emit(op{code: opNegI, pos: e.pos})
+		case tFloat:
+			c.emit(op{code: opNegF, pos: e.pos})
+		default:
+			return etype{}, compileErrf(e.pos, "cannot negate %v", t)
+		}
+		return t, nil
+	case tokNot:
+		if t.k == tRec || t.k == tList || t.k == tVoid {
+			return etype{}, compileErrf(e.pos, "cannot apply '!' to %v", t)
+		}
+		c.emit(op{code: opNot, pos: e.pos})
+		return etype{k: tInt}, nil
+	default:
+		return etype{}, compileErrf(e.pos, "unsupported unary operator")
+	}
+}
+
+func (c *compiler) compileBinary(e *binaryExpr) (etype, error) {
+	switch e.op {
+	case tokAndAnd:
+		if err := c.compileCond(e.l); err != nil {
+			return etype{}, err
+		}
+		jz := c.emit(op{code: opJz, pos: e.pos})
+		if err := c.compileCond(e.r); err != nil {
+			return etype{}, err
+		}
+		c.emit(op{code: opBool, pos: e.pos})
+		jend := c.emit(op{code: opJmp, pos: e.pos})
+		c.patch(jz, c.here())
+		c.emit(op{code: opConst, k: pbio.Int(0), pos: e.pos})
+		c.patch(jend, c.here())
+		return etype{k: tInt}, nil
+	case tokOrOr:
+		if err := c.compileCond(e.l); err != nil {
+			return etype{}, err
+		}
+		jnz := c.emit(op{code: opJnz, pos: e.pos})
+		if err := c.compileCond(e.r); err != nil {
+			return etype{}, err
+		}
+		c.emit(op{code: opBool, pos: e.pos})
+		jend := c.emit(op{code: opJmp, pos: e.pos})
+		c.patch(jnz, c.here())
+		c.emit(op{code: opConst, k: pbio.Int(1), pos: e.pos})
+		c.patch(jend, c.here())
+		return etype{k: tInt}, nil
+	}
+
+	lt, err := c.compileExpr(e.l)
+	if err != nil {
+		return etype{}, err
+	}
+	// If the right side is float and the left is int, promote the left
+	// operand now, before the right side's code runs.
+	rtPredicted, err := c.typeOf(e.r)
+	if err != nil {
+		return etype{}, err
+	}
+	promoted := lt
+	if lt.k == tInt && rtPredicted.k == tFloat && isArithOrCmp(e.op) {
+		c.emit(op{code: opI2F, pos: e.pos})
+		promoted = etype{k: tFloat}
+	}
+	rt, err := c.compileExpr(e.r)
+	if err != nil {
+		return etype{}, err
+	}
+	if rt.k == tInt && promoted.k == tFloat && isArithOrCmp(e.op) {
+		c.emit(op{code: opI2F, pos: e.pos})
+		rt = etype{k: tFloat}
+	}
+	lt = promoted
+
+	switch e.op {
+	case tokPlus:
+		if lt.k == tStr && rt.k == tStr {
+			c.emit(op{code: opAddS, pos: e.pos})
+			return etype{k: tStr}, nil
+		}
+		return c.arith(e.pos, lt, rt, opAddI, opAddF)
+	case tokMinus:
+		return c.arith(e.pos, lt, rt, opSubI, opSubF)
+	case tokStar:
+		return c.arith(e.pos, lt, rt, opMulI, opMulF)
+	case tokSlash:
+		return c.arith(e.pos, lt, rt, opDivI, opDivF)
+	case tokPercent:
+		if lt.k != tInt || rt.k != tInt {
+			return etype{}, compileErrf(e.pos, "operands of %% must be ints, got %v and %v", lt, rt)
+		}
+		c.emit(op{code: opModI, pos: e.pos})
+		return etype{k: tInt}, nil
+	case tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+		cmp := cmpCode(e.op)
+		switch {
+		case lt.k == tInt && rt.k == tInt:
+			c.emit(op{code: opCmpI, a: cmp, pos: e.pos})
+		case lt.k == tFloat && rt.k == tFloat:
+			c.emit(op{code: opCmpF, a: cmp, pos: e.pos})
+		case lt.k == tStr && rt.k == tStr:
+			c.emit(op{code: opCmpS, a: cmp, pos: e.pos})
+		default:
+			return etype{}, compileErrf(e.pos, "cannot compare %v with %v", lt, rt)
+		}
+		return etype{k: tInt}, nil
+	default:
+		return etype{}, compileErrf(e.pos, "unsupported binary operator")
+	}
+}
+
+func isArithOrCmp(k tokKind) bool {
+	switch k {
+	case tokPlus, tokMinus, tokStar, tokSlash,
+		tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *compiler) arith(pos Pos, lt, rt etype, opInt, opFloat opcode) (etype, error) {
+	switch {
+	case lt.k == tInt && rt.k == tInt:
+		c.emit(op{code: opInt, pos: pos})
+		return etype{k: tInt}, nil
+	case lt.k == tFloat && rt.k == tFloat:
+		c.emit(op{code: opFloat, pos: pos})
+		return etype{k: tFloat}, nil
+	default:
+		return etype{}, compileErrf(pos, "invalid operands %v and %v", lt, rt)
+	}
+}
+
+func cmpCode(k tokKind) int {
+	switch k {
+	case tokEq:
+		return cmpEq
+	case tokNeq:
+		return cmpNe
+	case tokLt:
+		return cmpLt
+	case tokLe:
+		return cmpLe
+	case tokGt:
+		return cmpGt
+	default:
+		return cmpGe
+	}
+}
+
+func (c *compiler) compileTernary(e *condExpr) (etype, error) {
+	if err := c.compileCond(e.cond); err != nil {
+		return etype{}, err
+	}
+	jz := c.emit(op{code: opJz, pos: e.pos})
+	tt, err := c.compileExpr(e.t)
+	if err != nil {
+		return etype{}, err
+	}
+	// Unify branch types before the join.
+	ft, err := c.typeOf(e.f)
+	if err != nil {
+		return etype{}, err
+	}
+	result := tt
+	if tt.k == tInt && ft.k == tFloat {
+		c.emit(op{code: opI2F, pos: e.pos})
+		result = etype{k: tFloat}
+	}
+	jend := c.emit(op{code: opJmp, pos: e.pos})
+	c.patch(jz, c.here())
+	ft2, err := c.compileExpr(e.f)
+	if err != nil {
+		return etype{}, err
+	}
+	if ft2.k == tInt && result.k == tFloat {
+		c.emit(op{code: opI2F, pos: e.pos})
+		ft2 = etype{k: tFloat}
+	}
+	c.patch(jend, c.here())
+	if ft2.k != result.k {
+		return etype{}, compileErrf(e.pos, "ternary branches have incompatible types %v and %v", result, ft2)
+	}
+	return result, nil
+}
+
+func (c *compiler) compileCall(e *callExpr) (etype, error) {
+	if fi, ok := c.findex[e.name]; ok {
+		return c.compileUserCall(e, fi)
+	}
+	bi, ok := builtinIndex[e.name]
+	if !ok {
+		return etype{}, compileErrf(e.pos, "unknown function %q", e.name)
+	}
+	b := &builtins[bi]
+	if len(e.args) != len(b.args) {
+		return etype{}, compileErrf(e.pos, "%s expects %d argument(s), got %d", b.name, len(b.args), len(e.args))
+	}
+	for i, arg := range e.args {
+		at, err := c.compileExpr(arg)
+		if err != nil {
+			return etype{}, err
+		}
+		want := b.args[i]
+		switch {
+		case want == tAnyLen:
+			if at.k != tStr && at.k != tList {
+				return etype{}, compileErrf(arg.exprPos(), "%s argument %d must be a string or list, got %v", b.name, i+1, at)
+			}
+		case want == tInt && at.k == tFloat:
+			c.emit(op{code: opF2I, pos: arg.exprPos()})
+		case want == tFloat && at.k == tInt:
+			c.emit(op{code: opI2F, pos: arg.exprPos()})
+		case typeKind(want) != at.k:
+			return etype{}, compileErrf(arg.exprPos(), "%s argument %d must be %v, got %v", b.name, i+1, typeKind(want), at)
+		}
+	}
+	c.emit(op{code: opCall, a: bi, b: len(e.args), pos: e.pos})
+	return etype{k: b.result}, nil
+}
+
+func (c *compiler) compileUserCall(e *callExpr, fi int) (etype, error) {
+	fn := c.funcs[fi]
+	if len(e.args) != len(fn.params) {
+		return etype{}, compileErrf(e.pos, "%s expects %d argument(s), got %d", fn.name, len(fn.params), len(e.args))
+	}
+	for i, arg := range e.args {
+		at, err := c.compileExpr(arg)
+		if err != nil {
+			return etype{}, err
+		}
+		if err := c.convertForStore(at, fn.params[i], arg.exprPos()); err != nil {
+			return etype{}, compileErrf(arg.exprPos(), "%s argument %d: cannot pass %v as %v", fn.name, i+1, at, fn.params[i])
+		}
+	}
+	c.emit(op{code: opCallUser, a: fi, b: len(e.args), pos: e.pos})
+	return fn.result, nil
+}
+
+// typeOf infers the type of e without emitting code. It mirrors
+// compileExpr's typing rules and is used where a type is needed before the
+// operand's code position is reached (right operands, ternary branches).
+func (c *compiler) typeOf(e expr) (etype, error) {
+	switch e := e.(type) {
+	case *intLit:
+		return etype{k: tInt}, nil
+	case *floatLit:
+		return etype{k: tFloat}, nil
+	case *strLit:
+		return etype{k: tStr}, nil
+	case *identExpr:
+		if lv, ok := c.locals[e.name]; ok {
+			return lv.typ, nil
+		}
+		if p, ok := c.pindex[e.name]; ok {
+			return etype{k: tRec, format: c.params[p].Format}, nil
+		}
+		return etype{}, compileErrf(e.pos, "undefined variable %q", e.name)
+	case *fieldExpr:
+		bt, err := c.typeOf(e.base)
+		if err != nil {
+			return etype{}, err
+		}
+		if bt.k != tRec {
+			return etype{}, compileErrf(e.pos, "%v has no fields", bt)
+		}
+		fld := bt.format.FieldByName(e.name)
+		if fld == nil {
+			return etype{}, compileErrf(e.pos, "format %q has no field %q", bt.format.Name(), e.name)
+		}
+		return fieldType(fld), nil
+	case *indexExpr:
+		bt, err := c.typeOf(e.base)
+		if err != nil {
+			return etype{}, err
+		}
+		if bt.k != tList {
+			return etype{}, compileErrf(e.pos, "%v is not subscriptable", bt)
+		}
+		return fieldType(bt.elem), nil
+	case *callExpr:
+		if fi, ok := c.findex[e.name]; ok {
+			return c.funcs[fi].result, nil
+		}
+		bi, ok := builtinIndex[e.name]
+		if !ok {
+			return etype{}, compileErrf(e.pos, "unknown function %q", e.name)
+		}
+		return etype{k: builtins[bi].result}, nil
+	case *unaryExpr:
+		if e.op == tokNot {
+			return etype{k: tInt}, nil
+		}
+		return c.typeOf(e.x)
+	case *binaryExpr:
+		switch e.op {
+		case tokAndAnd, tokOrOr, tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe, tokPercent:
+			return etype{k: tInt}, nil
+		}
+		lt, err := c.typeOf(e.l)
+		if err != nil {
+			return etype{}, err
+		}
+		rt, err := c.typeOf(e.r)
+		if err != nil {
+			return etype{}, err
+		}
+		if lt.k == tFloat || rt.k == tFloat {
+			return etype{k: tFloat}, nil
+		}
+		if lt.k == tStr && rt.k == tStr {
+			return etype{k: tStr}, nil
+		}
+		return etype{k: tInt}, nil
+	case *condExpr:
+		tt, err := c.typeOf(e.t)
+		if err != nil {
+			return etype{}, err
+		}
+		ft, err := c.typeOf(e.f)
+		if err != nil {
+			return etype{}, err
+		}
+		if tt.k == tFloat || ft.k == tFloat {
+			if tt.isNumeric() && ft.isNumeric() {
+				return etype{k: tFloat}, nil
+			}
+		}
+		return tt, nil
+	default:
+		return etype{}, compileErrf(e.exprPos(), "unsupported expression")
+	}
+}

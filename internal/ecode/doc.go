@@ -1,0 +1,39 @@
+// Package ecode implements a small C-subset language for message
+// transformations, modeled on the E-Code language (Eisenhauer, GIT-CC-02-42)
+// that the ICDCS 2005 Message Morphing paper attaches to evolving formats.
+//
+// A transformation is C-like source text that reads fields of one or more
+// source records and writes fields of a destination record, e.g. the paper's
+// Figure 5 ChannelOpenResponse v2.0 → v1.0 conversion:
+//
+//	int i, sink_count = 0, src_count = 0;
+//	old.member_count = new.member_count;
+//	for (i = 0; i < new.member_count; i++) {
+//	    old.member_list[i].info = new.member_list[i].info;
+//	    ...
+//	}
+//
+// The original E-Code compiles to native machine code at run time. Go offers
+// no runtime machine-code generation, so this package substitutes a bytecode
+// compiler and a stack virtual machine: Compile is called once per
+// (format, transformation) pair — exactly where the paper invokes its
+// dynamic code generator — and the resulting Program is cached and executed
+// per message. The compile-once / run-many structure, which is what the
+// paper's evaluation depends on, is preserved.
+//
+// Supported language: int/long/double/char* ("string") locals with
+// initializers; assignment including the compound operators and ++/--;
+// arithmetic, comparison and logical operators with C precedence;
+// if/else, for, while, do/while, switch (constant labels, C fallthrough),
+// break, continue, return; top-level user-defined functions (recursion
+// bounded by a call-depth cap and the shared step budget); record field
+// access and dynamic-list subscripts (writing one past the end of a list
+// extends it, which is how PBIO-style counted lists grow); and builtins
+// (strlen, len, abs, fabs, floor, ceil, atoi, atof, itoa, dtoa, streq,
+// strcat, substr). The compiler constant-folds literal expressions.
+//
+// Field references are resolved and type-checked at compile time against the
+// participating pbio Formats, so a transformation that mentions a field its
+// formats do not have is rejected when the format arrives, not when the
+// first message does.
+package ecode

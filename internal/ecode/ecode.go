@@ -1,0 +1,117 @@
+package ecode
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pbio"
+)
+
+// Param declares one record parameter of a transformation: its name as
+// referenced by the source text and the format it must conform to. The
+// paper's Figure 5 transform has two parameters, "new" (the incoming v2.0
+// message) and "old" (the outgoing v1.0 message).
+type Param struct {
+	Name   string
+	Format *pbio.Format
+}
+
+// Program is a compiled transformation. It is immutable and safe for
+// concurrent Run calls; all per-run state lives in the frame Run allocates.
+type Program struct {
+	// MaxSteps bounds one Run's executed instructions; zero means
+	// DefaultMaxSteps. Set before sharing the Program across goroutines.
+	MaxSteps int
+
+	ops     []op
+	nlocals int
+	params  []Param
+	funcs   []*ufunc
+	src     string
+}
+
+// Compile parses, type-checks and compiles src against the given record
+// parameters. Field references are resolved to field indices now, so Run
+// does no name lookups — the bytecode analog of the paper's dynamically
+// generated conversion subroutine.
+func Compile(src string, params ...Param) (*Program, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	stmts, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	c, err := newCompiler(params)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.compileProgram(stmts); err != nil {
+		return nil, err
+	}
+	c.emit(op{code: opHalt})
+	prog := &Program{
+		ops:     c.ops,
+		nlocals: c.nslots,
+		params:  append([]Param(nil), params...),
+		funcs:   c.funcs,
+		src:     src,
+	}
+	return prog, nil
+}
+
+// MustCompile is Compile but panics on error, for statically known
+// transformation tables.
+func MustCompile(src string, params ...Param) *Program {
+	p, err := Compile(src, params...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Params returns the program's declared parameters.
+func (p *Program) Params() []Param { return append([]Param(nil), p.params...) }
+
+// Source returns the source text the program was compiled from.
+func (p *Program) Source() string { return p.src }
+
+// NumOps reports the compiled instruction count of the main program body
+// (useful for tests and diagnostics).
+func (p *Program) NumOps() int { return len(p.ops) }
+
+// NumFuncs reports how many user-defined functions the program declares.
+func (p *Program) NumFuncs() int { return len(p.funcs) }
+
+// ErrArgs is wrapped by Run argument-validation failures.
+var ErrArgs = errors.New("ecode: bad run arguments")
+
+// Run executes the program against the given records, which must match the
+// compiled parameters in number, order and structure. Destination records
+// are mutated in place. The returned Value is the program's `return`
+// expression result, or the zero Value if execution fell off the end.
+func (p *Program) Run(recs ...*pbio.Record) (pbio.Value, error) {
+	if len(recs) != len(p.params) {
+		return pbio.Value{}, fmt.Errorf("%w: program has %d parameter(s), got %d record(s)",
+			ErrArgs, len(p.params), len(recs))
+	}
+	for i, r := range recs {
+		if r == nil {
+			return pbio.Value{}, fmt.Errorf("%w: record %d (%q) is nil", ErrArgs, i, p.params[i].Name)
+		}
+		if !r.Format().SameStructure(p.params[i].Format) {
+			return pbio.Value{}, fmt.Errorf("%w: record %d has format %q (%016x), parameter %q needs %q (%016x)",
+				ErrArgs, i, r.Format().Name(), r.Format().Fingerprint(),
+				p.params[i].Name, p.params[i].Format.Name(), p.params[i].Format.Fingerprint())
+		}
+	}
+	f := &frame{
+		stack:  make([]pbio.Value, 0, 16),
+		params: recs,
+	}
+	if p.nlocals > 0 {
+		f.locals = make([]pbio.Value, p.nlocals)
+	}
+	return p.exec(f)
+}

@@ -1,0 +1,99 @@
+package ecode
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pbio"
+)
+
+// TestQuickParserNeverPanics: arbitrary byte soup must be rejected (or
+// accepted) without panicking — transformation code arrives over the
+// network.
+func TestQuickParserNeverPanics(t *testing.T) {
+	prop := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Compile(src)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTokenSoupNeverPanics: sequences of *valid* tokens in invalid
+// arrangements stress the parser more effectively than raw bytes.
+func TestQuickTokenSoupNeverPanics(t *testing.T) {
+	tokens := []string{
+		"int", "double", "char", "*", "if", "else", "for", "while", "return",
+		"break", "continue", "(", ")", "{", "}", "[", "]", ";", ",", ".",
+		"=", "+", "-", "/", "%", "==", "<", ">", "&&", "||", "!", "?", ":",
+		"x", "y", "src", "123", "1.5", `"s"`, "'c'", "++", "--", "+=",
+	}
+	f, err := pbio.NewFormat("m", []pbio.Field{{Name: "x", Kind: pbio.Integer}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(picks []uint8) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		if len(picks) > 64 {
+			picks = picks[:64]
+		}
+		var b strings.Builder
+		for _, p := range picks {
+			b.WriteString(tokens[int(p)%len(tokens)])
+			b.WriteByte(' ')
+		}
+		_, _ = Compile(b.String(), Param{Name: "src", Format: f})
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCompiledProgramsDontCorruptStack: for programs that do compile,
+// running them must never panic, whatever they compute.
+func TestQuickCompiledProgramsDontCorruptStack(t *testing.T) {
+	// A generator of small well-formed-ish programs from a template pool.
+	templates := []string{
+		"int a = %d; return a + %d;",
+		"int i, s; for (i = 0; i < %d % 17 + 1; i++) s += %d; return s;",
+		"double x = %d + 0.5; return x * %d;",
+		"int f(int v) { return v * %d; } return f(%d);",
+		"return %d > %d ? 1 : 2;",
+		"char *s = \"x\"; int i; for (i = 0; i < %d % 9 + 1; i++) s += \"y\"; return strlen(s) + %d;",
+	}
+	prop := func(which uint8, a, b int16) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		// Substitute the two numbers positionally.
+		src := templates[int(which)%len(templates)]
+		src = strings.Replace(src, "%d", itoa64(int64(a)), 1)
+		src = strings.Replace(src, "%d", itoa64(int64(b)), 1)
+		src = strings.ReplaceAll(src, "%d", "3")
+		prog, err := Compile(src)
+		if err != nil {
+			t.Logf("template %d failed to compile: %q: %v", which, src, err)
+			return false
+		}
+		prog.MaxSteps = 100000
+		_, _ = prog.Run() // runtime errors (overflow loops) are fine; panics are not
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

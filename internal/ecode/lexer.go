@@ -1,0 +1,306 @@
+package ecode
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrSyntax is wrapped by all lexing and parsing failures.
+var ErrSyntax = errors.New("ecode: syntax error")
+
+func syntaxErrf(pos Pos, format string, args ...any) error {
+	return fmt.Errorf("%w at %v: %s", ErrSyntax, pos, fmt.Sprintf(format, args...))
+}
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peekByte2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekByte2() == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByte2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return syntaxErrf(start, "unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.peekByte2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		word := l.src[start:l.off]
+		if kw, ok := keywords[word]; ok {
+			return token{kind: kw, pos: pos, text: word}, nil
+		}
+		return token{kind: tokIdent, pos: pos, text: word}, nil
+
+	case isDigit(c) || (c == '.' && isDigit(l.peekByte2())):
+		return l.scanNumber(pos)
+
+	case c == '"':
+		return l.scanString(pos)
+
+	case c == '\'':
+		return l.scanChar(pos)
+	}
+
+	l.advance()
+	two := func(second byte, withKind, without tokKind) (token, error) {
+		if l.peekByte() == second {
+			l.advance()
+			return token{kind: withKind, pos: pos}, nil
+		}
+		return token{kind: without, pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return token{kind: tokLParen, pos: pos}, nil
+	case ')':
+		return token{kind: tokRParen, pos: pos}, nil
+	case '{':
+		return token{kind: tokLBrace, pos: pos}, nil
+	case '}':
+		return token{kind: tokRBrace, pos: pos}, nil
+	case '[':
+		return token{kind: tokLBracket, pos: pos}, nil
+	case ']':
+		return token{kind: tokRBracket, pos: pos}, nil
+	case ';':
+		return token{kind: tokSemi, pos: pos}, nil
+	case ',':
+		return token{kind: tokComma, pos: pos}, nil
+	case '.':
+		return token{kind: tokDot, pos: pos}, nil
+	case '?':
+		return token{kind: tokQuestion, pos: pos}, nil
+	case ':':
+		return token{kind: tokColon, pos: pos}, nil
+	case '+':
+		if l.peekByte() == '+' {
+			l.advance()
+			return token{kind: tokPlusPlus, pos: pos}, nil
+		}
+		return two('=', tokPlusEq, tokPlus)
+	case '-':
+		if l.peekByte() == '-' {
+			l.advance()
+			return token{kind: tokMinusMin, pos: pos}, nil
+		}
+		return two('=', tokMinusEq, tokMinus)
+	case '*':
+		return two('=', tokStarEq, tokStar)
+	case '/':
+		return two('=', tokSlashEq, tokSlash)
+	case '%':
+		return two('=', tokPercentEq, tokPercent)
+	case '=':
+		return two('=', tokEq, tokAssign)
+	case '!':
+		return two('=', tokNeq, tokNot)
+	case '<':
+		return two('=', tokLe, tokLt)
+	case '>':
+		return two('=', tokGe, tokGt)
+	case '&':
+		if l.peekByte() == '&' {
+			l.advance()
+			return token{kind: tokAndAnd, pos: pos}, nil
+		}
+		return token{}, syntaxErrf(pos, "unexpected '&' (bitwise operators are not supported)")
+	case '|':
+		if l.peekByte() == '|' {
+			l.advance()
+			return token{kind: tokOrOr, pos: pos}, nil
+		}
+		return token{}, syntaxErrf(pos, "unexpected '|' (bitwise operators are not supported)")
+	default:
+		return token{}, syntaxErrf(pos, "unexpected character %q", c)
+	}
+}
+
+func (l *lexer) scanNumber(pos Pos) (token, error) {
+	start := l.off
+	isFloat := false
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		if isDigit(c) {
+			l.advance()
+			continue
+		}
+		if c == '.' && !isFloat && isDigit(l.peekByte2()) {
+			isFloat = true
+			l.advance()
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.off > start {
+			nxt := l.peekByte2()
+			if isDigit(nxt) || nxt == '+' || nxt == '-' {
+				isFloat = true
+				l.advance() // e
+				l.advance() // sign or digit
+				continue
+			}
+		}
+		break
+	}
+	text := l.src[start:l.off]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, syntaxErrf(pos, "bad float literal %q", text)
+		}
+		return token{kind: tokFloatLit, pos: pos, text: text, fval: f}, nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return token{}, syntaxErrf(pos, "bad integer literal %q", text)
+	}
+	return token{kind: tokIntLit, pos: pos, text: text, ival: n}, nil
+}
+
+func (l *lexer) scanString(pos Pos) (token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return token{}, syntaxErrf(pos, "unterminated string literal")
+		}
+		c := l.advance()
+		switch c {
+		case '"':
+			return token{kind: tokStringLit, pos: pos, text: b.String()}, nil
+		case '\\':
+			if l.off >= len(l.src) {
+				return token{}, syntaxErrf(pos, "unterminated string literal")
+			}
+			e, err := unescape(l.advance(), pos)
+			if err != nil {
+				return token{}, err
+			}
+			b.WriteByte(e)
+		case '\n':
+			return token{}, syntaxErrf(pos, "newline in string literal")
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func (l *lexer) scanChar(pos Pos) (token, error) {
+	l.advance() // opening quote
+	if l.off >= len(l.src) {
+		return token{}, syntaxErrf(pos, "unterminated char literal")
+	}
+	c := l.advance()
+	if c == '\\' {
+		if l.off >= len(l.src) {
+			return token{}, syntaxErrf(pos, "unterminated char literal")
+		}
+		var err error
+		if c, err = unescape(l.advance(), pos); err != nil {
+			return token{}, err
+		}
+	}
+	if l.off >= len(l.src) || l.advance() != '\'' {
+		return token{}, syntaxErrf(pos, "char literal must contain exactly one character")
+	}
+	return token{kind: tokCharLit, pos: pos, ival: int64(c)}, nil
+}
+
+func unescape(c byte, pos Pos) (byte, error) {
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '"', '\'':
+		return c, nil
+	default:
+		return 0, syntaxErrf(pos, "unknown escape sequence \\%c", c)
+	}
+}

@@ -1,0 +1,144 @@
+package ecode
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDoWhile(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want int64
+	}{
+		{"runs once even when false", "int n = 0; do n++; while (0); return n;", 1},
+		{"counts", "int n = 0; do { n++; } while (n < 5); return n;", 5},
+		{"break", "int n = 0; do { n++; if (n == 3) break; } while (1); return n;", 3},
+		{"continue retests condition", "int n = 0, s = 0; do { n++; if (n % 2) continue; s += n; } while (n < 6); return s;", 12},
+		{"nested in for", "int i, total = 0; for (i = 0; i < 3; i++) { int j = 0; do { total++; j++; } while (j < 2); } return total;", 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := eval(t, tt.src).Int64(); got != tt.want {
+				t.Errorf("got %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSwitch(t *testing.T) {
+	classify := `
+int classify(int v) {
+    switch (v) {
+    case 0:
+        return 100;
+    case 1:
+    case 2:
+        return 200;
+    case 'A':
+        return 300;
+    default:
+        return 400;
+    }
+}
+`
+	tests := []struct {
+		name string
+		src  string
+		want int64
+	}{
+		{"match first", classify + "return classify(0);", 100},
+		{"fallthrough label stack", classify + "return classify(1);", 200},
+		{"second of stack", classify + "return classify(2);", 200},
+		{"char label", classify + "return classify(65);", 300},
+		{"default", classify + "return classify(99);", 400},
+		{"break exits switch", `
+			int r = 0;
+			switch (2) {
+			case 1: r = 10; break;
+			case 2: r = 20; break;
+			case 3: r = 30; break;
+			}
+			return r;`, 20},
+		{"fallthrough accumulates", `
+			int r = 0;
+			switch (1) {
+			case 1: r += 1;
+			case 2: r += 2;
+			case 3: r += 4; break;
+			case 4: r += 8;
+			}
+			return r;`, 7},
+		{"no match no default", "int r = 5; switch (9) { case 1: r = 1; } return r;", 5},
+		{"default in the middle", `
+			int r = 0;
+			switch (9) {
+			case 1: r = 1; break;
+			default: r = 2; break;
+			case 3: r = 3; break;
+			}
+			return r;`, 2},
+		{"constant-folded labels", "switch (6) { case 2 * 3: return 1; } return 0;", 1},
+		{"continue inside switch targets loop", `
+			int i, s = 0;
+			for (i = 0; i < 5; i++) {
+				switch (i) {
+				case 1:
+				case 3:
+					continue;
+				}
+				s += i;
+			}
+			return s;`, 6},
+		{"break in loop via switch", `
+			int i, s = 0;
+			for (i = 0; i < 10; i++) {
+				switch (i) {
+				case 4: break;
+				}
+				s = i;
+			}
+			return s;`, 9}, // break exits the switch, not the loop (C)
+		{"switch over expression", "int x = 7; switch (x % 3) { case 0: return 10; case 1: return 11; case 2: return 12; } return 0;", 11},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := eval(t, tt.src).Int64(); got != tt.want {
+				t.Errorf("got %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSwitchErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		err  error
+		msg  string
+	}{
+		{"float scrutinee", "switch (1.5) { case 1: ; }", ErrCompile, "must be an int"},
+		{"non-constant label", "int x = 1; switch (1) { case x: ; }", ErrCompile, "integer constant"},
+		{"duplicate labels", "switch (1) { case 2: ; case 2: ; }", ErrCompile, "duplicate case"},
+		{"two defaults", "switch (1) { default: ; default: ; }", ErrSyntax, "multiple default"},
+		{"stray statement before case", "switch (1) { int x; }", ErrSyntax, "expected 'case' or 'default'"},
+		{"missing colon", "switch (1) { case 1 ; }", ErrSyntax, "':'"},
+		{"do without while", "do { ; } (1);", ErrSyntax, "'while'"},
+		{"do missing semi", "do { ; } while (1)", ErrSyntax, "';'"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Compile(tt.src)
+			if err == nil {
+				t.Fatalf("Compile(%q) succeeded", tt.src)
+			}
+			if !errors.Is(err, tt.err) {
+				t.Errorf("err = %v, want wrapped %v", err, tt.err)
+			}
+			if !strings.Contains(err.Error(), tt.msg) {
+				t.Errorf("err %q missing %q", err, tt.msg)
+			}
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package ecode
+
+import "fmt"
+
+// tokKind enumerates lexical token types.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokIntLit
+	tokFloatLit
+	tokStringLit
+	tokCharLit
+
+	// Keywords.
+	tokInt
+	tokLong
+	tokDouble
+	tokChar
+	tokVoid
+	tokIf
+	tokElse
+	tokFor
+	tokWhile
+	tokDo
+	tokSwitch
+	tokCase
+	tokDefault
+	tokBreak
+	tokContinue
+	tokReturn
+
+	// Punctuation and operators.
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokSemi
+	tokComma
+	tokDot
+	tokAssign    // =
+	tokPlusEq    // +=
+	tokMinusEq   // -=
+	tokStarEq    // *=
+	tokSlashEq   // /=
+	tokPercentEq // %=
+	tokPlusPlus  // ++
+	tokMinusMin  // --
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokEq  // ==
+	tokNeq // !=
+	tokLt
+	tokGt
+	tokLe
+	tokGe
+	tokAndAnd
+	tokOrOr
+	tokNot
+	tokQuestion
+	tokColon
+)
+
+var tokNames = map[tokKind]string{
+	tokEOF: "end of input", tokIdent: "identifier", tokIntLit: "integer literal",
+	tokFloatLit: "float literal", tokStringLit: "string literal", tokCharLit: "char literal",
+	tokInt: "'int'", tokLong: "'long'", tokDouble: "'double'", tokChar: "'char'",
+	tokVoid: "'void'", tokIf: "'if'", tokElse: "'else'", tokFor: "'for'",
+	tokWhile: "'while'", tokDo: "'do'", tokSwitch: "'switch'", tokCase: "'case'",
+	tokDefault: "'default'", tokBreak: "'break'", tokContinue: "'continue'", tokReturn: "'return'",
+	tokLParen: "'('", tokRParen: "')'", tokLBrace: "'{'", tokRBrace: "'}'",
+	tokLBracket: "'['", tokRBracket: "']'", tokSemi: "';'", tokComma: "','",
+	tokDot: "'.'", tokAssign: "'='", tokPlusEq: "'+='", tokMinusEq: "'-='",
+	tokStarEq: "'*='", tokSlashEq: "'/='", tokPercentEq: "'%='",
+	tokPlusPlus: "'++'", tokMinusMin: "'--'", tokPlus: "'+'", tokMinus: "'-'",
+	tokStar: "'*'", tokSlash: "'/'", tokPercent: "'%'", tokEq: "'=='",
+	tokNeq: "'!='", tokLt: "'<'", tokGt: "'>'", tokLe: "'<='", tokGe: "'>='",
+	tokAndAnd: "'&&'", tokOrOr: "'||'", tokNot: "'!'",
+	tokQuestion: "'?'", tokColon: "':'",
+}
+
+func (k tokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+var keywords = map[string]tokKind{
+	"int": tokInt, "long": tokLong, "double": tokDouble, "char": tokChar,
+	"void": tokVoid, "if": tokIf, "else": tokElse, "for": tokFor,
+	"while": tokWhile, "do": tokDo, "switch": tokSwitch, "case": tokCase,
+	"default": tokDefault, "break": tokBreak, "continue": tokContinue,
+	"return": tokReturn,
+}
+
+// Pos is a 1-based source location.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+type token struct {
+	kind tokKind
+	pos  Pos
+	text string  // identifiers, literals
+	ival int64   // int and char literals
+	fval float64 // float literals
+}

@@ -1,0 +1,160 @@
+package pbio
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// ToRecord converts a registered struct value into its dynamic Record form.
+// The morphing engine and the generic transports operate on Records; sending
+// applications typically keep their data in structs and convert at the
+// boundary.
+func (reg *Registry) ToRecord(v any) (*Record, error) {
+	sv := reflect.ValueOf(v)
+	b, err := reg.binding(sv.Type(), "")
+	if err != nil {
+		return nil, err
+	}
+	for sv.Kind() == reflect.Pointer {
+		if sv.IsNil() {
+			return nil, fmt.Errorf("%w: nil pointer", ErrBadType)
+		}
+		sv = sv.Elem()
+	}
+	return structToRecord(sv, b.format)
+}
+
+func structToRecord(sv reflect.Value, f *Format) (*Record, error) {
+	rec := &Record{format: f, vals: make([]Value, f.NumFields())}
+	fi := 0
+	t := sv.Type()
+	for i := 0; i < t.NumField(); i++ {
+		if _, ok := parseTag(t.Field(i)); !ok {
+			continue
+		}
+		v, err := goToValue(sv.Field(i), f.Field(fi))
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", f.Field(fi).Name, err)
+		}
+		rec.vals[fi] = v
+		fi++
+	}
+	return rec, nil
+}
+
+func goToValue(gv reflect.Value, fld *Field) (Value, error) {
+	switch fld.Kind {
+	case Integer:
+		return Int(gv.Int()), nil
+	case Unsigned:
+		return Uint(gv.Uint()), nil
+	case Char:
+		return CharOf(byte(gv.Uint())), nil
+	case Enum:
+		if gv.CanInt() {
+			return EnumOf(gv.Int()), nil
+		}
+		return EnumOf(int64(gv.Uint())), nil
+	case Float:
+		return Float64(gv.Float()), nil
+	case Boolean:
+		return Bool(gv.Bool()), nil
+	case String:
+		return Str(gv.String()), nil
+	case Complex:
+		rec, err := structToRecord(gv, fld.Sub)
+		if err != nil {
+			return Value{}, err
+		}
+		return RecordOf(rec), nil
+	case List:
+		n := gv.Len()
+		elems := make([]Value, n)
+		for i := 0; i < n; i++ {
+			e, err := goToValue(gv.Index(i), fld.Elem)
+			if err != nil {
+				return Value{}, fmt.Errorf("element %d: %w", i, err)
+			}
+			elems[i] = e
+		}
+		return ListOf(elems), nil
+	default:
+		return Value{}, fmt.Errorf("%w: field kind %v", ErrBadType, fld.Kind)
+	}
+}
+
+// FromRecord populates the struct pointed to by v from rec. rec's format
+// must be structurally identical to the format registered for v's type —
+// which is exactly what the morphing engine guarantees for the records it
+// delivers.
+func (reg *Registry) FromRecord(rec *Record, v any) error {
+	sv := reflect.ValueOf(v)
+	if sv.Kind() != reflect.Pointer || sv.IsNil() {
+		return fmt.Errorf("%w: FromRecord needs a non-nil *struct", ErrBadType)
+	}
+	b, err := reg.binding(sv.Type(), "")
+	if err != nil {
+		return err
+	}
+	if !rec.Format().SameStructure(b.format) {
+		return fmt.Errorf("%w: record format %q (%016x) does not match native %q (%016x)",
+			ErrFingerprint, rec.Format().Name(), rec.Format().Fingerprint(),
+			b.format.Name(), b.format.Fingerprint())
+	}
+	return recordToStruct(rec, sv.Elem())
+}
+
+func recordToStruct(rec *Record, sv reflect.Value) error {
+	fi := 0
+	t := sv.Type()
+	for i := 0; i < t.NumField(); i++ {
+		if _, ok := parseTag(t.Field(i)); !ok {
+			continue
+		}
+		if err := valueToGo(rec.GetIndex(fi), rec.Format().Field(fi), sv.Field(i)); err != nil {
+			return fmt.Errorf("field %q: %w", rec.Format().Field(fi).Name, err)
+		}
+		fi++
+	}
+	return nil
+}
+
+func valueToGo(v Value, fld *Field, gv reflect.Value) error {
+	switch fld.Kind {
+	case Integer, Enum:
+		if gv.CanInt() {
+			gv.SetInt(v.Int64())
+		} else {
+			gv.SetUint(v.Uint64())
+		}
+	case Unsigned, Char:
+		if gv.CanUint() {
+			gv.SetUint(v.Uint64())
+		} else {
+			gv.SetInt(v.Int64())
+		}
+	case Float:
+		gv.SetFloat(v.Float64())
+	case Boolean:
+		gv.SetBool(v.Bool())
+	case String:
+		gv.SetString(v.Strval())
+	case Complex:
+		if v.Record() == nil {
+			return nil
+		}
+		return recordToStruct(v.Record(), gv)
+	case List:
+		elems := v.List()
+		s := reflect.MakeSlice(gv.Type(), len(elems), len(elems))
+		for i, e := range elems {
+			if err := valueToGo(e, fld.Elem, s.Index(i)); err != nil {
+				return fmt.Errorf("element %d: %w", i, err)
+			}
+		}
+		gv.Set(s)
+	default:
+		return fmt.Errorf("%w: field kind %v", ErrBadType, fld.Kind)
+	}
+	return nil
+}

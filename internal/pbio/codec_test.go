@@ -1,0 +1,261 @@
+package pbio
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// kitchenSinkFormat exercises every kind, nesting and lists.
+func kitchenSinkFormat(t *testing.T) *Format {
+	t.Helper()
+	point := mustFormatT(t, "point", []Field{
+		{Name: "x", Kind: Float, Size: 4},
+		{Name: "y", Kind: Float, Size: 8},
+	})
+	return mustFormatT(t, "sink", []Field{
+		{Name: "i8", Kind: Integer, Size: 1},
+		{Name: "i16", Kind: Integer, Size: 2},
+		{Name: "i32", Kind: Integer, Size: 4},
+		{Name: "i64", Kind: Integer, Size: 8},
+		{Name: "u8", Kind: Unsigned, Size: 1},
+		{Name: "u64", Kind: Unsigned, Size: 8},
+		{Name: "f32", Kind: Float, Size: 4},
+		{Name: "f64", Kind: Float, Size: 8},
+		basicField("c", Char),
+		{Name: "e", Kind: Enum, Size: 2, Symbols: []string{"red", "green"}},
+		basicField("s", String),
+		basicField("b", Boolean),
+		{Name: "pt", Kind: Complex, Sub: point},
+		{Name: "nums", Kind: List, Elem: &Field{Kind: Integer, Size: 4}},
+		{Name: "pts", Kind: List, Elem: &Field{Kind: Complex, Sub: point}},
+		{Name: "names", Kind: List, Elem: &Field{Kind: String}},
+	})
+}
+
+func kitchenSinkRecord(t *testing.T, f *Format) *Record {
+	t.Helper()
+	point := f.FieldByName("pt").Sub
+	pt := func(x, y float64) Value {
+		return RecordOf(NewRecord(point).MustSet("x", Float64(x)).MustSet("y", Float64(y)))
+	}
+	return NewRecord(f).
+		MustSet("i8", Int(-128)).
+		MustSet("i16", Int(-32768)).
+		MustSet("i32", Int(-2147483648)).
+		MustSet("i64", Int(math.MinInt64)).
+		MustSet("u8", Uint(255)).
+		MustSet("u64", Uint(math.MaxUint64)).
+		MustSet("f32", Float64(1.5)).
+		MustSet("f64", Float64(math.Pi)).
+		MustSet("c", CharOf('Z')).
+		MustSet("e", EnumOf(1)).
+		MustSet("s", Str("héllo\x00world")).
+		MustSet("b", Bool(true)).
+		MustSet("pt", pt(1, 2)).
+		MustSet("nums", ListOf([]Value{Int(1), Int(-2), Int(3)})).
+		MustSet("pts", ListOf([]Value{pt(3, 4), pt(5, 6)})).
+		MustSet("names", ListOf([]Value{Str(""), Str("x")}))
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	f := kitchenSinkFormat(t)
+	r := kitchenSinkRecord(t, f)
+
+	data := EncodeRecord(r)
+	if len(data) != EncodedSize(r) {
+		t.Errorf("EncodedSize = %d, actual = %d", EncodedSize(r), len(data))
+	}
+	got, err := DecodeRecord(data, f)
+	if err != nil {
+		t.Fatalf("DecodeRecord: %v", err)
+	}
+	if !got.Equal(r) {
+		t.Fatalf("roundtrip mismatch:\n got %v\nwant %v", got, r)
+	}
+}
+
+func TestFloat32Precision(t *testing.T) {
+	f := mustFormatT(t, "f", []Field{{Name: "x", Kind: Float, Size: 4}})
+	r := NewRecord(f).MustSet("x", Float64(math.Pi))
+	got, err := DecodeRecord(EncodeRecord(r), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(float32(math.Pi))
+	if got.GetIndex(0).Float64() != want {
+		t.Errorf("float32 roundtrip = %v, want %v", got.GetIndex(0).Float64(), want)
+	}
+}
+
+func TestPeekFingerprint(t *testing.T) {
+	f := mustFormatT(t, "f", []Field{basicField("x", Integer)})
+	data := EncodeRecord(NewRecord(f))
+	fp, err := PeekFingerprint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != f.Fingerprint() {
+		t.Errorf("PeekFingerprint = %x, want %x", fp, f.Fingerprint())
+	}
+	if _, err := PeekFingerprint(data[:4]); !errors.Is(err, ErrShortMessage) {
+		t.Errorf("short peek error = %v, want ErrShortMessage", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	f := mustFormatT(t, "f", []Field{
+		basicField("s", String),
+		{Name: "l", Kind: List, Elem: &Field{Kind: Integer, Size: 8}},
+	})
+	other := mustFormatT(t, "other", []Field{basicField("x", Integer)})
+	good := EncodeRecord(NewRecord(f).
+		MustSet("s", Str("abc")).
+		MustSet("l", ListOf([]Value{Int(1), Int(2)})))
+
+	t.Run("fingerprint mismatch", func(t *testing.T) {
+		if _, err := DecodeRecord(good, other); !errors.Is(err, ErrFingerprint) {
+			t.Errorf("err = %v, want ErrFingerprint", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 1; cut < len(good)-EnvelopeSize; cut++ {
+			if _, err := DecodeRecord(good[:len(good)-cut], f); !errors.Is(err, ErrShortMessage) {
+				t.Fatalf("cut %d: err = %v, want ErrShortMessage", cut, err)
+			}
+		}
+	})
+	t.Run("trailing", func(t *testing.T) {
+		if _, err := DecodeRecord(append(append([]byte{}, good...), 0xAA), f); !errors.Is(err, ErrTrailingData) {
+			t.Errorf("err = %v, want ErrTrailingData", err)
+		}
+	})
+	t.Run("hostile list count", func(t *testing.T) {
+		// String "abc" then a list count claiming 2^40 elements.
+		payload := []byte{3, 'a', 'b', 'c', 0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
+		if _, err := DecodePayload(payload, f); !errors.Is(err, ErrShortMessage) {
+			t.Errorf("err = %v, want ErrShortMessage", err)
+		}
+	})
+	t.Run("hostile string length", func(t *testing.T) {
+		payload := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}
+		if _, err := DecodePayload(payload, f); !errors.Is(err, ErrShortMessage) {
+			t.Errorf("err = %v, want ErrShortMessage", err)
+		}
+	})
+	t.Run("bad varint", func(t *testing.T) {
+		payload := []byte{0x80} // continuation bit with no terminator
+		if _, err := DecodePayload(payload, f); !errors.Is(err, ErrShortMessage) {
+			t.Errorf("err = %v, want ErrShortMessage", err)
+		}
+	})
+}
+
+func TestEnvelopeOverheadUnder30Bytes(t *testing.T) {
+	// The paper: "PBIO encoding adds less than 30 bytes of data to the
+	// original message."
+	f := mustFormatT(t, "f", []Field{basicField("x", Integer), basicField("s", String)})
+	r := NewRecord(f).MustSet("x", Int(7)).MustSet("s", Str("payload"))
+	overhead := EncodedSize(r) - r.NativeSize()
+	if overhead >= 30 {
+		t.Errorf("encoding overhead = %d bytes, paper promises < 30", overhead)
+	}
+}
+
+// randomRecord builds a pseudo-random record of the given format.
+func randomRecord(rng *rand.Rand, f *Format) *Record {
+	r := NewRecord(f)
+	for i := 0; i < f.NumFields(); i++ {
+		r.vals[i] = randomValue(rng, f.Field(i))
+	}
+	return r
+}
+
+func randomValue(rng *rand.Rand, fld *Field) Value {
+	switch fld.Kind {
+	case Integer:
+		return Int(truncSigned(int64(rng.Uint64()), fld.Size))
+	case Unsigned:
+		return Uint(truncUnsigned(rng.Uint64(), fld.Size))
+	case Char:
+		return CharOf(byte(rng.Intn(256)))
+	case Enum:
+		return EnumOf(int64(rng.Intn(4)))
+	case Float:
+		if fld.Size == 4 {
+			return Float64(float64(float32(rng.NormFloat64())))
+		}
+		return Float64(rng.NormFloat64())
+	case String:
+		b := make([]byte, rng.Intn(12))
+		rng.Read(b)
+		return Str(string(b))
+	case Boolean:
+		return Bool(rng.Intn(2) == 1)
+	case Complex:
+		return RecordOf(randomRecord(rng, fld.Sub))
+	case List:
+		n := rng.Intn(4)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randomValue(rng, fld.Elem)
+		}
+		return ListOf(elems)
+	default:
+		return Value{}
+	}
+}
+
+// TestQuickRoundtrip is a property test: any record of the kitchen-sink
+// format survives encode/decode byte-exactly.
+func TestQuickRoundtrip(t *testing.T) {
+	f := kitchenSinkFormat(t)
+	rng := rand.New(rand.NewSource(1))
+	prop := func(seed int64) bool {
+		rng.Seed(seed)
+		r := randomRecord(rng, f)
+		got, err := DecodeRecord(EncodeRecord(r), f)
+		if err != nil {
+			t.Logf("decode error for seed %d: %v", seed, err)
+			return false
+		}
+		return got.Equal(r)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSizeAccounting: EncodedSize always matches the actual encoding.
+func TestQuickSizeAccounting(t *testing.T) {
+	f := kitchenSinkFormat(t)
+	rng := rand.New(rand.NewSource(2))
+	prop := func(seed int64) bool {
+		rng.Seed(seed)
+		r := randomRecord(rng, f)
+		return EncodedSize(r) == len(EncodeRecord(r))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDecoderNeverPanics: arbitrary bytes must produce an error or a
+// record, never a panic.
+func TestQuickDecoderNeverPanics(t *testing.T) {
+	f := kitchenSinkFormat(t)
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = DecodePayload(data, f)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package pbio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Decoding errors.
+var (
+	// ErrShortMessage indicates the buffer ended before the format said it
+	// should.
+	ErrShortMessage = errors.New("pbio: message truncated")
+
+	// ErrTrailingData indicates bytes remained after the final field.
+	ErrTrailingData = errors.New("pbio: trailing bytes after record")
+
+	// ErrFingerprint indicates the message's fingerprint does not match the
+	// format the caller tried to decode it with.
+	ErrFingerprint = errors.New("pbio: format fingerprint mismatch")
+)
+
+// PeekFingerprint extracts the format fingerprint from an encoded message
+// without decoding the payload.
+func PeekFingerprint(data []byte) (uint64, error) {
+	if len(data) < EnvelopeSize {
+		return 0, fmt.Errorf("%w: %d bytes, need %d for envelope", ErrShortMessage, len(data), EnvelopeSize)
+	}
+	return binary.LittleEndian.Uint64(data), nil
+}
+
+// DecodeRecord decodes an enveloped message produced by EncodeRecord,
+// verifying that the embedded fingerprint matches f.
+func DecodeRecord(data []byte, f *Format) (*Record, error) {
+	fp, err := PeekFingerprint(data)
+	if err != nil {
+		return nil, err
+	}
+	if fp != f.Fingerprint() {
+		return nil, fmt.Errorf("%w: message %016x, format %q is %016x",
+			ErrFingerprint, fp, f.Name(), f.Fingerprint())
+	}
+	return DecodePayload(data[EnvelopeSize:], f)
+}
+
+// DecodePayload decodes raw field data (no envelope) against f. The entire
+// buffer must be consumed.
+func DecodePayload(data []byte, f *Format) (*Record, error) {
+	d := decoder{buf: data}
+	r, err := d.record(f)
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(d.buf) {
+		return nil, fmt.Errorf("%w: %d of %d bytes consumed", ErrTrailingData, d.pos, len(d.buf))
+	}
+	return r, nil
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) record(f *Format) (*Record, error) {
+	r := &Record{format: f, vals: make([]Value, f.NumFields())}
+	for i := 0; i < f.NumFields(); i++ {
+		v, err := d.value(f.Field(i))
+		if err != nil {
+			return nil, fmt.Errorf("field %q of %q: %w", f.Field(i).Name, f.Name(), err)
+		}
+		r.vals[i] = v
+	}
+	return r, nil
+}
+
+func (d *decoder) value(fld *Field) (Value, error) {
+	switch fld.Kind {
+	case Integer:
+		n, err := d.fixedInt(fld.Size, true)
+		return Value{kind: Integer, num: n}, err
+	case Unsigned:
+		n, err := d.fixedInt(fld.Size, false)
+		return Value{kind: Unsigned, num: n}, err
+	case Char:
+		n, err := d.fixedInt(1, false)
+		return Value{kind: Char, num: n}, err
+	case Enum:
+		n, err := d.fixedInt(fld.Size, true)
+		return Value{kind: Enum, num: n}, err
+	case Boolean:
+		n, err := d.fixedInt(1, false)
+		return Bool(n != 0), err
+	case Float:
+		if fld.Size == 4 {
+			b, err := d.take(4)
+			if err != nil {
+				return Value{}, err
+			}
+			return Float64(float64(math.Float32frombits(binary.LittleEndian.Uint32(b)))), nil
+		}
+		b, err := d.take(8)
+		if err != nil {
+			return Value{}, err
+		}
+		return Float64(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	case String:
+		n, err := d.uvarint()
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return Value{}, err
+		}
+		return Str(string(b)), nil
+	case Complex:
+		rec, err := d.record(fld.Sub)
+		if err != nil {
+			return Value{}, err
+		}
+		return RecordOf(rec), nil
+	case List:
+		n, err := d.uvarint()
+		if err != nil {
+			return Value{}, err
+		}
+		if n > uint64(len(d.buf)-d.pos) {
+			// Each element occupies at least one byte, so a count larger
+			// than the remaining buffer is corrupt; reject it before
+			// allocating.
+			return Value{}, fmt.Errorf("%w: list count %d exceeds remaining %d bytes",
+				ErrShortMessage, n, len(d.buf)-d.pos)
+		}
+		elems := make([]Value, n)
+		for i := range elems {
+			e, err := d.value(fld.Elem)
+			if err != nil {
+				return Value{}, fmt.Errorf("element %d: %w", i, err)
+			}
+			elems[i] = e
+		}
+		return ListOf(elems), nil
+	default:
+		return Value{}, fmt.Errorf("pbio: cannot decode field kind %v", fld.Kind)
+	}
+}
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || len(d.buf)-d.pos < n {
+		return nil, fmt.Errorf("%w: need %d bytes at offset %d, have %d",
+			ErrShortMessage, n, d.pos, len(d.buf)-d.pos)
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+func (d *decoder) fixedInt(size int, signed bool) (int64, error) {
+	b, err := d.take(size)
+	if err != nil {
+		return 0, err
+	}
+	switch size {
+	case 1:
+		if signed {
+			return int64(int8(b[0])), nil
+		}
+		return int64(b[0]), nil
+	case 2:
+		u := binary.LittleEndian.Uint16(b)
+		if signed {
+			return int64(int16(u)), nil
+		}
+		return int64(u), nil
+	case 4:
+		u := binary.LittleEndian.Uint32(b)
+		if signed {
+			return int64(int32(u)), nil
+		}
+		return int64(u), nil
+	default:
+		return int64(binary.LittleEndian.Uint64(b)), nil
+	}
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint at offset %d", ErrShortMessage, d.pos)
+	}
+	d.pos += n
+	return v, nil
+}

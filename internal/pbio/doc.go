@@ -1,0 +1,25 @@
+// Package pbio implements a record-oriented binary wire format with
+// out-of-band meta-data, modeled on the Portable Binary Input/Output (PBIO)
+// system used by the ICDCS 2005 "Message Morphing" paper.
+//
+// Writers declare the names, kinds, sizes and positions of the fields in the
+// records they send (a Format). Readers declare the formats they understand.
+// The encoded byte stream carries only a 64-bit format fingerprint plus the
+// raw field data; the Format itself travels out-of-band (see EncodeFormat and
+// the wire package), so per-message meta-data overhead stays under 30 bytes.
+//
+// Two data paths are provided:
+//
+//   - A reflection-based path (Registry.Marshal / Registry.Unmarshal) that
+//     binds tagged Go structs to Formats through compiled, cached field
+//     plans. This is the analog of PBIO's dynamically generated
+//     marshalling code: the plan is built once per type and amortized over
+//     the message stream.
+//
+//   - A dynamic path (Record / Value, EncodeRecord / DecodeRecord) used by
+//     the morphing engine, where formats are only known at run time.
+//
+// All multi-byte quantities are little-endian. Strings and dynamic lists are
+// length-prefixed with unsigned varints; complex (nested record) fields are
+// encoded inline.
+package pbio

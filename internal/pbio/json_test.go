@@ -1,0 +1,77 @@
+package pbio
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestRecordJSON(t *testing.T) {
+	f := kitchenSinkFormat(t)
+	r := kitchenSinkRecord(t, f)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The output must be valid JSON that generic decoders accept.
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, data)
+	}
+	if decoded["i32"] != float64(-2147483648) {
+		t.Errorf("i32 = %v", decoded["i32"])
+	}
+	if decoded["b"] != true {
+		t.Errorf("b = %v", decoded["b"])
+	}
+	if decoded["s"] != "héllo\x00world" {
+		t.Errorf("s = %q", decoded["s"])
+	}
+	if decoded["f64"] != float64(math.Pi) {
+		t.Errorf("f64 = %v", decoded["f64"])
+	}
+	pt, ok := decoded["pt"].(map[string]any)
+	if !ok || pt["y"] != float64(2) {
+		t.Errorf("pt = %v", decoded["pt"])
+	}
+	nums, ok := decoded["nums"].([]any)
+	if !ok || len(nums) != 3 || nums[1] != float64(-2) {
+		t.Errorf("nums = %v", decoded["nums"])
+	}
+	names, ok := decoded["names"].([]any)
+	if !ok || len(names) != 2 || names[0] != "" {
+		t.Errorf("names = %v", decoded["names"])
+	}
+}
+
+func TestValueJSONEdgeCases(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Value{}, "null"},
+		{Int(-5), "-5"},
+		{Uint(math.MaxUint64), "18446744073709551615"},
+		{Bool(false), "false"},
+		{Float64(math.NaN()), `"NaN"`},
+		{Float64(math.Inf(1)), `"+Inf"`},
+		{Str(`quote " and \ slash`), `"quote \" and \\ slash"`},
+		{RecordOf(nil), "null"},
+		{ListOf(nil), "[]"},
+		{ListOf([]Value{Int(1), Int(2)}), "[1,2]"},
+	}
+	for _, tt := range cases {
+		data, err := json.Marshal(tt.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != tt.want {
+			t.Errorf("Marshal(%v) = %s, want %s", tt.v, data, tt.want)
+		}
+		// Everything the export produces must re-parse.
+		var any any
+		if err := json.Unmarshal(data, &any); err != nil {
+			t.Errorf("invalid JSON %s: %v", data, err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package pbio
+
+import "fmt"
+
+// Kind identifies the type of a field in a Format.
+//
+// Integer, Unsigned, Float, Char, Enum and String are the paper's basic
+// types; Boolean is encoded like a 1-byte integer and exists because the
+// evolved ECho message formats use boolean attributes. Complex and List are
+// the structured kinds: a Complex field holds a nested record, a List field
+// holds a dynamically sized sequence of a single element type.
+type Kind uint8
+
+// Field kinds. The zero value is invalid so that forgotten initialization is
+// caught by Format validation.
+const (
+	Invalid Kind = iota
+	Integer
+	Unsigned
+	Float
+	Char
+	Enum
+	String
+	Boolean
+	Complex
+	List
+)
+
+var kindNames = [...]string{
+	Invalid:  "invalid",
+	Integer:  "integer",
+	Unsigned: "unsigned",
+	Float:    "float",
+	Char:     "char",
+	Enum:     "enum",
+	String:   "string",
+	Boolean:  "boolean",
+	Complex:  "complex",
+	List:     "list",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsBasic reports whether the kind is one of the paper's basic field types.
+// Diff and Weight computations count basic fields only.
+func (k Kind) IsBasic() bool {
+	switch k {
+	case Integer, Unsigned, Float, Char, Enum, String, Boolean:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsValid reports whether k is one of the defined kinds.
+func (k Kind) IsValid() bool {
+	return k > Invalid && k <= List
+}
+
+// DefaultSize returns the default wire width in bytes for fixed-width kinds,
+// and 0 for variable-width or structured kinds.
+func (k Kind) DefaultSize() int {
+	switch k {
+	case Integer, Unsigned, Float:
+		return 8
+	case Enum:
+		return 4
+	case Char, Boolean:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// validSize reports whether size is a legal wire width for the kind.
+func (k Kind) validSize(size int) bool {
+	switch k {
+	case Integer, Unsigned, Enum:
+		return size == 1 || size == 2 || size == 4 || size == 8
+	case Float:
+		return size == 4 || size == 8
+	case Char, Boolean:
+		return size == 1
+	case String, Complex, List:
+		return size == 0
+	default:
+		return false
+	}
+}

@@ -1,0 +1,192 @@
+package pbio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordSetGet(t *testing.T) {
+	f := mustFormatT(t, "f", []Field{
+		basicField("i", Integer),
+		basicField("s", String),
+		basicField("b", Boolean),
+	})
+	r := NewRecord(f)
+	if err := r.Set("i", Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.Get("i"); !ok || v.Int64() != 7 {
+		t.Errorf("Get(i) = %v, %v", v, ok)
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Error("Get on missing field must report !ok")
+	}
+	if err := r.Set("nope", Int(1)); err == nil {
+		t.Error("Set on missing field must fail")
+	}
+	if err := r.Set("s", Int(1)); err == nil {
+		t.Error("Set of int into string field must fail")
+	}
+	if err := r.Set("i", Str("x")); err == nil {
+		t.Error("Set of string into int field must fail")
+	}
+}
+
+func TestRecordNumericCoercion(t *testing.T) {
+	f := mustFormatT(t, "f", []Field{
+		basicField("i", Integer),
+		basicField("u", Unsigned),
+		basicField("fl", Float),
+		basicField("b", Boolean),
+		basicField("c", Char),
+		basicField("e", Enum),
+	})
+	r := NewRecord(f)
+
+	// Cross-kind numeric assignment coerces to the field's declared kind.
+	r.MustSet("i", Bool(true))
+	if v, _ := r.Get("i"); v.Kind() != Integer || v.Int64() != 1 {
+		t.Errorf("bool→int coercion = %v", v)
+	}
+	r.MustSet("fl", Int(3))
+	if v, _ := r.Get("fl"); v.Kind() != Float || v.Float64() != 3 {
+		t.Errorf("int→float coercion = %v", v)
+	}
+	r.MustSet("b", Int(42))
+	if v, _ := r.Get("b"); v.Kind() != Boolean || !v.Bool() {
+		t.Errorf("int→bool coercion = %v", v)
+	}
+	r.MustSet("b", Float64(0.5))
+	if v, _ := r.Get("b"); !v.Bool() {
+		t.Errorf("nonzero float→bool must be true, got %v", v)
+	}
+	r.MustSet("c", Int(65))
+	if v, _ := r.Get("c"); v.Kind() != Char || v.Int64() != 'A' {
+		t.Errorf("int→char coercion = %v", v)
+	}
+	r.MustSet("e", Uint(2))
+	if v, _ := r.Get("e"); v.Kind() != Enum || v.Int64() != 2 {
+		t.Errorf("uint→enum coercion = %v", v)
+	}
+	r.MustSet("u", Int(-1))
+	if v, _ := r.Get("u"); v.Kind() != Unsigned || v.Uint64() != ^uint64(0) {
+		t.Errorf("int→uint coercion = %v", v)
+	}
+}
+
+// TestStoreWidthNormalization: a record never holds a value its declared
+// wire width cannot represent — storing truncates exactly like a C struct
+// assignment, so in-memory values always equal their wire round trip.
+func TestStoreWidthNormalization(t *testing.T) {
+	f := mustFormatT(t, "f", []Field{
+		{Name: "i8", Kind: Integer, Size: 1},
+		{Name: "u8", Kind: Unsigned, Size: 1},
+		{Name: "e8", Kind: Enum, Size: 1},
+		{Name: "f32", Kind: Float, Size: 4},
+		{Name: "l8", Kind: List, Elem: &Field{Kind: Integer, Size: 1}},
+	})
+	r := NewRecord(f).
+		MustSet("i8", Int(300)).       // 300 → 44 (int8 wraparound)
+		MustSet("u8", Uint(511)).      // 511 → 255
+		MustSet("e8", Int(255)).       // 255 → -1 (signed 1-byte enum)
+		MustSet("f32", Float64(1e-45)) // denormal float32
+	if err := r.Set("l8", ListOf([]Value{Int(200), Int(-1)})); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, _ := r.Get("i8"); v.Int64() != 44 {
+		t.Errorf("i8 = %d, want 44", v.Int64())
+	}
+	if v, _ := r.Get("u8"); v.Uint64() != 255 {
+		t.Errorf("u8 = %d, want 255", v.Uint64())
+	}
+	if v, _ := r.Get("e8"); v.Int64() != -1 {
+		t.Errorf("e8 = %d, want -1", v.Int64())
+	}
+	if v, _ := r.Get("l8"); v.List()[0].Int64() != -56 {
+		t.Errorf("l8[0] = %d, want -56 (200 as int8)", v.List()[0].Int64())
+	}
+
+	// The invariant itself: round trip is exact.
+	back, err := DecodeRecord(EncodeRecord(r), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r) {
+		t.Errorf("roundtrip differs:\n got  %v\n want %v", back, r)
+	}
+}
+
+func TestMustSetPanics(t *testing.T) {
+	f := mustFormatT(t, "f", []Field{basicField("i", Integer)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSet on missing field must panic")
+		}
+	}()
+	NewRecord(f).MustSet("missing", Int(1))
+}
+
+func TestRecordCloneIsolation(t *testing.T) {
+	sub := mustFormatT(t, "sub", []Field{basicField("x", Integer)})
+	f := mustFormatT(t, "f", []Field{
+		{Name: "rec", Kind: Complex, Sub: sub},
+		{Name: "list", Kind: List, Elem: &Field{Kind: Integer}},
+	})
+	r := NewRecord(f)
+	r.MustSet("list", ListOf([]Value{Int(1)}))
+	c := r.Clone()
+	if !c.Equal(r) {
+		t.Fatal("clone must equal original")
+	}
+	inner, _ := r.Get("rec")
+	inner.Record().MustSet("x", Int(9))
+	if cv, _ := c.Get("rec"); cv.Record().GetIndex(0).Int64() != 0 {
+		t.Error("clone shared nested record with original")
+	}
+}
+
+func TestRecordEqualFormatMismatch(t *testing.T) {
+	a := mustFormatT(t, "a", []Field{basicField("x", Integer)})
+	b := mustFormatT(t, "b", []Field{basicField("x", Integer)})
+	ra, rb := NewRecord(a), NewRecord(b)
+	if ra.Equal(rb) {
+		t.Error("records of structurally different formats (names differ) must not be equal")
+	}
+	var nilRec *Record
+	if ra.Equal(nilRec) || !nilRec.Equal(nil) {
+		t.Error("nil record equality wrong")
+	}
+}
+
+func TestNativeSize(t *testing.T) {
+	contact := mustFormatT(t, "contact", []Field{
+		basicField("info", String),
+		{Name: "id", Kind: Integer, Size: 4},
+	})
+	f := mustFormatT(t, "f", []Field{
+		{Name: "count", Kind: Integer, Size: 4},
+		{Name: "members", Kind: List, Elem: &Field{Kind: Complex, Sub: contact}},
+	})
+	mk := func(info string) Value {
+		return RecordOf(NewRecord(contact).MustSet("info", Str(info)).MustSet("id", Int(1)))
+	}
+	r := NewRecord(f).
+		MustSet("count", Int(2)).
+		MustSet("members", ListOf([]Value{mk("abcd"), mk("efghij")}))
+
+	// count:4 + list ptr:8 + 2 members, each (8 + len(info)) string + 4 id.
+	want := 4 + 8 + (8 + 4 + 4) + (8 + 6 + 4)
+	if got := r.NativeSize(); got != want {
+		t.Errorf("NativeSize = %d, want %d", got, want)
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	f := mustFormatT(t, "f", []Field{basicField("x", Integer), basicField("s", String)})
+	r := NewRecord(f).MustSet("x", Int(1)).MustSet("s", Str("v"))
+	s := r.String()
+	if !strings.Contains(s, "x: 1") || !strings.Contains(s, `s: "v"`) || !strings.HasPrefix(s, "f{") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,317 @@
+package pbio
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The paper's Figure 2 example: a load-monitoring message.
+type loadMsg struct {
+	CPU     int32 `pbio:"load"`
+	Memory  int32 `pbio:"mem"`
+	Network int32 `pbio:"net"`
+}
+
+type contactInfo struct {
+	Info string `pbio:"info"`
+	ID   int32  `pbio:"channel_id"`
+}
+
+type memberV2 struct {
+	Contact  contactInfo `pbio:"contact"`
+	IsSource bool        `pbio:"is_source"`
+	IsSink   bool        `pbio:"is_sink"`
+}
+
+type responseV2 struct {
+	MemberCount int32      `pbio:"member_count"`
+	Members     []memberV2 `pbio:"member_list"`
+}
+
+func TestRegisterFigure2(t *testing.T) {
+	var reg Registry
+	f, err := reg.Register(loadMsg{}, "Msg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "Msg" || f.NumFields() != 3 {
+		t.Fatalf("format = %v", f)
+	}
+	for i, want := range []string{"load", "mem", "net"} {
+		fld := f.Field(i)
+		if fld.Name != want || fld.Kind != Integer || fld.Size != 4 {
+			t.Errorf("field %d = %+v, want %s integer(4)", i, fld, want)
+		}
+	}
+	// Re-registration returns the identical cached format.
+	f2, err := reg.Register(&loadMsg{}, "ignored-on-cache-hit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != f2 {
+		t.Error("re-registration must return the cached *Format")
+	}
+	if reg.FormatOf(loadMsg{}) != f {
+		t.Error("FormatOf must find the registered format")
+	}
+	if reg.FormatOf(struct{ X int }{}) != nil {
+		t.Error("FormatOf on unregistered type must be nil")
+	}
+}
+
+func TestMarshalUnmarshalRoundtrip(t *testing.T) {
+	var reg Registry
+	in := responseV2{
+		MemberCount: 2,
+		Members: []memberV2{
+			{Contact: contactInfo{Info: "tcp:host1:5000", ID: 7}, IsSource: true},
+			{Contact: contactInfo{Info: "tcp:host2:5001", ID: 7}, IsSink: true},
+		},
+	}
+	data, err := reg.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out responseV2
+	if err := reg.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("roundtrip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestMarshalAllScalarKinds(t *testing.T) {
+	type all struct {
+		I8   int8     `pbio:"i8"`
+		I16  int16    `pbio:"i16"`
+		I32  int32    `pbio:"i32"`
+		I64  int64    `pbio:"i64"`
+		I    int      `pbio:"i"`
+		U8   uint8    `pbio:"u8"`
+		U16  uint16   `pbio:"u16"`
+		U32  uint32   `pbio:"u32"`
+		U64  uint64   `pbio:"u64"`
+		U    uint     `pbio:"u"`
+		F32  float32  `pbio:"f32"`
+		F64  float64  `pbio:"f64"`
+		B    bool     `pbio:"b"`
+		S    string   `pbio:"s"`
+		C    byte     `pbio:"c,char"`
+		E    int32    `pbio:"e,enum=off|on"`
+		Ints []int16  `pbio:"ints"`
+		Strs []string `pbio:"strs"`
+	}
+	var reg Registry
+	in := all{
+		I8: -8, I16: -16, I32: -32, I64: -64, I: -1,
+		U8: 8, U16: 16, U32: 32, U64: 64, U: 1,
+		F32: 0.5, F64: 2.25, B: true, S: "str", C: 'q', E: 1,
+		Ints: []int16{1, -2, 3}, Strs: []string{"a", ""},
+	}
+	data, err := reg.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out all
+	if err := reg.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("roundtrip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+
+	f := reg.FormatOf(all{})
+	if k := f.FieldByName("c").Kind; k != Char {
+		t.Errorf("char tag option: kind = %v", k)
+	}
+	fld := f.FieldByName("e")
+	if fld.Kind != Enum || len(fld.Symbols) != 2 || fld.Symbols[1] != "on" {
+		t.Errorf("enum tag option: %+v", fld)
+	}
+}
+
+func TestTagSkipAndUnexported(t *testing.T) {
+	type s struct {
+		Keep    int32  `pbio:"keep"`
+		Skipped int32  `pbio:"-"`
+		hidden  int32  //nolint:unused // exercises the unexported-skip path
+		NoTag   string // exported without a tag: included under its Go name
+	}
+	var reg Registry
+	f, err := reg.Register(s{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumFields() != 2 {
+		t.Fatalf("NumFields = %d, want 2 (Keep, NoTag): %v", f.NumFields(), f)
+	}
+	if f.Lookup("keep") < 0 || f.Lookup("NoTag") < 0 {
+		t.Errorf("fields = %v", f)
+	}
+	if f.Name() != "s" {
+		t.Errorf("default name = %q, want struct type name", f.Name())
+	}
+	_ = s{hidden: 0}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	var reg Registry
+	cases := []struct {
+		name string
+		v    any
+	}{
+		{"non-struct", 42},
+		{"nil", nil},
+		{"no fields", struct{ x int }{}},
+		{"pointer field", struct {
+			P *int `pbio:"p"`
+		}{}},
+		{"map field", struct {
+			M map[string]int `pbio:"m"`
+		}{}},
+		{"slice of slice", struct {
+			S [][]int `pbio:"s"`
+		}{}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := reg.Register(tt.v, ""); !errors.Is(err, ErrBadType) {
+				t.Errorf("err = %v, want ErrBadType", err)
+			}
+		})
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var reg Registry
+	data, err := reg.Marshal(loadMsg{CPU: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var m loadMsg
+	if err := reg.Unmarshal(data, m); !errors.Is(err, ErrBadType) {
+		t.Errorf("non-pointer: err = %v", err)
+	}
+	if err := reg.Unmarshal(data, (*loadMsg)(nil)); !errors.Is(err, ErrBadType) {
+		t.Errorf("nil pointer: err = %v", err)
+	}
+	var other responseV2
+	if err := reg.Unmarshal(data, &other); !errors.Is(err, ErrFingerprint) {
+		t.Errorf("wrong type: err = %v", err)
+	}
+	if err := reg.Unmarshal(data[:len(data)-1], &m); !errors.Is(err, ErrShortMessage) {
+		t.Errorf("truncated: err = %v", err)
+	}
+	if err := reg.Unmarshal(append(append([]byte{}, data...), 0), &m); !errors.Is(err, ErrTrailingData) {
+		t.Errorf("trailing: err = %v", err)
+	}
+	if _, err := reg.Marshal((*loadMsg)(nil)); !errors.Is(err, ErrBadType) {
+		t.Errorf("marshal nil pointer: err = %v", err)
+	}
+}
+
+func TestToRecordFromRecord(t *testing.T) {
+	var reg Registry
+	in := responseV2{
+		MemberCount: 1,
+		Members:     []memberV2{{Contact: contactInfo{Info: "x", ID: 3}, IsSink: true}},
+	}
+	rec, err := reg.ToRecord(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Format().Name() != "responseV2" {
+		t.Errorf("record format = %q", rec.Format().Name())
+	}
+	v, _ := rec.Get("member_list")
+	if v.Len() != 1 || v.List()[0].Record().GetIndex(1).Kind() != Boolean {
+		t.Fatalf("member_list = %v", v)
+	}
+
+	var out responseV2
+	if err := reg.FromRecord(rec, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("ToRecord∘FromRecord ≠ id:\n in  %+v\n out %+v", in, out)
+	}
+
+	// FromRecord must reject a structurally different record.
+	otherFmt := mustFormatT(t, "other", []Field{basicField("x", Integer)})
+	if err := reg.FromRecord(NewRecord(otherFmt), &out); !errors.Is(err, ErrFingerprint) {
+		t.Errorf("err = %v, want ErrFingerprint", err)
+	}
+	if err := reg.FromRecord(rec, out); !errors.Is(err, ErrBadType) {
+		t.Errorf("non-pointer: err = %v, want ErrBadType", err)
+	}
+}
+
+// TestRecordAndStructEncodingsAgree: the dynamic and the reflective path
+// must produce byte-identical messages for the same data.
+func TestRecordAndStructEncodingsAgree(t *testing.T) {
+	var reg Registry
+	in := responseV2{
+		MemberCount: 2,
+		Members: []memberV2{
+			{Contact: contactInfo{Info: "a", ID: 1}, IsSource: true},
+			{Contact: contactInfo{Info: "b", ID: 2}, IsSink: true},
+		},
+	}
+	viaStruct, err := reg.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := reg.ToRecord(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRecord := EncodeRecord(rec)
+	if !reflect.DeepEqual(viaStruct, viaRecord) {
+		t.Fatalf("encodings disagree:\n struct %x\n record %x", viaStruct, viaRecord)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	var reg Registry
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			in := loadMsg{CPU: int32(n)}
+			data, err := reg.Marshal(&in)
+			if err != nil {
+				errs <- err
+				return
+			}
+			var out loadMsg
+			if err := reg.Unmarshal(data, &out); err != nil {
+				errs <- err
+				return
+			}
+			if out.CPU != int32(n) {
+				errs <- errors.New("data raced")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	var reg Registry
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister must panic on bad types")
+		}
+	}()
+	reg.MustRegister(42, "")
+}

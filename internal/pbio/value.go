@@ -1,0 +1,238 @@
+package pbio
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Value is the dynamic representation of a single field value. It is a small
+// tagged union: exactly one of the payload slots is meaningful for a given
+// kind. The zero Value has kind Invalid.
+//
+// Values are cheap to copy. Structured payloads (records, lists) are shared
+// by reference; callers that need isolation should use Clone.
+type Value struct {
+	kind Kind
+	num  int64 // Integer, Unsigned (bit pattern), Char, Enum, Boolean (0/1)
+	fl   float64
+	str  string
+	rec  *Record
+	list []Value
+}
+
+// Int returns a Value of kind Integer.
+func Int(v int64) Value { return Value{kind: Integer, num: v} }
+
+// Uint returns a Value of kind Unsigned.
+func Uint(v uint64) Value { return Value{kind: Unsigned, num: int64(v)} }
+
+// Float64 returns a Value of kind Float.
+func Float64(v float64) Value { return Value{kind: Float, fl: v} }
+
+// CharOf returns a Value of kind Char.
+func CharOf(c byte) Value { return Value{kind: Char, num: int64(c)} }
+
+// EnumOf returns a Value of kind Enum holding ordinal v.
+func EnumOf(v int64) Value { return Value{kind: Enum, num: v} }
+
+// Str returns a Value of kind String.
+func Str(s string) Value { return Value{kind: String, str: s} }
+
+// Bool returns a Value of kind Boolean.
+func Bool(b bool) Value {
+	var n int64
+	if b {
+		n = 1
+	}
+	return Value{kind: Boolean, num: n}
+}
+
+// RecordOf returns a Value of kind Complex wrapping r.
+func RecordOf(r *Record) Value { return Value{kind: Complex, rec: r} }
+
+// ListOf returns a Value of kind List holding elems. The slice is retained,
+// not copied.
+func ListOf(elems []Value) Value { return Value{kind: List, list: elems} }
+
+// Kind returns the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsZero reports whether v is the zero (Invalid) Value.
+func (v Value) IsZero() bool { return v.kind == Invalid }
+
+// Int64 returns the numeric payload for Integer, Char, Enum and Boolean
+// values, the bit pattern reinterpreted as signed for Unsigned values, and
+// a truncated value for Float. It returns 0 for non-numeric kinds.
+func (v Value) Int64() int64 {
+	if v.kind == Float {
+		return int64(v.fl)
+	}
+	return v.num
+}
+
+// Uint64 returns the numeric payload as unsigned.
+func (v Value) Uint64() uint64 {
+	if v.kind == Float {
+		return uint64(v.fl)
+	}
+	return uint64(v.num)
+}
+
+// Float64 returns the floating payload, converting numeric kinds as needed.
+func (v Value) Float64() float64 {
+	switch v.kind {
+	case Float:
+		return v.fl
+	case Unsigned:
+		return float64(uint64(v.num))
+	default:
+		return float64(v.num)
+	}
+}
+
+// Bool reports the boolean payload; any non-zero numeric value is true.
+func (v Value) Bool() bool { return v.num != 0 }
+
+// Strval returns the string payload, or "" for non-string kinds.
+func (v Value) Strval() string { return v.str }
+
+// Record returns the nested record for Complex values, or nil otherwise.
+func (v Value) Record() *Record { return v.rec }
+
+// List returns the element slice for List values, or nil otherwise. The
+// returned slice aliases the value's storage.
+func (v Value) List() []Value { return v.list }
+
+// Len returns the element count for List values, the byte length for String
+// values, and 0 otherwise.
+func (v Value) Len() int {
+	switch v.kind {
+	case List:
+		return len(v.list)
+	case String:
+		return len(v.str)
+	default:
+		return 0
+	}
+}
+
+// Clone returns a deep copy of v. Scalar values are returned as-is.
+func (v Value) Clone() Value {
+	switch v.kind {
+	case Complex:
+		if v.rec == nil {
+			return v
+		}
+		return RecordOf(v.rec.Clone())
+	case List:
+		if v.list == nil {
+			return v
+		}
+		elems := make([]Value, len(v.list))
+		for i, e := range v.list {
+			elems[i] = e.Clone()
+		}
+		return ListOf(elems)
+	default:
+		return v
+	}
+}
+
+// Equal reports deep equality of two values. Values of different kinds are
+// never equal, except that numeric comparisons do not distinguish the width
+// a value was declared with.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case Invalid:
+		return true
+	case Float:
+		return v.fl == o.fl || (math.IsNaN(v.fl) && math.IsNaN(o.fl))
+	case String:
+		return v.str == o.str
+	case Complex:
+		if v.rec == nil || o.rec == nil {
+			return v.rec == o.rec
+		}
+		return v.rec.Equal(o.rec)
+	case List:
+		if len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(o.list[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return v.num == o.num
+	}
+}
+
+// String renders the value for debugging and error messages.
+func (v Value) String() string {
+	switch v.kind {
+	case Invalid:
+		return "<invalid>"
+	case Integer, Char, Enum:
+		return strconv.FormatInt(v.num, 10)
+	case Unsigned:
+		return strconv.FormatUint(uint64(v.num), 10)
+	case Boolean:
+		return strconv.FormatBool(v.num != 0)
+	case Float:
+		return strconv.FormatFloat(v.fl, 'g', -1, 64)
+	case String:
+		return strconv.Quote(v.str)
+	case Complex:
+		if v.rec == nil {
+			return "<nil record>"
+		}
+		return v.rec.String()
+	case List:
+		var b strings.Builder
+		b.WriteByte('[')
+		for i, e := range v.list {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteByte(']')
+		return b.String()
+	default:
+		return fmt.Sprintf("<kind %d>", v.kind)
+	}
+}
+
+// zeroValue returns the natural zero Value for a field: numeric zero, empty
+// string, an all-zero nested record, or an empty list.
+func zeroValue(f *Field) Value {
+	switch f.Kind {
+	case Integer:
+		return Int(0)
+	case Unsigned:
+		return Uint(0)
+	case Float:
+		return Float64(0)
+	case Char:
+		return CharOf(0)
+	case Enum:
+		return EnumOf(0)
+	case String:
+		return Str("")
+	case Boolean:
+		return Bool(false)
+	case Complex:
+		return RecordOf(NewRecord(f.Sub))
+	case List:
+		return ListOf(nil)
+	default:
+		return Value{}
+	}
+}

@@ -1,0 +1,167 @@
+package pbio
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		kind Kind
+		i64  int64
+		f64  float64
+		str  string
+	}{
+		{"int", Int(-42), Integer, -42, -42, ""},
+		{"uint", Uint(42), Unsigned, 42, 42, ""},
+		{"uint large", Uint(math.MaxUint64), Unsigned, -1, float64(uint64(math.MaxUint64)), ""},
+		{"float", Float64(2.5), Float, 2, 2.5, ""},
+		{"char", CharOf('A'), Char, 65, 65, ""},
+		{"enum", EnumOf(3), Enum, 3, 3, ""},
+		{"bool true", Bool(true), Boolean, 1, 1, ""},
+		{"bool false", Bool(false), Boolean, 0, 0, ""},
+		{"string", Str("hi"), String, 0, 0, "hi"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.v.Kind() != tt.kind {
+				t.Errorf("Kind = %v, want %v", tt.v.Kind(), tt.kind)
+			}
+			if tt.v.Int64() != tt.i64 {
+				t.Errorf("Int64 = %d, want %d", tt.v.Int64(), tt.i64)
+			}
+			if tt.v.Float64() != tt.f64 {
+				t.Errorf("Float64 = %g, want %g", tt.v.Float64(), tt.f64)
+			}
+			if tt.v.Strval() != tt.str {
+				t.Errorf("Strval = %q, want %q", tt.v.Strval(), tt.str)
+			}
+		})
+	}
+}
+
+func TestValueZero(t *testing.T) {
+	var v Value
+	if !v.IsZero() || v.Kind() != Invalid {
+		t.Error("zero Value must be Invalid")
+	}
+	if Int(0).IsZero() {
+		t.Error("Int(0) is a valid value, not zero")
+	}
+}
+
+func TestValueLen(t *testing.T) {
+	if got := Str("abc").Len(); got != 3 {
+		t.Errorf("string Len = %d, want 3", got)
+	}
+	if got := ListOf([]Value{Int(1), Int(2)}).Len(); got != 2 {
+		t.Errorf("list Len = %d, want 2", got)
+	}
+	if got := Int(5).Len(); got != 0 {
+		t.Errorf("int Len = %d, want 0", got)
+	}
+}
+
+func TestValueCloneIsolation(t *testing.T) {
+	f := mustFormatT(t, "f", []Field{basicField("x", Integer)})
+	inner := NewRecord(f).MustSet("x", Int(1))
+	list := ListOf([]Value{RecordOf(inner)})
+
+	clone := list.Clone()
+	if !clone.Equal(list) {
+		t.Fatal("clone must equal original")
+	}
+	// Mutate the original; the clone must not see it.
+	inner.MustSet("x", Int(99))
+	if clone.List()[0].Record().GetIndex(0).Int64() != 1 {
+		t.Error("Clone shared nested record storage with the original")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	f := mustFormatT(t, "f", []Field{basicField("x", Integer)})
+	r1 := NewRecord(f).MustSet("x", Int(1))
+	r2 := NewRecord(f).MustSet("x", Int(1))
+	r3 := NewRecord(f).MustSet("x", Int(2))
+
+	eq := []struct {
+		name string
+		a, b Value
+		want bool
+	}{
+		{"ints equal", Int(1), Int(1), true},
+		{"ints differ", Int(1), Int(2), false},
+		{"kind mismatch", Int(1), Uint(1), false},
+		{"floats equal", Float64(1.5), Float64(1.5), true},
+		{"nan equals nan", Float64(math.NaN()), Float64(math.NaN()), true},
+		{"strings", Str("a"), Str("a"), true},
+		{"strings differ", Str("a"), Str("b"), false},
+		{"records equal", RecordOf(r1), RecordOf(r2), true},
+		{"records differ", RecordOf(r1), RecordOf(r3), false},
+		{"nil records", RecordOf(nil), RecordOf(nil), true},
+		{"nil vs record", RecordOf(nil), RecordOf(r1), false},
+		{"lists equal", ListOf([]Value{Int(1)}), ListOf([]Value{Int(1)}), true},
+		{"lists length", ListOf([]Value{Int(1)}), ListOf(nil), false},
+		{"lists elem", ListOf([]Value{Int(1)}), ListOf([]Value{Int(2)}), false},
+		{"zero values", Value{}, Value{}, true},
+	}
+	for _, tt := range eq {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.want {
+				t.Errorf("Equal = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Int(-5), "-5"},
+		{Uint(math.MaxUint64), "18446744073709551615"},
+		{Bool(true), "true"},
+		{Str("a"), `"a"`},
+		{ListOf([]Value{Int(1), Int(2)}), "[1, 2]"},
+		{Value{}, "<invalid>"},
+		{RecordOf(nil), "<nil record>"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("String(%v) = %q, want %q", tt.v.Kind(), got, tt.want)
+		}
+	}
+}
+
+func TestZeroValuePerKind(t *testing.T) {
+	sub := mustFormatT(t, "sub", []Field{basicField("x", Integer)})
+	f := mustFormatT(t, "f", []Field{
+		basicField("i", Integer),
+		basicField("u", Unsigned),
+		basicField("fl", Float),
+		basicField("c", Char),
+		basicField("e", Enum),
+		basicField("s", String),
+		basicField("b", Boolean),
+		{Name: "sub", Kind: Complex, Sub: sub},
+		{Name: "list", Kind: List, Elem: &Field{Kind: Integer}},
+	})
+	r := NewRecord(f)
+	for i := 0; i < f.NumFields(); i++ {
+		v := r.GetIndex(i)
+		fld := f.Field(i)
+		if v.Kind() != fld.Kind {
+			t.Errorf("field %q zero kind = %v, want %v", fld.Name, v.Kind(), fld.Kind)
+		}
+	}
+	if sv, _ := r.Get("sub"); sv.Record() == nil {
+		t.Error("complex zero value must be an allocated record")
+	}
+	if s := r.String(); !strings.Contains(s, "sub{") {
+		t.Errorf("record String missing nested record: %s", s)
+	}
+}

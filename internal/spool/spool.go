@@ -1,0 +1,107 @@
+// Package spool persists message streams to files, extending morphing
+// across *time*: the paper notes that, having no negotiation phase, message
+// morphing "can address components separated in space and/or time" (§1).
+// A process spools messages today; a reader built years later — against
+// newer or older formats — replays the file through its own Morpher and the
+// recorded transformation meta-data bridges the generations, exactly as it
+// would have on a live connection.
+//
+// A spool file is simply the wire framing written to disk: format control
+// frames (with any associated E-Code transforms) followed by data frames.
+// No separate schema store is needed; the file is self-describing.
+package spool
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/pbio"
+	"repro/internal/wire"
+)
+
+// Writer appends records to a spool file.
+type Writer struct {
+	f    *os.File
+	conn *wire.Conn
+}
+
+// Create creates (or truncates) a spool file.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("spool: %w", err)
+	}
+	return &Writer{f: f, conn: wire.NewStreamConn(f)}, nil
+}
+
+// Declare attaches transformation meta-data to a format before its first
+// record is spooled, as on a live connection.
+func (w *Writer) Declare(f *pbio.Format, xforms ...*core.Xform) {
+	w.conn.Declare(f, xforms...)
+}
+
+// Append writes one record; the format's meta-data precedes its first
+// record automatically.
+func (w *Writer) Append(rec *pbio.Record) error {
+	return w.conn.WriteRecord(rec)
+}
+
+// Close flushes and closes the file.
+func (w *Writer) Close() error {
+	return w.conn.Close()
+}
+
+// Reader replays a spool file.
+type Reader struct {
+	f    *os.File
+	conn *wire.Conn
+}
+
+// Open opens a spool file for replay. Options (such as wire.WithMorpher)
+// apply to the replay connection.
+func Open(path string, opts ...wire.Option) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spool: %w", err)
+	}
+	return &Reader{f: f, conn: wire.NewStreamConn(f, opts...)}, nil
+}
+
+// Next returns the next spooled record in its recorded wire format, or
+// io.EOF at the end of the file.
+func (r *Reader) Next() (*pbio.Record, error) {
+	return r.conn.ReadRecord()
+}
+
+// Replay delivers every remaining record through the morpher attached at
+// Open (wire.WithMorpher), stopping at end of file.
+func (r *Reader) Replay() error {
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := r.deliver(rec); err != nil {
+			return err
+		}
+	}
+}
+
+func (r *Reader) deliver(rec *pbio.Record) error {
+	m := r.Morpher()
+	if m == nil {
+		return fmt.Errorf("spool: Replay requires wire.WithMorpher at Open")
+	}
+	return m.Deliver(rec)
+}
+
+// Morpher returns the morphing engine attached at Open, if any.
+func (r *Reader) Morpher() *core.Morpher { return r.conn.Morpher() }
+
+// Close closes the file.
+func (r *Reader) Close() error { return r.conn.Close() }

@@ -1,0 +1,385 @@
+// Package wire frames PBIO messages over a byte stream and ships format
+// meta-data out-of-band, the transport role PBIO's connection manager plays
+// in the paper.
+//
+// The first time a connection sends a record of some format, a control
+// frame carrying the serialized format description — and any transformation
+// code associated with it — precedes the data frame. Receivers cache the
+// description, feed the transformations to their Morpher, and from then on
+// every message of that format costs only its 8-byte fingerprint in
+// meta-data. This is what the paper means by "out-of-band, binary
+// meta-data": the per-message overhead stays constant while evolution
+// information still reaches every receiver, with no negotiation round-trips
+// (the sender never waits to learn what the receiver understands).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/pbio"
+)
+
+// Frame types.
+const (
+	frameFormat byte = 1 // body: format blob + associated transform blobs
+	frameData   byte = 2 // body: enveloped record (fingerprint + payload)
+)
+
+// DefaultMaxFrame bounds incoming frame bodies; a peer cannot force an
+// arbitrary allocation with a forged length header.
+const DefaultMaxFrame = 64 << 20
+
+// Wire errors.
+var (
+	// ErrUnknownFormat is returned when a data frame references a
+	// fingerprint no format control frame has announced.
+	ErrUnknownFormat = errors.New("wire: data frame for unannounced format")
+
+	// ErrFrameTooLarge is returned when a frame header exceeds the
+	// connection's limit.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+	// ErrBadFrame is wrapped by malformed-frame errors.
+	ErrBadFrame = errors.New("wire: malformed frame")
+)
+
+// Stream is the byte transport a Conn runs over: a net.Conn, one end of a
+// net.Pipe, or any file-like duplex (the spool package frames messages into
+// ordinary files through this interface).
+type Stream interface {
+	io.Reader
+	io.Writer
+	io.Closer
+}
+
+// Conn is a message-oriented connection. Writes are safe for concurrent
+// use; ReadRecord must be called from a single goroutine (the usual receive
+// loop).
+type Conn struct {
+	nc         Stream
+	maxFrame   int
+	morpher    *core.Morpher
+	formatHook func(*pbio.Format, []*core.Xform)
+
+	wmu      sync.Mutex
+	bw       *bufio.Writer
+	sent     map[uint64]bool
+	declared map[uint64][]*core.Xform
+
+	br          *bufio.Reader
+	recvFormats map[uint64]*pbio.Format
+
+	stats struct {
+		dataSent, dataRecv     atomic.Uint64 // data frames
+		formatSent, formatRecv atomic.Uint64 // format control frames
+		bytesSent, bytesRecv   atomic.Uint64 // frame bodies incl. headers
+	}
+}
+
+// Stats is a snapshot of a connection's frame counters. The format counters
+// make the out-of-band design visible: in steady state they stay constant
+// while the data counters grow.
+type Stats struct {
+	DataFramesSent   uint64
+	DataFramesRecv   uint64
+	FormatFramesSent uint64
+	FormatFramesRecv uint64
+	BytesSent        uint64
+	BytesRecv        uint64
+}
+
+// Stats returns the connection's counters.
+func (c *Conn) Stats() Stats {
+	return Stats{
+		DataFramesSent:   c.stats.dataSent.Load(),
+		DataFramesRecv:   c.stats.dataRecv.Load(),
+		FormatFramesSent: c.stats.formatSent.Load(),
+		FormatFramesRecv: c.stats.formatRecv.Load(),
+		BytesSent:        c.stats.bytesSent.Load(),
+		BytesRecv:        c.stats.bytesRecv.Load(),
+	}
+}
+
+// Morpher returns the morphing engine attached with WithMorpher, or nil.
+func (c *Conn) Morpher() *core.Morpher { return c.morpher }
+
+// Option configures a Conn.
+type Option func(*Conn)
+
+// WithMorpher attaches a morphing engine: transformations arriving in
+// format control frames are registered with it, and Serve delivers through
+// it.
+func WithMorpher(m *core.Morpher) Option {
+	return func(c *Conn) { c.morpher = m }
+}
+
+// WithMaxFrame overrides the incoming frame size limit.
+func WithMaxFrame(n int) Option {
+	return func(c *Conn) { c.maxFrame = n }
+}
+
+// WithFormatHook installs a callback invoked whenever a format control
+// frame arrives, with the decoded format and its associated transforms.
+// Intermediaries (the ECho event domain, B2B brokers) use it to relay
+// evolution meta-data to their own downstream connections.
+func WithFormatHook(hook func(*pbio.Format, []*core.Xform)) Option {
+	return func(c *Conn) { c.formatHook = hook }
+}
+
+// NewConn wraps a net.Conn (or net.Pipe end) as a message connection.
+func NewConn(nc net.Conn, opts ...Option) *Conn {
+	return NewStreamConn(nc, opts...)
+}
+
+// NewStreamConn wraps any byte stream as a message connection; it is how
+// the framing is reused over non-network transports (files, in-memory
+// buffers).
+func NewStreamConn(nc Stream, opts ...Option) *Conn {
+	c := &Conn{
+		nc:          nc,
+		maxFrame:    DefaultMaxFrame,
+		bw:          bufio.NewWriter(nc),
+		br:          bufio.NewReader(nc),
+		sent:        make(map[uint64]bool),
+		declared:    make(map[uint64][]*core.Xform),
+		recvFormats: make(map[uint64]*pbio.Format),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Declare associates transformation code with a format, mirroring the
+// paper's "the writer may also specify a set of transformations". The
+// transforms travel in the same control frame as the format description,
+// emitted once, before the format's first data frame. Declare replaces any
+// previous declaration for the format; it has no effect once the format
+// frame has been sent.
+func (c *Conn) Declare(f *pbio.Format, xforms ...*core.Xform) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.sent[f.Fingerprint()] {
+		return
+	}
+	c.declared[f.Fingerprint()] = xforms
+}
+
+// WriteRecord sends rec, pushing its format meta-data (and declared
+// transforms) out-of-band if this connection has not sent that format
+// before.
+func (c *Conn) WriteRecord(rec *pbio.Record) error {
+	f := rec.Format()
+	fp := f.Fingerprint()
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if !c.sent[fp] {
+		if err := c.writeFormatLocked(f, c.declared[fp]); err != nil {
+			return err
+		}
+		c.sent[fp] = true
+	}
+	body := pbio.EncodeRecord(rec)
+	if err := c.writeFrameLocked(frameData, body); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *Conn) writeFormatLocked(f *pbio.Format, xforms []*core.Xform) error {
+	blob := pbio.EncodeFormat(f)
+	body := binary.AppendUvarint(nil, uint64(len(blob)))
+	body = append(body, blob...)
+	body = binary.AppendUvarint(body, uint64(len(xforms)))
+	for _, x := range xforms {
+		xb := core.EncodeXform(x)
+		body = binary.AppendUvarint(body, uint64(len(xb)))
+		body = append(body, xb...)
+	}
+	return c.writeFrameLocked(frameFormat, body)
+}
+
+func (c *Conn) writeFrameLocked(typ byte, body []byte) error {
+	var hdr [binary.MaxVarintLen64 + 1]byte
+	hdr[0] = typ
+	n := binary.PutUvarint(hdr[1:], uint64(len(body)))
+	if _, err := c.bw.Write(hdr[:1+n]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(body); err != nil {
+		return err
+	}
+	c.stats.bytesSent.Add(uint64(1 + n + len(body)))
+	if typ == frameData {
+		c.stats.dataSent.Add(1)
+	} else {
+		c.stats.formatSent.Add(1)
+	}
+	return nil
+}
+
+// ReadRecord reads frames until a data frame arrives, returning the decoded
+// record in its wire format. Format control frames encountered on the way
+// are absorbed: the format cache is updated and transformations are handed
+// to the attached Morpher. io.EOF is returned when the peer closes cleanly.
+func (c *Conn) ReadRecord() (*pbio.Record, error) {
+	for {
+		typ, body, err := c.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case frameFormat:
+			if err := c.handleFormatFrame(body); err != nil {
+				return nil, err
+			}
+		case frameData:
+			fp, err := pbio.PeekFingerprint(body)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+			}
+			f, ok := c.recvFormats[fp]
+			if !ok {
+				return nil, fmt.Errorf("%w: %016x", ErrUnknownFormat, fp)
+			}
+			return pbio.DecodeRecord(body, f)
+		default:
+			return nil, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, typ)
+		}
+	}
+}
+
+func (c *Conn) readFrame() (byte, []byte, error) {
+	typ, err := c.br.ReadByte()
+	if err != nil {
+		return 0, nil, err // io.EOF passes through untouched
+	}
+	size, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%w: bad length: %v", ErrBadFrame, err)
+	}
+	if size > uint64(c.maxFrame) {
+		return 0, nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, size, c.maxFrame)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated body: %v", ErrBadFrame, err)
+	}
+	c.stats.bytesRecv.Add(1 + uint64(uvarintLen(size)) + size)
+	if typ == frameData {
+		c.stats.dataRecv.Add(1)
+	} else {
+		c.stats.formatRecv.Add(1)
+	}
+	return typ, body, nil
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+func (c *Conn) handleFormatFrame(body []byte) error {
+	rest := body
+	next := func() ([]byte, error) {
+		n, used := binary.Uvarint(rest)
+		if used <= 0 || n > uint64(len(rest)-used) {
+			return nil, fmt.Errorf("%w: format frame chunk", ErrBadFrame)
+		}
+		chunk := rest[used : used+int(n)]
+		rest = rest[used+int(n):]
+		return chunk, nil
+	}
+	blob, err := next()
+	if err != nil {
+		return err
+	}
+	f, err := pbio.DecodeFormat(blob)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	c.recvFormats[f.Fingerprint()] = f
+
+	nx, used := binary.Uvarint(rest)
+	if used <= 0 {
+		return fmt.Errorf("%w: transform count", ErrBadFrame)
+	}
+	rest = rest[used:]
+	var xforms []*core.Xform
+	for i := uint64(0); i < nx; i++ {
+		xb, err := next()
+		if err != nil {
+			return err
+		}
+		x, err := core.DecodeXform(xb)
+		if err != nil {
+			return fmt.Errorf("%w: transform %d: %v", ErrBadFrame, i, err)
+		}
+		if c.morpher != nil || c.formatHook != nil {
+			// Reject code that does not compile against its own formats
+			// now, at meta-data time, instead of poisoning the first
+			// delivery.
+			if err := x.Validate(); err != nil {
+				return fmt.Errorf("%w: transform %d: %v", ErrBadFrame, i, err)
+			}
+		}
+		if c.morpher != nil {
+			if err := c.morpher.AddTransform(x); err != nil {
+				return err
+			}
+		}
+		xforms = append(xforms, x)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in format frame", ErrBadFrame, len(rest))
+	}
+	if c.formatHook != nil {
+		c.formatHook(f, xforms)
+	}
+	return nil
+}
+
+// Serve reads records until EOF or error, delivering each through the
+// attached Morpher. It is the receive loop of a morphing-aware endpoint.
+func (c *Conn) Serve() error {
+	if c.morpher == nil {
+		return errors.New("wire: Serve requires a Morpher (use WithMorpher)")
+	}
+	for {
+		rec, err := c.ReadRecord()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := c.morpher.Deliver(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// RemoteAddr exposes the peer address for logging, or nil when the
+// underlying stream is not a network connection.
+func (c *Conn) RemoteAddr() net.Addr {
+	if nc, ok := c.nc.(net.Conn); ok {
+		return nc.RemoteAddr()
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package xslt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/xmlx"
+)
+
+func TestVariables(t *testing.T) {
+	sheet, err := ParseStylesheet([]byte(`
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="/order">
+  <xsl:variable name="total" select="sum(item/price)"/>
+  <xsl:variable name="label">order-summary</xsl:variable>
+  <summary>
+    <kind><xsl:value-of select="$label"/></kind>
+    <total><xsl:value-of select="$total"/></total>
+    <xsl:if test="$total > 20"><big/></xsl:if>
+    <doubled><xsl:value-of select="$total * 2"/></doubled>
+  </summary>
+</xsl:template>
+</xsl:stylesheet>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sheet.TransformDocument(parseDoc(t,
+		`<order><item><price>10</price></item><item><price>15</price></item></order>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(xmlx.Render(out))
+	want := `<summary><kind>order-summary</kind><total>25</total><big></big><doubled>50</doubled></summary>`
+	if got != want {
+		t.Errorf("got  %s\nwant %s", got, want)
+	}
+}
+
+func TestVariableScopeIsFollowingSiblings(t *testing.T) {
+	// A variable defined inside an element must not leak to the element's
+	// siblings.
+	sheet, err := ParseStylesheet([]byte(`
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="/r">
+  <out>
+    <inner><xsl:variable name="v" select="1"/><a><xsl:value-of select="$v"/></a></inner>
+    <after><xsl:value-of select="$v"/></after>
+  </out>
+</xsl:template>
+</xsl:stylesheet>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sheet.Transform(parseDoc(t, "<r/>"))
+	if err == nil || !strings.Contains(err.Error(), "undefined variable $v") {
+		t.Errorf("err = %v, want undefined variable", err)
+	}
+}
+
+func TestUndefinedVariable(t *testing.T) {
+	e, err := CompileExpr("$missing + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Eval(Ctx{Node: parseDoc(t, "<a/>")}); !errors.Is(err, ErrXPath) {
+		t.Errorf("err = %v, want ErrXPath", err)
+	}
+	if _, err := CompileExpr("$"); err == nil {
+		t.Error("bare $ must not parse")
+	}
+}
+
+func TestXslCopyIdentityish(t *testing.T) {
+	// The classic identity-transform skeleton: copy elements, recurse.
+	sheet, err := ParseStylesheet([]byte(`
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="*"><xsl:copy><xsl:apply-templates/></xsl:copy></xsl:template>
+</xsl:stylesheet>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := "<a><b>text</b><c><d>deep</d></c></a>"
+	out, err := sheet.Transform(parseDoc(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Text passes through the built-in rule; structure is copied (without
+	// attributes, per xsl:copy semantics).
+	if got := string(xmlx.Render(out)); got != src {
+		t.Errorf("identity copy = %q, want %q", got, src)
+	}
+}
+
+func TestXslCopyTextNode(t *testing.T) {
+	sheet, err := ParseStylesheet([]byte(`
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="a"><xsl:apply-templates/></xsl:template>
+<xsl:template match="text()"><wrapped><xsl:copy/></wrapped></xsl:template>
+</xsl:stylesheet>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sheet.Transform(parseDoc(t, "<a>hello</a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(xmlx.Render(out)); got != "<wrapped>hello</wrapped>" {
+		t.Errorf("got %q", got)
+	}
+}

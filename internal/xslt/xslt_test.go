@@ -1,0 +1,407 @@
+package xslt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/xmlx"
+)
+
+func parseDoc(t *testing.T, src string) *xmlx.Node {
+	t.Helper()
+	doc, err := xmlx.Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func evalStr(t *testing.T, src, doc string) string {
+	t.Helper()
+	e, err := CompileExpr(src)
+	if err != nil {
+		t.Fatalf("CompileExpr(%q): %v", src, err)
+	}
+	n := parseDoc(t, doc)
+	v, err := e.Eval(Ctx{Node: xmlx.Document(n), Pos: 1, Size: 1})
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v.String()
+}
+
+const catalogDoc = `<catalog>
+  <book lang="en"><title>A</title><price>10</price><tags><t>x</t><t>y</t></tags></book>
+  <book lang="de"><title>B</title><price>25</price><tags><t>z</t></tags></book>
+  <book lang="en"><title>C</title><price>7</price><tags></tags></book>
+</catalog>`
+
+func TestXPathPaths(t *testing.T) {
+	tests := []struct {
+		expr string
+		want string
+	}{
+		{"catalog/book/title", "A"},                              // first node string-value
+		{"/catalog/book[2]/title", "B"},                          // positional predicate
+		{"count(catalog/book)", "3"},                             // count
+		{"count(//t)", "3"},                                      // descendant axis
+		{"catalog/book[price > 8]/title", "A"},                   // numeric comparison predicate
+		{"count(catalog/book[price > 8])", "2"},                  // filtered count
+		{"catalog/book[@lang='de']/title", "B"},                  // attribute predicate
+		{"count(catalog/book[@lang='en'])", "2"},                 // attribute filter
+		{"sum(catalog/book/price)", "42"},                        // sum
+		{"catalog/book[last()]/title", "C"},                      // last()
+		{"catalog/book[position()=2]/title", "B"},                // position()
+		{"concat('x', '-', catalog/book/title)", "x-A"},          // concat + path
+		{"string-length(catalog/book/title)", "1"},               // string-length
+		{"count(catalog/book/tags/t | catalog/book/title)", "6"}, // union
+		{"number(catalog/book[1]/price) + 5", "15"},              // arithmetic
+		{"20 div 4", "5"},                                        // div
+		{"7 mod 3", "1"},                                         // mod
+		{"-catalog/book[1]/price", "-10"},                        // unary minus
+		{"normalize-space('  a  b ')", "a b"},                    // normalize-space
+		{"name(catalog/book[1])", "book"},                        // name()
+		{"catalog/book[1]/../book[3]/title", "C"},                // parent axis
+		{"catalog/book[1]/title/text()", "A"},                    // text() step
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			if got := evalStr(t, tt.expr, catalogDoc); got != tt.want {
+				t.Errorf("got %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestXPathStringAndNumberFunctions(t *testing.T) {
+	tests := []struct {
+		expr string
+		want string
+	}{
+		{"substring('12345', 2)", "2345"},
+		{"substring('12345', 2, 3)", "234"},
+		{"substring('12345', 0, 3)", "12"},
+		{"substring('12345', 9)", ""},
+		{"substring-before('1999/04/01', '/')", "1999"},
+		{"substring-after('1999/04/01', '/')", "04/01"},
+		{"substring-before('abc', 'z')", ""},
+		{"translate('bar', 'abc', 'ABC')", "BAr"},
+		{"translate('--aaa--', 'a-', 'A')", "AAA"},
+		{"floor(2.7)", "2"},
+		{"ceiling(2.1)", "3"},
+		{"round(2.5)", "3"},
+		{"round(-1.4)", "-1"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			if got := evalStr(t, tt.expr, "<a/>"); got != tt.want {
+				t.Errorf("got %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestXPathBooleans(t *testing.T) {
+	tests := []struct {
+		expr string
+		want bool
+	}{
+		{"count(catalog/book) = 3", true},
+		{"count(catalog/book) != 3", false},
+		{"catalog/book/price = 25", true}, // existential
+		{"catalog/book/price = 11", false},
+		{"catalog/book[1]/price < 11 and catalog/book[2]/price > 11", true},
+		{"true() or false()", true},
+		{"not(false())", true},
+		{"contains('hello', 'ell')", true},
+		{"starts-with('hello', 'he')", true},
+		{"starts-with('hello', 'lo')", false},
+		{"boolean(catalog/missing)", false},
+		{"boolean(catalog/book)", true},
+		{"'a' = 'a'", true},
+		{"1 <= 1", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			e, err := CompileExpr(tt.expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := parseDoc(t, catalogDoc)
+			v, err := e.Eval(Ctx{Node: xmlx.Document(n), Pos: 1, Size: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Bool() != tt.want {
+				t.Errorf("got %v, want %v", v.Bool(), tt.want)
+			}
+		})
+	}
+}
+
+func TestXPathErrors(t *testing.T) {
+	bad := []string{
+		"", "catalog/", "foo(", "count(1, 2, 3", "'unterminated",
+		"catalog/book[", "1 +", "@", "nosuchfn(1)",
+	}
+	for _, src := range bad {
+		t.Run(src, func(t *testing.T) {
+			e, err := CompileExpr(src)
+			if err != nil {
+				return // parse-time rejection is fine
+			}
+			n := parseDoc(t, catalogDoc)
+			if _, err := e.Eval(Ctx{Node: n, Pos: 1, Size: 1}); err == nil {
+				t.Errorf("CompileExpr+Eval(%q) both succeeded", src)
+			}
+		})
+	}
+	if _, err := CompileExpr("count(1,2"); err != nil && !errors.Is(err, ErrXPath) {
+		t.Errorf("error must wrap ErrXPath, got %v", err)
+	}
+}
+
+// channelOpenV2XSL is the XSLT equivalent of the paper's Figure 5,
+// converting ChannelOpenResponse v2.0 documents to v1.0.
+const channelOpenV2XSL = `<?xml version="1.0"?>
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="/ChannelOpenResponse">
+<ChannelOpenResponse>
+  <member_count><xsl:value-of select="member_count"/></member_count>
+  <member_list>
+    <xsl:for-each select="member_list/MemberV2">
+      <MemberEntry><info><xsl:value-of select="info"/></info><ID><xsl:value-of select="ID"/></ID></MemberEntry>
+    </xsl:for-each>
+  </member_list>
+  <src_count><xsl:value-of select="count(member_list/MemberV2[is_Source='true'])"/></src_count>
+  <src_list>
+    <xsl:for-each select="member_list/MemberV2[is_Source='true']">
+      <MemberEntry><info><xsl:value-of select="info"/></info><ID><xsl:value-of select="ID"/></ID></MemberEntry>
+    </xsl:for-each>
+  </src_list>
+  <sink_count><xsl:value-of select="count(member_list/MemberV2[is_Sink='true'])"/></sink_count>
+  <sink_list>
+    <xsl:for-each select="member_list/MemberV2[is_Sink='true']">
+      <MemberEntry><info><xsl:value-of select="info"/></info><ID><xsl:value-of select="ID"/></ID></MemberEntry>
+    </xsl:for-each>
+  </sink_list>
+</ChannelOpenResponse>
+</xsl:template>
+</xsl:stylesheet>`
+
+const v2Doc = `<ChannelOpenResponse>
+<member_count>3</member_count>
+<member_list>
+  <MemberV2><info>tcp:a:1</info><ID>7</ID><is_Source>true</is_Source><is_Sink>false</is_Sink></MemberV2>
+  <MemberV2><info>tcp:b:2</info><ID>7</ID><is_Source>false</is_Source><is_Sink>true</is_Sink></MemberV2>
+  <MemberV2><info>tcp:c:3</info><ID>7</ID><is_Source>true</is_Source><is_Sink>true</is_Sink></MemberV2>
+</member_list>
+</ChannelOpenResponse>`
+
+func TestChannelOpenResponseTransformation(t *testing.T) {
+	sheet, err := ParseStylesheet([]byte(channelOpenV2XSL))
+	if err != nil {
+		t.Fatalf("ParseStylesheet: %v", err)
+	}
+	result, err := sheet.TransformDocument(parseDoc(t, v2Doc))
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	if result.Name != "ChannelOpenResponse" {
+		t.Fatalf("result root = %q", result.Name)
+	}
+	get := func(name string) string { return result.Child(name).TextContent() }
+	if get("member_count") != "3" {
+		t.Errorf("member_count = %q", get("member_count"))
+	}
+	if get("src_count") != "2" {
+		t.Errorf("src_count = %q", get("src_count"))
+	}
+	if get("sink_count") != "2" {
+		t.Errorf("sink_count = %q", get("sink_count"))
+	}
+	srcs := result.Child("src_list").ChildElements()
+	if len(srcs) != 2 ||
+		srcs[0].Child("info").TextContent() != "tcp:a:1" ||
+		srcs[1].Child("info").TextContent() != "tcp:c:3" {
+		t.Errorf("src_list wrong: %s", xmlx.Render(result.Child("src_list")))
+	}
+	sinks := result.Child("sink_list").ChildElements()
+	if len(sinks) != 2 || sinks[0].Child("info").TextContent() != "tcp:b:2" {
+		t.Errorf("sink_list wrong: %s", xmlx.Render(result.Child("sink_list")))
+	}
+	members := result.Child("member_list").ChildElements()
+	if len(members) != 3 || members[2].Child("ID").TextContent() != "7" {
+		t.Errorf("member_list wrong")
+	}
+}
+
+func TestTemplateSelectionAndBuiltins(t *testing.T) {
+	sheet, err := ParseStylesheet([]byte(`
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="b"><hit><xsl:value-of select="."/></hit></xsl:template>
+</xsl:stylesheet>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No template for root or <a>: built-in rules recurse; text copied.
+	out, err := sheet.Transform(parseDoc(t, "<a>plain<b>X</b>tail</a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(xmlx.Render(out))
+	if got != "plain<hit>X</hit>tail" {
+		t.Errorf("result = %q", got)
+	}
+}
+
+func TestTemplatePriority(t *testing.T) {
+	sheet, err := ParseStylesheet([]byte(`
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="*"><any/></xsl:template>
+<xsl:template match="x"><specific/></xsl:template>
+<xsl:template match="a/x"><path/></xsl:template>
+</xsl:stylesheet>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sheet.Transform(parseDoc(t, "<a><x/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(xmlx.Render(out))
+	// Root <a> matches "*" → <any/>; its children are not visited because
+	// the template body has no apply-templates.
+	if got != "<any></any>" {
+		t.Errorf("result = %q", got)
+	}
+
+	// With apply-templates on <a>, the <x> child must pick the multi-step
+	// pattern (higher priority than both "x" and "*").
+	sheet2, err := ParseStylesheet([]byte(`
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="a"><xsl:apply-templates/></xsl:template>
+<xsl:template match="*"><any/></xsl:template>
+<xsl:template match="x"><specific/></xsl:template>
+<xsl:template match="a/x"><path/></xsl:template>
+</xsl:stylesheet>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := sheet2.Transform(parseDoc(t, "<a><x/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(xmlx.Render(out2)); got != "<path></path>" {
+		t.Errorf("result = %q, want the a/x template", got)
+	}
+}
+
+func TestChooseIfElementAttribute(t *testing.T) {
+	sheet, err := ParseStylesheet([]byte(`
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="/n">
+  <out>
+    <xsl:attribute name="size"><xsl:value-of select="count(v)"/></xsl:attribute>
+    <xsl:for-each select="v">
+      <xsl:choose>
+        <xsl:when test=". > 10"><big><xsl:value-of select="."/></big></xsl:when>
+        <xsl:otherwise><small><xsl:value-of select="."/></small></xsl:otherwise>
+      </xsl:choose>
+    </xsl:for-each>
+    <xsl:if test="count(v) > 2"><many/></xsl:if>
+    <xsl:element name="made"><xsl:text>lit</xsl:text></xsl:element>
+    <xsl:copy-of select="v[1]"/>
+  </out>
+</xsl:template>
+</xsl:stylesheet>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sheet.TransformDocument(parseDoc(t, "<n><v>5</v><v>50</v><v>7</v></n>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(xmlx.Render(out))
+	want := `<out size="3"><small>5</small><big>50</big><small>7</small><many></many><made>lit</made><v>5</v></out>`
+	if got != want {
+		t.Errorf("result = %q\nwant     %q", got, want)
+	}
+}
+
+func TestStylesheetErrors(t *testing.T) {
+	bad := []struct {
+		name string
+		src  string
+	}{
+		{"not a stylesheet", "<root/>"},
+		{"wrong namespace", `<xsl:stylesheet xmlns:xsl="urn:other"><xsl:template match="/"/></xsl:stylesheet>`},
+		{"no templates", `<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"></xsl:stylesheet>`},
+		{"template without match", `<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template/></xsl:stylesheet>`},
+		{"bad select", `<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template match="/"><xsl:value-of select="((("/></xsl:template></xsl:stylesheet>`},
+		{"bad pattern", `<xsl:stylesheet xmlns:xsl="http://www.w3.org/1999/XSL/Transform"><xsl:template match="a[1]"/></xsl:stylesheet>`},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseStylesheet([]byte(tt.src)); !errors.Is(err, ErrStylesheet) {
+				t.Errorf("err = %v, want ErrStylesheet", err)
+			}
+		})
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	sheet, err := ParseStylesheet([]byte(`
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="/"><xsl:for-each select="concat('a','b')"><x/></xsl:for-each></xsl:template>
+</xsl:stylesheet>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sheet.Transform(parseDoc(t, "<a/>")); !errors.Is(err, ErrTransform) {
+		t.Errorf("for-each over a string must fail with ErrTransform, got %v", err)
+	}
+
+	sheet2, err := ParseStylesheet([]byte(`
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="/"><xsl:unknown-instruction/></xsl:template>
+</xsl:stylesheet>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sheet2.Transform(parseDoc(t, "<a/>")); !errors.Is(err, ErrTransform) {
+		t.Errorf("unknown instruction must fail with ErrTransform, got %v", err)
+	}
+}
+
+func TestTextMatchTemplate(t *testing.T) {
+	sheet, err := ParseStylesheet([]byte(`
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="a"><xsl:apply-templates/></xsl:template>
+<xsl:template match="text()"><T><xsl:value-of select="."/></T></xsl:template>
+</xsl:stylesheet>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sheet.Transform(parseDoc(t, "<a>hi</a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(xmlx.Render(out)); got != "<T>hi</T>" {
+		t.Errorf("result = %q", got)
+	}
+}
+
+func TestStringsBuilderNotNeeded(t *testing.T) {
+	// Val.String of numbers: integers render without exponent.
+	if got := numVal(3).String(); got != "3" {
+		t.Errorf("numVal(3).String() = %q", got)
+	}
+	if got := numVal(2.5).String(); got != "2.5" {
+		t.Errorf("numVal(2.5).String() = %q", got)
+	}
+	if !strings.Contains(numVal(1e21).String(), "e+21") {
+		t.Errorf("huge float = %q", numVal(1e21).String())
+	}
+}
