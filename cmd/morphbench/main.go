@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	morphbench [-exp all|table1|fig8|fig9|fig10|ablations] [-quick] [-csv dir]
+//	morphbench [-exp all|table1|fig8|fig9|fig10|ablations] [-quick] [-csv dir] [-obs]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +18,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/ecode"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,9 +32,10 @@ func main() {
 func run(stdout io.Writer, args []string) error {
 	fs := flag.NewFlagSet("morphbench", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, ablations")
-		quick  = fs.Bool("quick", false, "shorter measuring windows and smaller max size (for CI)")
-		csvDir = fs.String("csv", "", "also write CSV files into this directory")
+		exp     = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, ablations")
+		quick   = fs.Bool("quick", false, "shorter measuring windows and smaller max size (for CI)")
+		csvDir  = fs.String("csv", "", "also write CSV files into this directory")
+		withObs = fs.Bool("obs", false, "attach an observability registry and print its final snapshot as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -40,6 +44,13 @@ func run(stdout io.Writer, args []string) error {
 	h, err := bench.NewHarness()
 	if err != nil {
 		return err
+	}
+	var reg *obs.Registry
+	if *withObs {
+		reg = obs.NewRegistry("morphbench")
+		h.SetObs(reg)
+		ecode.SetObs(reg)
+		defer ecode.SetObs(nil)
 	}
 	opts := bench.Options{MinTotal: 200 * time.Millisecond}
 	if *quick {
@@ -136,6 +147,15 @@ func run(stdout io.Writer, args []string) error {
 	if *exp == "all" {
 		fmt.Fprintln(stdout, "Summary (paper-shape check)")
 		fmt.Fprint(stdout, bench.Summary(encode, decode, morph, sizeRows))
+	}
+
+	if reg != nil {
+		fmt.Fprintln(stdout, "Observability snapshot")
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reg.Snapshot()); err != nil {
+			return err
+		}
 	}
 	return nil
 }

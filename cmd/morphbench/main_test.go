@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestRunTable1 drives the tool end to end for the cheapest experiment and
@@ -26,6 +29,40 @@ func TestRunTable1(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(csv), "label,unencoded_v2") {
 		t.Errorf("csv wrong:\n%s", csv)
+	}
+}
+
+// TestRunObs drives the ablations with -obs and checks the tool prints a
+// parseable snapshot in which the engine's own accounting is visible: the
+// cold-path ablation creates one morpher per iteration (many compiles), the
+// cached-path ablation reuses one decision (many cache hits).
+func TestRunObs(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-exp", "ablations", "-quick", "-obs"}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	idx := strings.Index(s, "Observability snapshot")
+	if idx < 0 {
+		t.Fatalf("no snapshot section in output:\n%s", s)
+	}
+	jsonPart := s[idx+len("Observability snapshot"):]
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(jsonPart), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, jsonPart)
+	}
+	if snap.Counters["core.compiled"] == 0 {
+		t.Error("core.compiled = 0; ablation morphers are not attached to the registry")
+	}
+	if snap.Counters["core.cache_hits"] == 0 {
+		t.Error("core.cache_hits = 0")
+	}
+	if snap.Counters["ecode.compiles"] == 0 {
+		t.Error("ecode.compiles = 0; ecode.SetObs not in effect")
+	}
+	if snap.Counters["core.delivered"] < snap.Counters["core.cache_hits"] {
+		t.Errorf("delivered %d < cache_hits %d: snapshot ordering broken",
+			snap.Counters["core.delivered"], snap.Counters["core.cache_hits"])
 	}
 }
 

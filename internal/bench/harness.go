@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/echo"
 	"repro/internal/ecode"
+	"repro/internal/obs"
 	"repro/internal/pbio"
 	"repro/internal/xmlx"
 	"repro/internal/xslt"
@@ -50,7 +51,14 @@ type Harness struct {
 	V1, V2 *pbio.Format
 	fig5   *ecode.Program
 	sheet  *xslt.Stylesheet
+	obs    *obs.Registry
 }
+
+// SetObs attaches an observability registry: morphers created by the
+// ablation experiments record their core.* decision metrics there, so a
+// benchmark run can be cross-checked against the engine's own accounting
+// (morphbench -obs). Nil detaches.
+func (h *Harness) SetObs(reg *obs.Registry) { h.obs = reg }
 
 // NewHarness compiles the shared experiment state.
 func NewHarness() (*Harness, error) {
@@ -348,7 +356,7 @@ func (h *Harness) AblationColdVsCached(size int, minTotal time.Duration) (cold, 
 	handler := func(*pbio.Record) error { return nil }
 
 	cold = timeIt(func() {
-		m := core.NewMorpher(core.DefaultThresholds)
+		m := core.NewMorpher(core.DefaultThresholds, core.WithObs(h.obs))
 		if err := m.RegisterFormat(echo.ResponseV1Format, handler); err != nil {
 			panic(err)
 		}
@@ -362,7 +370,7 @@ func (h *Harness) AblationColdVsCached(size int, minTotal time.Duration) (cold, 
 		}
 	}, minTotal)
 
-	m := core.NewMorpher(core.DefaultThresholds)
+	m := core.NewMorpher(core.DefaultThresholds, core.WithObs(h.obs))
 	if err := m.RegisterFormat(echo.ResponseV1Format, handler); err != nil {
 		return 0, 0, err
 	}

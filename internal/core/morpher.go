@@ -4,9 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/ecode"
+	"repro/internal/obs"
 	"repro/internal/pbio"
 )
 
@@ -26,7 +27,12 @@ var (
 	ErrBadTransform = errors.New("core: transformation does not compile")
 )
 
-// Stats counts Morpher activity. Reads are approximate under concurrency.
+// Stats counts Morpher activity. Snapshots taken by Stats read the
+// sub-counters first and Delivered last; because every delivery increments
+// Delivered before any sub-counter, a snapshot always satisfies
+// Delivered ≥ CacheHits, Delivered ≥ Rejected, and so on — counters never
+// appear to run ahead of the deliveries that caused them, even under
+// concurrent load.
 type Stats struct {
 	Delivered   uint64 // messages processed
 	CacheHits   uint64 // messages whose format decision was already cached
@@ -34,6 +40,12 @@ type Stats struct {
 	Transformed uint64 // messages that ran ≥1 transformation step
 	Converted   uint64 // messages that needed name-wise fill/drop conversion
 	Rejected    uint64 // messages with no acceptable match
+}
+
+// String renders the snapshot as one log-friendly line.
+func (s Stats) String() string {
+	return fmt.Sprintf("delivered=%d cache_hits=%d compiled=%d transformed=%d converted=%d rejected=%d",
+		s.Delivered, s.CacheHits, s.Compiled, s.Transformed, s.Converted, s.Rejected)
 }
 
 // Morpher is the receiver-side morphing engine (the paper's Algorithm 2).
@@ -56,10 +68,38 @@ type Morpher struct {
 	cache          map[uint64]*decision
 	defaultHandler Handler
 
-	stats struct {
-		delivered, cacheHits, compiled, transformed, converted, rejected atomic.Uint64
+	// Counters are obs.Counters even without a registry (private, via
+	// newPrivateCounters), so the hot path is identical whether or not
+	// observability is enabled. The histograms and reg are nil unless
+	// WithObs attached a registry; every use is behind a nil check.
+	c           morphCounters
+	reg         *obs.Registry
+	hotHist     *obs.Histogram // sampled cached-path delivery latency
+	coldHist    *obs.Histogram // decision-build latency (once per format)
+	compileHist *obs.Histogram // per-transform compile latency
+}
+
+// morphCounters are the six activity counters of Stats.
+type morphCounters struct {
+	delivered, cacheHits, compiled, transformed, converted, rejected *obs.Counter
+}
+
+func newPrivateCounters() morphCounters {
+	return morphCounters{
+		delivered:   &obs.Counter{},
+		cacheHits:   &obs.Counter{},
+		compiled:    &obs.Counter{},
+		transformed: &obs.Counter{},
+		converted:   &obs.Counter{},
+		rejected:    &obs.Counter{},
 	}
 }
+
+// hotSampleMask: the cached delivery path records its latency once every
+// hotSampleMask+1 deliveries, keeping the instrumented hot path within
+// noise of the uninstrumented one — the sampling decision reuses the
+// delivered counter, adding no atomics.
+const hotSampleMask = 255
 
 type registration struct {
 	format  *pbio.Format
@@ -76,16 +116,46 @@ type decision struct {
 	reg    *registration
 }
 
+// MorpherOption configures a Morpher at construction time.
+type MorpherOption func(*Morpher)
+
+// WithObs attaches an observability registry: the engine's counters become
+// the registry's "core.*" counters, cold decision builds are traced into
+// the registry's decision ring, and hot/cold latency histograms are
+// recorded. A nil registry is valid and leaves observability disabled.
+func WithObs(reg *obs.Registry) MorpherOption {
+	return func(m *Morpher) { m.reg = reg }
+}
+
 // NewMorpher returns a Morpher with the given thresholds. Use
 // DefaultThresholds when in doubt; Thresholds{} (all zero) admits only
 // perfect matches, as the paper prescribes for strict deployments.
-func NewMorpher(th Thresholds) *Morpher {
-	return &Morpher{
+func NewMorpher(th Thresholds, opts ...MorpherOption) *Morpher {
+	m := &Morpher{
 		th:     th,
 		byFP:   make(map[uint64]*registration),
 		xforms: make(map[uint64][]*Xform),
 		cache:  make(map[uint64]*decision),
 	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.reg != nil {
+		m.c = morphCounters{
+			delivered:   m.reg.Counter("core.delivered"),
+			cacheHits:   m.reg.Counter("core.cache_hits"),
+			compiled:    m.reg.Counter("core.compiled"),
+			transformed: m.reg.Counter("core.transformed"),
+			converted:   m.reg.Counter("core.converted"),
+			rejected:    m.reg.Counter("core.rejected"),
+		}
+		m.hotHist = m.reg.Histogram("core.deliver_hot_ns")
+		m.coldHist = m.reg.Histogram("core.decide_cold_ns")
+		m.compileHist = m.reg.Histogram("core.compile_ns")
+	} else {
+		m.c = newPrivateCounters()
+	}
+	return m
 }
 
 // Thresholds returns the matcher's configured thresholds.
@@ -187,28 +257,31 @@ func (m *Morpher) invalidateLocked() {
 	}
 }
 
-// Stats returns a snapshot of the engine's counters.
+// Stats returns a snapshot of the engine's counters. The read order is
+// fixed — every sub-counter before Delivered — so the snapshot never tears
+// into an impossible state (see the Stats type documentation): a delivery
+// increments Delivered first, hence reading Delivered last can only
+// over-count it relative to the sub-counters, never under-count.
 func (m *Morpher) Stats() Stats {
-	return Stats{
-		Delivered:   m.stats.delivered.Load(),
-		CacheHits:   m.stats.cacheHits.Load(),
-		Compiled:    m.stats.compiled.Load(),
-		Transformed: m.stats.transformed.Load(),
-		Converted:   m.stats.converted.Load(),
-		Rejected:    m.stats.rejected.Load(),
+	s := Stats{
+		CacheHits:   m.c.cacheHits.Load(),
+		Compiled:    m.c.compiled.Load(),
+		Transformed: m.c.transformed.Load(),
+		Converted:   m.c.converted.Load(),
+		Rejected:    m.c.rejected.Load(),
 	}
+	s.Delivered = m.c.delivered.Load()
+	return s
 }
 
 // Deliver runs Algorithm 2 on rec: match (cached after the first message of
 // a format), transform, fill/drop, and invoke the matched format's handler.
 func (m *Morpher) Deliver(rec *pbio.Record) error {
-	m.stats.delivered.Add(1)
-	d, err := m.decide(rec.Format())
+	out, d, err := m.morph(rec)
 	if err != nil {
 		return err
 	}
 	if d.reject {
-		m.stats.rejected.Add(1)
 		m.mu.RLock()
 		dh := m.defaultHandler
 		m.mu.RUnlock()
@@ -217,10 +290,6 @@ func (m *Morpher) Deliver(rec *pbio.Record) error {
 		}
 		return fmt.Errorf("%w: %q (%016x)", ErrRejected, rec.Format().Name(), rec.Format().Fingerprint())
 	}
-	out, err := m.applyDecision(d, rec)
-	if err != nil {
-		return err
-	}
 	return d.reg.handler(out)
 }
 
@@ -228,20 +297,43 @@ func (m *Morpher) Deliver(rec *pbio.Record) error {
 // the second result is the matched registered format. Transports that
 // deliver typed structs use this, as do the benchmarks.
 func (m *Morpher) Morph(rec *pbio.Record) (*pbio.Record, *pbio.Format, error) {
-	m.stats.delivered.Add(1)
-	d, err := m.decide(rec.Format())
+	out, d, err := m.morph(rec)
 	if err != nil {
 		return nil, nil, err
 	}
 	if d.reject {
-		m.stats.rejected.Add(1)
 		return nil, nil, fmt.Errorf("%w: %q (%016x)", ErrRejected, rec.Format().Name(), rec.Format().Fingerprint())
+	}
+	return out, d.reg.format, nil
+}
+
+// morph is the shared delivery pipeline of Deliver and Morph: decide, then
+// apply. out is nil when the decision is a reject. When observability is
+// enabled, the latency of every hotSampleMask+1-th cached delivery is
+// recorded; with it disabled the extra cost is the nil-histogram branch.
+func (m *Morpher) morph(rec *pbio.Record) (*pbio.Record, *decision, error) {
+	n := m.c.delivered.Inc()
+	timed := m.hotHist != nil && n&hotSampleMask == 1
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	d, hit, err := m.decide(rec.Format())
+	if err != nil {
+		return nil, nil, err
+	}
+	if d.reject {
+		m.c.rejected.Inc()
+		return nil, d, nil
 	}
 	out, err := m.applyDecision(d, rec)
 	if err != nil {
 		return nil, nil, err
 	}
-	return out, d.reg.format, nil
+	if timed && hit {
+		m.hotHist.ObserveNS(time.Since(t0).Nanoseconds())
+	}
+	return out, d, nil
 }
 
 // DeliverEncoded decodes an enveloped message (whose wire format the
@@ -265,14 +357,14 @@ func (m *Morpher) applyDecision(d *decision, rec *pbio.Record) (*pbio.Record, er
 		cur = dst
 	}
 	if len(d.steps) > 0 {
-		m.stats.transformed.Add(1)
+		m.c.transformed.Inc()
 	}
 	if d.conv != nil {
 		out, err := d.conv.Convert(cur)
 		if err != nil {
 			return nil, err
 		}
-		m.stats.converted.Add(1)
+		m.c.converted.Inc()
 		cur = out
 	}
 	return cur, nil
@@ -280,34 +372,56 @@ func (m *Morpher) applyDecision(d *decision, rec *pbio.Record) (*pbio.Record, er
 
 // decide returns the cached decision for the incoming format, computing and
 // caching it on first sight (the expensive steps 11–27 of Algorithm 2).
-func (m *Morpher) decide(fm *pbio.Format) (*decision, error) {
+// hit reports whether the decision came from the cache.
+func (m *Morpher) decide(fm *pbio.Format) (d *decision, hit bool, err error) {
 	fp := fm.Fingerprint()
 	m.mu.RLock()
 	d, ok := m.cache[fp]
 	m.mu.RUnlock()
 	if ok {
-		m.stats.cacheHits.Add(1)
-		return d, nil
+		m.c.cacheHits.Inc()
+		return d, true, nil
 	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if d, ok := m.cache[fp]; ok {
-		m.stats.cacheHits.Add(1)
-		return d, nil
+		m.c.cacheHits.Inc()
+		return d, true, nil
 	}
-	d, err := m.buildDecisionLocked(fm)
+	var t0 time.Time
+	if m.reg != nil {
+		t0 = time.Now()
+	}
+	d, tr, err := m.buildDecisionLocked(fm)
+	if m.reg != nil {
+		m.coldHist.ObserveNS(time.Since(t0).Nanoseconds())
+		tr.Format = fm.Name()
+		tr.Fingerprint = fmt.Sprintf("%016x", fp)
+		if err != nil {
+			tr.Rejected = true
+			tr.Reason = err.Error()
+		}
+		m.reg.RecordDecision(tr)
+	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	m.cache[fp] = d
-	return d, nil
+	return d, false, nil
 }
 
-func (m *Morpher) buildDecisionLocked(fm *pbio.Format) (*decision, error) {
+// buildDecisionLocked runs the expensive path of Algorithm 2 and reports
+// what it decided as an obs.Decision trace entry (recorded only when a
+// registry is attached; building it is cold-path noise otherwise).
+func (m *Morpher) buildDecisionLocked(fm *pbio.Format) (*decision, obs.Decision, error) {
+	var tr obs.Decision
+
 	// Fast path: exact structure registered.
 	if reg, ok := m.byFP[fm.Fingerprint()]; ok {
-		return &decision{reg: reg}, nil
+		tr.Candidates, tr.Registered = 1, 1
+		tr.From, tr.To = fm.Name(), reg.format.Name()
+		return &decision{reg: reg}, tr, nil
 	}
 
 	// Fr: registered formats with the same name as fm.
@@ -317,10 +431,12 @@ func (m *Morpher) buildDecisionLocked(fm *pbio.Format) (*decision, error) {
 			fr = append(fr, reg.format)
 		}
 	}
+	tr.Candidates, tr.Registered = 1, len(fr)
 
 	// Line 11: try the incoming format alone, accepting only a perfect pair.
 	if match, ok := m.matchLocked([]*pbio.Format{fm}, fr); ok && match.IsPerfect() {
-		return m.finishDecisionLocked(nil, fm, match)
+		d, err := m.finishDecisionLocked(nil, match, &tr)
+		return d, tr, err
 	}
 
 	// Line 16: consider everything fm can be transformed into.
@@ -329,9 +445,12 @@ func (m *Morpher) buildDecisionLocked(fm *pbio.Format) (*decision, error) {
 	for i, ch := range chains {
 		ft[i] = ch.format
 	}
+	tr.Candidates = len(ft)
 	match, ok := m.matchLocked(ft, fr)
 	if !ok {
-		return &decision{reject: true}, nil
+		tr.Rejected = true
+		tr.Reason = "no candidate pair within thresholds"
+		return &decision{reject: true}, tr, nil
 	}
 
 	var path []*Xform
@@ -341,23 +460,36 @@ func (m *Morpher) buildDecisionLocked(fm *pbio.Format) (*decision, error) {
 			break
 		}
 	}
-	return m.finishDecisionLocked(path, fm, match)
+	d, err := m.finishDecisionLocked(path, match, &tr)
+	return d, tr, err
 }
 
 // finishDecisionLocked compiles the chosen chain and builds the fill/drop
 // converter if the matched pair is not structure-identical.
-func (m *Morpher) finishDecisionLocked(path []*Xform, fm *pbio.Format, match Match) (*decision, error) {
+func (m *Morpher) finishDecisionLocked(path []*Xform, match Match, tr *obs.Decision) (*decision, error) {
+	tr.From, tr.To = match.From.Name(), match.To.Name()
+	tr.Diff, tr.Mismatch = match.Diff, match.Mismatch
+	tr.ChainLen = len(path)
 	d := &decision{reg: m.byFP[match.To.Fingerprint()]}
 	if d.reg == nil {
 		// match.To always comes from m.regs; this guards internal drift.
 		return nil, fmt.Errorf("core: matched format %q is not registered", match.To.Name())
 	}
 	for _, x := range path {
+		var ct0 time.Time
+		if m.reg != nil {
+			ct0 = time.Now()
+		}
 		prog, err := x.compile()
+		if m.reg != nil {
+			ns := time.Since(ct0).Nanoseconds()
+			tr.CompileNS += ns
+			m.compileHist.ObserveNS(ns)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: %q→%q: %v", ErrBadTransform, x.From.Name(), x.To.Name(), err)
 		}
-		m.stats.compiled.Add(1)
+		m.c.compiled.Inc()
 		d.steps = append(d.steps, prog)
 		d.dsts = append(d.dsts, x.To)
 	}
@@ -423,7 +555,7 @@ type Explanation struct {
 // Explain reports the delivery plan for a format without delivering
 // anything. It populates the decision cache as a side effect.
 func (m *Morpher) Explain(fm *pbio.Format) (Explanation, error) {
-	d, err := m.decide(fm)
+	d, _, err := m.decide(fm)
 	if err != nil {
 		return Explanation{}, err
 	}

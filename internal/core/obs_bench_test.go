@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pbio"
+)
+
+// benchDeliver measures the steady-state (cached-decision) delivery path.
+// Run both sub-benchmarks to price the instrumentation:
+//
+//	go test ./internal/core -bench BenchmarkDeliverInstrumentation -benchmem
+//
+// The acceptance bar for the observability layer is that obs-enabled stays
+// within 5% of obs-disabled and that obs-disabled reports 0 B/op — the
+// paper's lightweight claim must survive its own instrumentation.
+func BenchmarkDeliverInstrumentation(b *testing.B) {
+	run := func(b *testing.B, reg *obs.Registry) {
+		f, err := pbio.NewFormat("bench", []pbio.Field{
+			{Name: "x", Kind: pbio.Integer},
+			{Name: "y", Kind: pbio.Float},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := NewMorpher(DefaultThresholds, WithObs(reg))
+		if err := m.RegisterFormat(f, func(*pbio.Record) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+		rec := pbio.NewRecord(f).MustSet("x", pbio.Int(1)).MustSet("y", pbio.Float64(2))
+		if err := m.Deliver(rec); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Deliver(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("obs-disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("obs-enabled", func(b *testing.B) { run(b, obs.NewRegistry("bench")) })
+}
+
+// BenchmarkDeliverMorphObs prices instrumentation on the heavier cached
+// path that actually runs a transformation per delivery.
+func BenchmarkDeliverMorphObs(b *testing.B) {
+	run := func(b *testing.B, reg *obs.Registry) {
+		v1, err := pbio.NewFormat("S", []pbio.Field{{Name: "a", Kind: pbio.Integer}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		v2, err := pbio.NewFormat("S", []pbio.Field{
+			{Name: "a", Kind: pbio.Integer},
+			{Name: "b", Kind: pbio.Integer},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := NewMorpher(DefaultThresholds, WithObs(reg))
+		if err := m.RegisterFormat(v1, func(*pbio.Record) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.AddTransform(&Xform{From: v2, To: v1, Code: "old.a = new.a + new.b;"}); err != nil {
+			b.Fatal(err)
+		}
+		rec := pbio.NewRecord(v2).MustSet("a", pbio.Int(1)).MustSet("b", pbio.Int(2))
+		if err := m.Deliver(rec); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Deliver(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("obs-disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("obs-enabled", func(b *testing.B) { run(b, obs.NewRegistry("bench")) })
+}

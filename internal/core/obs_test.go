@@ -1,0 +1,205 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pbio"
+)
+
+// obsMorpher builds a v1-registered, v2→v1-transforming morpher wired to a
+// fresh registry, mirroring the paper's Figure 5 shape in miniature.
+func obsMorpher(t *testing.T, reg *obs.Registry) (m *Morpher, v1, v2 *pbio.Format) {
+	t.Helper()
+	v1 = fmtOrDie(t, "Sample", []pbio.Field{
+		{Name: "id", Kind: pbio.Integer},
+		{Name: "celsius", Kind: pbio.Float},
+	})
+	v2 = fmtOrDie(t, "Sample", []pbio.Field{
+		{Name: "id", Kind: pbio.Integer},
+		{Name: "kelvin", Kind: pbio.Float},
+		{Name: "sensor", Kind: pbio.String},
+	})
+	m = NewMorpher(DefaultThresholds, WithObs(reg))
+	if err := m.RegisterFormat(v1, func(*pbio.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddTransform(&Xform{
+		From: v2, To: v1,
+		Code: "old.id = new.id; old.celsius = new.kelvin - 273.15;",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return m, v1, v2
+}
+
+// TestMorpherObs: with a registry attached, deliveries populate the core.*
+// counters, the decision trace records the MaxMatch outcome (chosen pair,
+// chain length, compile time), and the cold/hot histograms fill.
+func TestMorpherObs(t *testing.T) {
+	reg := obs.NewRegistry("core-test")
+	m, _, v2 := obsMorpher(t, reg)
+
+	rec := pbio.NewRecord(v2).
+		MustSet("id", pbio.Int(1)).
+		MustSet("kelvin", pbio.Float64(300.15)).
+		MustSet("sensor", pbio.Str("s"))
+	const n = 600 // enough deliveries that the 1/256-sampled hot path records
+	for i := 0; i < n; i++ {
+		if err := m.Deliver(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["core.delivered"] != n {
+		t.Errorf("core.delivered = %d, want %d", snap.Counters["core.delivered"], n)
+	}
+	if snap.Counters["core.cache_hits"] != n-1 {
+		t.Errorf("core.cache_hits = %d, want %d", snap.Counters["core.cache_hits"], n-1)
+	}
+	if snap.Counters["core.compiled"] != 1 {
+		t.Errorf("core.compiled = %d, want 1", snap.Counters["core.compiled"])
+	}
+	if got := snap.Histograms["core.decide_cold_ns"]; got.Count != 1 {
+		t.Errorf("core.decide_cold_ns count = %d, want 1", got.Count)
+	}
+	if got := snap.Histograms["core.deliver_hot_ns"]; got.Count == 0 {
+		t.Error("core.deliver_hot_ns must record sampled cached deliveries")
+	}
+	if got := snap.Histograms["core.compile_ns"]; got.Count != 1 || got.Sum == 0 {
+		t.Errorf("core.compile_ns = %+v, want one nonzero sample", got)
+	}
+
+	// Morpher counters and registry counters are the same instruments.
+	if st := m.Stats(); st.Delivered != snap.Counters["core.delivered"] {
+		t.Errorf("Stats().Delivered = %d, registry says %d", st.Delivered, snap.Counters["core.delivered"])
+	}
+
+	if len(snap.Decisions) != 1 {
+		t.Fatalf("decision trace = %+v, want 1 entry", snap.Decisions)
+	}
+	d := snap.Decisions[0]
+	if d.Format != "Sample" || d.From != "Sample" || d.To != "Sample" {
+		t.Errorf("decision names = %+v", d)
+	}
+	if d.ChainLen != 1 || d.CompileNS <= 0 || d.Rejected {
+		t.Errorf("decision = %+v, want chain 1 with compile time", d)
+	}
+	if d.Candidates < 2 {
+		t.Errorf("decision candidates = %d, want ≥ 2 (identity + transform target)", d.Candidates)
+	}
+	if len(d.Fingerprint) != 16 {
+		t.Errorf("fingerprint = %q, want 16 hex digits", d.Fingerprint)
+	}
+}
+
+// TestMorpherObsReject: rejected formats leave a trace entry with a reason.
+func TestMorpherObsReject(t *testing.T) {
+	reg := obs.NewRegistry("core-reject")
+	m, _, _ := obsMorpher(t, reg)
+	alien := fmtOrDie(t, "Alien", []pbio.Field{{Name: "z", Kind: pbio.Integer}})
+	if err := m.Deliver(pbio.NewRecord(alien)); err == nil {
+		t.Fatal("alien format must be rejected")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["core.rejected"] != 1 {
+		t.Errorf("core.rejected = %d", snap.Counters["core.rejected"])
+	}
+	if len(snap.Decisions) != 1 || !snap.Decisions[0].Rejected || snap.Decisions[0].Reason == "" {
+		t.Errorf("reject trace = %+v", snap.Decisions)
+	}
+}
+
+// TestStatsString: the satellite task's log-line form.
+func TestStatsString(t *testing.T) {
+	s := Stats{Delivered: 10, CacheHits: 9, Compiled: 1, Rejected: 2}
+	str := s.String()
+	for _, want := range []string{"delivered=10", "cache_hits=9", "compiled=1", "rejected=2", "transformed=0"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("Stats.String() = %q, missing %q", str, want)
+		}
+	}
+}
+
+// TestStatsSnapshotOrdering: under concurrent deliveries a Stats snapshot
+// must never tear into an impossible state (sub-counter > Delivered). This
+// is the documented guarantee of the fixed read order.
+func TestStatsSnapshotOrdering(t *testing.T) {
+	m, _, v2 := obsMorpher(t, nil)
+	rec := pbio.NewRecord(v2).
+		MustSet("id", pbio.Int(1)).
+		MustSet("kelvin", pbio.Float64(280)).
+		MustSet("sensor", pbio.Str("s"))
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = m.Deliver(rec)
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		st := m.Stats()
+		if st.CacheHits > st.Delivered || st.Transformed > st.Delivered ||
+			st.Rejected > st.Delivered || st.Converted > st.Delivered {
+			t.Fatalf("torn snapshot: %s", st)
+		}
+	}
+	close(stop)
+	<-done
+}
+
+// TestDeliverNoObsAllocationFree: with observability disabled, the cached
+// perfect-match delivery path must not allocate at all — the acceptance
+// bar for "a disabled registry costs one predictable branch".
+func TestDeliverNoObsAllocationFree(t *testing.T) {
+	f := fmtOrDie(t, "m", []pbio.Field{{Name: "x", Kind: pbio.Integer}})
+	m := NewMorpher(DefaultThresholds)
+	if err := m.RegisterFormat(f, func(*pbio.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	rec := pbio.NewRecord(f).MustSet("x", pbio.Int(7))
+	if err := m.Deliver(rec); err != nil { // populate the decision cache
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := m.Deliver(rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cached delivery allocates %.1f allocs/op without obs, want 0", allocs)
+	}
+}
+
+// TestDeliverObsAllocationFree: the instrumented cached path must stay
+// allocation-free too (sampling uses the existing counter; time.Now and
+// Histogram.Observe do not allocate).
+func TestDeliverObsAllocationFree(t *testing.T) {
+	f := fmtOrDie(t, "m", []pbio.Field{{Name: "x", Kind: pbio.Integer}})
+	reg := obs.NewRegistry("alloc")
+	m := NewMorpher(DefaultThresholds, WithObs(reg))
+	if err := m.RegisterFormat(f, func(*pbio.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	rec := pbio.NewRecord(f).MustSet("x", pbio.Int(7))
+	if err := m.Deliver(rec); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := m.Deliver(rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cached delivery allocates %.1f allocs/op with obs, want 0", allocs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pbio"
 	"repro/internal/wire"
 )
@@ -40,6 +41,11 @@ type Options struct {
 	// Thresholds configures the subscriber's morphing engine; the zero
 	// value means core.DefaultThresholds.
 	Thresholds *core.Thresholds
+
+	// Obs attaches an observability registry to the subscriber: its
+	// morphing engine records core.* decision metrics and its connection
+	// records wire.* frame metrics there. Nil disables observability.
+	Obs *obs.Registry
 
 	// HandshakeTimeout bounds the open handshake; defaults to 10 seconds.
 	HandshakeTimeout time.Duration
@@ -81,10 +87,10 @@ func open(nc net.Conn, channelID string, opts Options) (*Subscriber, error) {
 	}
 
 	s := &Subscriber{
-		morpher: core.NewMorpher(th),
+		morpher: core.NewMorpher(th, core.WithObs(opts.Obs)),
 		channel: channelID,
 	}
-	s.conn = wire.NewConn(nc, wire.WithMorpher(s.morpher))
+	s.conn = wire.NewConn(nc, wire.WithMorpher(s.morpher), wire.WithObs(opts.Obs))
 
 	// Register the ChannelOpenResponse format this client understands.
 	// A v1-compat client knows nothing about v2.0; morphing bridges the gap.

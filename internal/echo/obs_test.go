@@ -1,0 +1,200 @@
+package echo
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pbio"
+)
+
+// startObsServer is startServer plus a shared registry and the /debug/morphz
+// endpoint on an ephemeral loopback port.
+func startObsServer(t *testing.T) (*Server, *obs.Registry, string) {
+	t.Helper()
+	reg := obs.NewRegistry("echo-e2e")
+	srv := NewServer(WithObs(reg), WithMorphzAddr("127.0.0.1:0"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("Serve: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("server did not shut down")
+		}
+	})
+	return srv, reg, ln.Addr().String()
+}
+
+// TestMorphzEndToEnd is the acceptance scenario: an event domain with
+// observability enabled, a v1-only sink, a publisher sending evolved-format
+// events. The /debug/morphz endpoint must show the compile event, cache
+// hits from repeated deliveries, and a nonzero fan-out latency histogram —
+// in both JSON and text renderings.
+func TestMorphzEndToEnd(t *testing.T) {
+	srv, reg, addr := startObsServer(t)
+
+	quoteV1 := pbio.MustFormat("Quote", []pbio.Field{
+		{Name: "symbol", Kind: pbio.String},
+		{Name: "cents", Kind: pbio.Integer},
+	})
+	quoteV2 := pbio.MustFormat("Quote", []pbio.Field{
+		{Name: "symbol", Kind: pbio.String},
+		{Name: "dollars", Kind: pbio.Float},
+		{Name: "volume", Kind: pbio.Integer},
+	})
+
+	// The sink shares the server's registry, so its morphing decisions
+	// (core.*) land in the same snapshot as the server's echo.*/wire.*.
+	sink, err := Open(addr, "q", Options{Sink: true, Thresholds: &core.Thresholds{}, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	received := make(chan int64, 64)
+	if err := sink.Handle(quoteV1, func(r *pbio.Record) error {
+		v, _ := r.Get("cents")
+		received <- v.Int64()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = sink.Run() }()
+
+	pub, err := Open(addr, "q", Options{Source: true, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	pub.Declare(quoteV2, &core.Xform{
+		From: quoteV2,
+		To:   quoteV1,
+		Code: `old.symbol = new.symbol; old.cents = new.dollars * 100.0;`,
+	})
+
+	const events = 20
+	for i := 0; i < events; i++ {
+		ev := pbio.NewRecord(quoteV2).
+			MustSet("symbol", pbio.Str("XYZ")).
+			MustSet("dollars", pbio.Float64(float64(i))).
+			MustSet("volume", pbio.Int(int64(i)))
+		if err := pub.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < events; i++ {
+		select {
+		case <-received:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of %d events delivered", i, events)
+		}
+	}
+
+	mzAddr := srv.MorphzAddr()
+	if mzAddr == nil {
+		t.Fatal("MorphzAddr is nil; WithMorphzAddr endpoint did not start")
+	}
+	base := "http://" + mzAddr.String() + obs.MorphzPath
+
+	// JSON rendering.
+	resp, err := http.Get(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("endpoint body is not a Snapshot: %v\n%s", err, body)
+	}
+	if snap.Counters["core.compiled"] < 1 {
+		t.Errorf("core.compiled = %d, want >= 1", snap.Counters["core.compiled"])
+	}
+	if snap.Counters["core.cache_hits"] < events-1 {
+		t.Errorf("core.cache_hits = %d, want >= %d", snap.Counters["core.cache_hits"], events-1)
+	}
+	if h := snap.Histograms["echo.fanout_ns"]; h.Count < events || h.Sum == 0 {
+		t.Errorf("echo.fanout_ns = %+v, want >= %d nonzero samples", h, events)
+	}
+	if snap.Counters["echo.delivered"] < events {
+		t.Errorf("echo.delivered = %d, want >= %d", snap.Counters["echo.delivered"], events)
+	}
+	if snap.Counters["echo.channel.q.delivered"] < events {
+		t.Errorf("echo.channel.q.delivered = %d, want >= %d",
+			snap.Counters["echo.channel.q.delivered"], events)
+	}
+	if snap.Gauges["echo.members"] != 2 {
+		t.Errorf("echo.members = %d, want 2", snap.Gauges["echo.members"])
+	}
+	if snap.Counters["wire.data_frames_recv"] == 0 {
+		t.Error("wire.data_frames_recv = 0; member connections are not sharing the registry")
+	}
+	if len(snap.Decisions) == 0 {
+		t.Error("no morph decision traces in snapshot")
+	}
+
+	// Text rendering.
+	resp, err = http.Get(base + "?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("text Content-Type = %q", ct)
+	}
+	for _, want := range []string{"core.compiled", "echo.fanout_ns", "decisions"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("text rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestMembersGaugeDrops: the membership gauge must go back down when a
+// member leaves, and the fanout/read-loop remove race must not double-count.
+func TestMembersGaugeDrops(t *testing.T) {
+	_, reg, addr := startObsServer(t)
+
+	sub, err := Open(addr, "g", Options{Sink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitGauge := func(want int64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if got := reg.Gauge("echo.members").Load(); got == want {
+				return
+			} else if time.Now().After(deadline) {
+				t.Fatalf("echo.members = %d, want %d", got, want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitGauge(1)
+	_ = sub.Close()
+	waitGauge(0)
+}

@@ -5,9 +5,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ecode"
+	"repro/internal/obs"
 	"repro/internal/pbio"
 	"repro/internal/wire"
 )
@@ -24,15 +26,73 @@ type Server struct {
 	channels map[string]*channel
 	closed   bool
 	wg       sync.WaitGroup
+
+	// Observability (nil/zero when disabled). The obs registry is shared
+	// with every member connection (wire.* counters) and, through
+	// WithMorphzAddr, exposed over HTTP.
+	obs        *obs.Registry
+	om         echoObs
+	morphzAddr string
+	morphz     *obs.Server
+}
+
+// echoObs holds the server's instrument handles, fetched once at
+// construction. All fields are nil when observability is disabled; the
+// instruments are nil-safe, so the fan-out path needs no enabled/disabled
+// branches beyond the one histogram timing guard.
+type echoObs struct {
+	eventsIn  *obs.Counter   // events submitted by publishers
+	delivered *obs.Counter   // events written to sinks (post-filter)
+	filtered  *obs.Counter   // deliveries suppressed by derived-channel filters
+	fanoutNS  *obs.Histogram // latency of one full fan-out pass
+	members   *obs.Gauge     // current membership across all channels
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithObs attaches an observability registry: the server mirrors event
+// delivery counters into "echo.*" instruments, and member connections
+// share the registry for their "wire.*" counters. A nil registry is valid
+// and leaves observability disabled.
+func WithObs(reg *obs.Registry) ServerOption {
+	return func(s *Server) { s.obs = reg }
+}
+
+// WithMorphzAddr serves the registry attached with WithObs over HTTP at
+// addr (obs.MorphzPath, typically "/debug/morphz"). The endpoint starts
+// when Serve is called and stops on Close. Use "127.0.0.1:0" to pick an
+// ephemeral port and read it back with MorphzAddr.
+func WithMorphzAddr(addr string) ServerOption {
+	return func(s *Server) { s.morphzAddr = addr }
 }
 
 // NewServer returns an empty event domain.
-func NewServer() *Server {
-	return &Server{channels: make(map[string]*channel)}
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{channels: make(map[string]*channel)}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.obs != nil {
+		s.om = echoObs{
+			eventsIn:  s.obs.Counter("echo.events_in"),
+			delivered: s.obs.Counter("echo.delivered"),
+			filtered:  s.obs.Counter("echo.filtered"),
+			fanoutNS:  s.obs.Histogram("echo.fanout_ns"),
+			members:   s.obs.Gauge("echo.members"),
+		}
+	}
+	return s
 }
 
 type channel struct {
 	id string
+
+	// om points at the server's instrument handles; perDelivered counts
+	// this channel's deliveries alone ("echo.channel.<id>.delivered").
+	// Both are inert when observability is disabled.
+	om           *echoObs
+	perDelivered *obs.Counter
 
 	mu      sync.Mutex
 	nextID  int32
@@ -112,7 +172,10 @@ func (s *Server) channelFor(id string) *channel {
 	defer s.mu.Unlock()
 	ch, ok := s.channels[id]
 	if !ok {
-		ch = &channel{id: id, members: make(map[*memberConn]Member)}
+		ch = &channel{id: id, om: &s.om, members: make(map[*memberConn]Member)}
+		if s.obs != nil {
+			ch.perDelivered = s.obs.Counter("echo.channel." + id + ".delivered")
+		}
 		s.channels[id] = ch
 	}
 	return ch
@@ -154,7 +217,21 @@ func (s *Server) Serve(ln net.Listener) error {
 		return errors.New("echo: server closed")
 	}
 	s.ln = ln
+	var startMorphz bool
+	if s.morphzAddr != "" && s.obs != nil && s.morphz == nil {
+		startMorphz = true
+	}
 	s.mu.Unlock()
+
+	if startMorphz {
+		ms, err := obs.Serve(s.morphzAddr, s.obs)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.morphz = ms
+		s.mu.Unlock()
+	}
 
 	for {
 		nc, err := ln.Accept()
@@ -186,6 +263,17 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
+// MorphzAddr returns the /debug/morphz listener address, or nil when the
+// endpoint is not running (no WithMorphzAddr, or Serve not yet called).
+func (s *Server) MorphzAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.morphz == nil {
+		return nil
+	}
+	return s.morphz.Addr()
+}
+
 // Close stops accepting and closes every member connection.
 func (s *Server) Close() error {
 	s.mu.Lock()
@@ -195,6 +283,8 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	morphz := s.morphz
+	s.morphz = nil
 	channels := make([]*channel, 0, len(s.channels))
 	for _, ch := range s.channels {
 		channels = append(channels, ch)
@@ -204,6 +294,9 @@ func (s *Server) Close() error {
 	var err error
 	if ln != nil {
 		err = ln.Close()
+	}
+	if morphz != nil {
+		_ = morphz.Close()
 	}
 	for _, ch := range channels {
 		ch.mu.Lock()
@@ -221,7 +314,7 @@ func (s *Server) handleConn(nc net.Conn) {
 		ch *channel
 		mc *memberConn
 	)
-	conn := wire.NewConn(nc, wire.WithFormatHook(func(f *pbio.Format, xforms []*core.Xform) {
+	conn := wire.NewConn(nc, wire.WithObs(s.obs), wire.WithFormatHook(func(f *pbio.Format, xforms []*core.Xform) {
 		// Remember payload formats and their evolution meta-data so they
 		// can be re-declared toward every sink (existing and future).
 		if ch == nil || f.SameStructure(RequestFormat) || f.SameStructure(RequestV2Format) {
@@ -290,6 +383,7 @@ func (s *Server) handleConn(nc net.Conn) {
 	ch.mu.Lock()
 	ch.members[mc] = mc.member
 	ch.mu.Unlock()
+	s.om.members.Add(1)
 
 	// Event loop: everything else the member sends is an event submission.
 	for {
@@ -319,13 +413,28 @@ func (ch *channel) recordEventMeta(f *pbio.Format, xforms []*core.Xform) {
 
 func (ch *channel) remove(mc *memberConn) {
 	ch.mu.Lock()
-	defer ch.mu.Unlock()
+	_, present := ch.members[mc]
 	delete(ch.members, mc)
+	ch.mu.Unlock()
+	// remove can race between the read loop and fanout's dead-sink cleanup;
+	// only the call that actually removed the member moves the gauge.
+	if present {
+		ch.om.members.Add(-1)
+	}
 }
 
 // fanout forwards an event to every sink subscriber except its publisher.
 // Dead sinks are dropped from the membership.
 func (ch *channel) fanout(from *memberConn, ev *pbio.Record) {
+	ch.om.eventsIn.Inc()
+	// Fan-out latency is recorded unconditionally (not sampled): fan-outs
+	// are orders of magnitude rarer than morph deliveries and already pay
+	// for network writes.
+	timed := ch.om.fanoutNS != nil
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	ch.mu.Lock()
 	sinks := make([]*memberConn, 0, len(ch.members))
 	for mc, m := range ch.members {
@@ -340,6 +449,7 @@ func (ch *channel) fanout(from *memberConn, ev *pbio.Record) {
 		// Derived channels: apply the member's filter at the source side,
 		// so uninteresting events never cross the network.
 		if !mc.wants(ev) {
+			ch.om.filtered.Inc()
 			continue
 		}
 		// Relay evolution meta-data before first use of the format on this
@@ -353,6 +463,12 @@ func (ch *channel) fanout(from *memberConn, ev *pbio.Record) {
 		if err := mc.conn.WriteRecord(ev); err != nil {
 			ch.remove(mc)
 			_ = mc.conn.Close()
+			continue
 		}
+		ch.om.delivered.Inc()
+		ch.perDelivered.Inc()
+	}
+	if timed {
+		ch.om.fanoutNS.ObserveNS(time.Since(t0).Nanoseconds())
 	}
 }

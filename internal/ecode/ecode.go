@@ -3,6 +3,7 @@ package ecode
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/pbio"
 )
@@ -35,6 +36,11 @@ type Program struct {
 // does no name lookups — the bytecode analog of the paper's dynamically
 // generated conversion subroutine.
 func Compile(src string, params ...Param) (*Program, error) {
+	var t0 time.Time
+	st := obsCur.Load()
+	if st != nil {
+		t0 = time.Now()
+	}
 	p, err := newParser(src)
 	if err != nil {
 		return nil, err
@@ -57,6 +63,10 @@ func Compile(src string, params ...Param) (*Program, error) {
 		params:  append([]Param(nil), params...),
 		funcs:   c.funcs,
 		src:     src,
+	}
+	if st != nil {
+		st.compiles.Inc()
+		st.compileNS.ObserveNS(time.Since(t0).Nanoseconds())
 	}
 	return prog, nil
 }

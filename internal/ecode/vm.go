@@ -134,7 +134,13 @@ func (p *Program) exec(f *frame) (pbio.Value, error) {
 	if limit <= 0 {
 		limit = DefaultMaxSteps
 	}
-	return p.execOps(p.ops, f, &stepBudget{limit: limit}, 0)
+	budget := &stepBudget{limit: limit}
+	v, err := p.execOps(p.ops, f, budget, 0)
+	if st := obsCur.Load(); st != nil {
+		st.runs.Inc()
+		st.runSteps.Observe(uint64(budget.used))
+	}
+	return v, err
 }
 
 // execOps runs one instruction stream (the main program or a function body).

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds values whose
+// bit-length is i, i.e. values in [2^(i-1), 2^i). Bucket 0 holds exactly 0.
+// 65 buckets cover the whole uint64 range, so Observe never range-checks.
+const histBuckets = 65
+
+// Histogram is a fixed-bucket (power-of-two) distribution of uint64
+// samples, typically nanosecond latencies or instruction counts. Observe is
+// lock-free and allocation-free; quantiles are estimated at snapshot time
+// by interpolating inside the matched bucket, which bounds the error of a
+// reported pN to a factor of 2 — plenty for "where does the time go".
+//
+// The zero value is ready to use; a nil *Histogram is a valid no-op.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveNS is a convenience for latency samples measured as nanoseconds;
+// negative inputs (clock weirdness) record as zero.
+func (h *Histogram) ObserveNS(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.Observe(uint64(ns))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistogramSnapshot summarizes a histogram at one instant. P50/P90/P99 are
+// bucket-interpolated estimates; Max is the upper bound of the highest
+// non-empty bucket.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
+// Snapshot captures the histogram. Concurrent Observe calls may land
+// between the individual bucket reads; the snapshot is therefore
+// approximate under load, exact when quiescent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	var s HistogramSnapshot
+	var counts [histBuckets]uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		s.Count += counts[i]
+	}
+	s.Sum = h.sum.Load()
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	s.P50 = quantile(&counts, s.Count, 0.50)
+	s.P90 = quantile(&counts, s.Count, 0.90)
+	s.P99 = quantile(&counts, s.Count, 0.99)
+	for i := histBuckets - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			s.Max = bucketHi(i)
+			break
+		}
+	}
+	return s
+}
+
+// bucketLo/bucketHi are bucket i's value bounds [lo, hi).
+func bucketLo(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+func bucketHi(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<i - 1
+}
+
+// quantile estimates the q-th quantile by walking buckets to the target
+// rank and interpolating linearly inside the matched bucket.
+func quantile(counts *[histBuckets]uint64, total uint64, q float64) uint64 {
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q*float64(total) + 0.5)
+	if target == 0 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		if cum+counts[i] >= target {
+			lo, hi := bucketLo(i), bucketHi(i)
+			frac := float64(target-cum) / float64(counts[i])
+			return lo + uint64(frac*float64(hi-lo))
+		}
+		cum += counts[i]
+	}
+	return bucketHi(histBuckets - 1)
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// MorphzPath is the debug endpoint path Serve registers.
+const MorphzPath = "/debug/morphz"
+
+// Handler returns an expvar-style HTTP handler serving the registry's
+// Snapshot. The default response is JSON; append ?format=text (or send
+// Accept: text/plain) for the human-readable dump. A nil registry serves
+// an empty snapshot, so the endpoint can be mounted unconditionally.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "text" ||
+			strings.HasPrefix(req.Header.Get("Accept"), "text/plain") {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+}
+
+// Server is a running debug HTTP server created by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (s *Server) Addr() net.Addr {
+	if s == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close shuts the debug server down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// Serve starts an HTTP server on addr exposing the registry at
+// MorphzPath. It returns once the listener is bound; the server runs until
+// Close. This is the opt-in switch the endpoint hides behind — nothing
+// listens unless a component (or the application) calls Serve.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle(MorphzPath, Handler(r))
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// WriteText renders the snapshot as a human-readable dump: counters and
+// gauges one per line (sorted), histogram summaries, then the retained
+// decision traces, oldest first.
+func (s Snapshot) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "# obs registry %q (uptime %s)\n", s.Name, time.Duration(s.UptimeNS))
+	for _, k := range sortedKeys(s.Counters) {
+		fmt.Fprintf(w, "counter %-28s %d\n", k, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(w, "gauge   %-28s %d\n", k, s.Gauges[k])
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		if strings.HasSuffix(k, "_ns") {
+			fmt.Fprintf(w, "hist    %-28s count=%d mean=%s p50=%s p90=%s p99=%s max=%s\n",
+				k, h.Count, time.Duration(int64(h.Mean)),
+				time.Duration(h.P50), time.Duration(h.P90), time.Duration(h.P99),
+				time.Duration(h.Max))
+			continue
+		}
+		fmt.Fprintf(w, "hist    %-28s count=%d mean=%.1f p50=%d p90=%d p99=%d max=%d\n",
+			k, h.Count, h.Mean, h.P50, h.P90, h.P99, h.Max)
+	}
+	if len(s.Decisions) > 0 {
+		fmt.Fprintf(w, "# last %d morph decisions\n", len(s.Decisions))
+		for _, d := range s.Decisions {
+			fmt.Fprintf(w, "%s\n", d)
+		}
+	}
+}
+
+// Text returns WriteText output as a string.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	s.WriteText(&b)
+	return b.String()
+}

@@ -43,7 +43,10 @@ func (w *Writer) Declare(f *pbio.Format, xforms ...*core.Xform) {
 }
 
 // Append writes one record; the format's meta-data precedes its first
-// record automatically.
+// record automatically. Append is safe for concurrent use: the underlying
+// wire connection serializes frame writes, so records from concurrent
+// producers interleave at record granularity (never mid-frame), though
+// their relative order is unspecified.
 func (w *Writer) Append(rec *pbio.Record) error {
 	return w.conn.WriteRecord(rec)
 }

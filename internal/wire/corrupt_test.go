@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"io"
 	"net"
 	"sync"
@@ -129,6 +130,101 @@ func TestQuickCorruptionNeverPanics(t *testing.T) {
 	if err := quick.Check(prop, &quick.Config{MaxCount: 75}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// rawFrame builds one wire frame byte-for-byte, bypassing Conn, so tests
+// can inject malformed bodies.
+func rawFrame(typ byte, body []byte) []byte {
+	out := []byte{typ}
+	out = appendUvarint(out, uint64(len(body)))
+	return append(out, body...)
+}
+
+func appendUvarint(b []byte, x uint64) []byte {
+	for x >= 0x80 {
+		b = append(b, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(b, byte(x))
+}
+
+// TestFormatFrameDecodeErrorCounted: a malformed format control frame must
+// surface as an ErrBadFrame from ReadRecord AND be counted in
+// Stats().FormatErrors — previously the failure was indistinguishable from
+// any other connection teardown in the counters.
+func TestFormatFrameDecodeErrorCounted(t *testing.T) {
+	cases := map[string][]byte{
+		"garbage body":    []byte{0xff, 0xfe, 0xfd, 0xfc},
+		"empty body":      {},
+		"truncated chunk": appendUvarint(nil, 1000), // declares 1000-byte blob, provides none
+		"bad format blob": append(appendUvarint(nil, 3), 0x01, 0x02, 0x03),
+		"no xform count":  appendUvarint(nil, 0), // zero-length blob, then missing count
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			pipe := newBufferPipe()
+			if _, err := pipe.Write(rawFrame(1 /* frameFormat */, body)); err != nil {
+				t.Fatal(err)
+			}
+			rx := NewConn(&bufferedConn{r: pipe, w: newBufferPipe()})
+			_, err := rx.ReadRecord()
+			if err == nil {
+				t.Fatal("malformed format frame must error")
+			}
+			if !errors.Is(err, ErrBadFrame) {
+				t.Errorf("err = %v, want ErrBadFrame", err)
+			}
+			if st := rx.Stats(); st.FormatErrors != 1 {
+				t.Errorf("FormatErrors = %d, want 1 (stats: %+v)", st.FormatErrors, st)
+			}
+		})
+	}
+}
+
+// TestCorruptAndOversizedCounted: frame-layer damage lands in the matching
+// error counters.
+func TestCorruptAndOversizedCounted(t *testing.T) {
+	t.Run("oversized", func(t *testing.T) {
+		pipe := newBufferPipe()
+		if _, err := pipe.Write(rawFrame(2, make([]byte, 64))); err != nil {
+			t.Fatal(err)
+		}
+		rx := NewConn(&bufferedConn{r: pipe, w: newBufferPipe()}, WithMaxFrame(16))
+		if _, err := rx.ReadRecord(); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+		}
+		if st := rx.Stats(); st.OversizedFrames != 1 {
+			t.Errorf("OversizedFrames = %d, want 1", st.OversizedFrames)
+		}
+	})
+	t.Run("unknown frame type", func(t *testing.T) {
+		pipe := newBufferPipe()
+		if _, err := pipe.Write(rawFrame(9, nil)); err != nil {
+			t.Fatal(err)
+		}
+		rx := NewConn(&bufferedConn{r: pipe, w: newBufferPipe()})
+		if _, err := rx.ReadRecord(); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("err = %v, want ErrBadFrame", err)
+		}
+		if st := rx.Stats(); st.CorruptFrames != 1 {
+			t.Errorf("CorruptFrames = %d, want 1", st.CorruptFrames)
+		}
+	})
+	t.Run("truncated body", func(t *testing.T) {
+		pipe := newBufferPipe()
+		frame := rawFrame(2, make([]byte, 64))
+		if _, err := pipe.Write(frame[:10]); err != nil {
+			t.Fatal(err)
+		}
+		_ = pipe.Close()
+		rx := NewConn(&bufferedConn{r: pipe, w: newBufferPipe()})
+		if _, err := rx.ReadRecord(); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("err = %v, want ErrBadFrame", err)
+		}
+		if st := rx.Stats(); st.CorruptFrames != 1 {
+			t.Errorf("CorruptFrames = %d, want 1", st.CorruptFrames)
+		}
+	})
 }
 
 // TestTruncatedStream: cutting the stream anywhere yields clean errors.

@@ -22,8 +22,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pbio"
 )
 
@@ -81,12 +83,32 @@ type Conn struct {
 		dataSent, dataRecv     atomic.Uint64 // data frames
 		formatSent, formatRecv atomic.Uint64 // format control frames
 		bytesSent, bytesRecv   atomic.Uint64 // frame bodies incl. headers
+		formatErrors           atomic.Uint64 // malformed format control frames
+		corruptFrames          atomic.Uint64 // malformed frame headers/bodies
+		oversizedFrames        atomic.Uint64 // frames over the size limit
+	}
+
+	// obs instruments are nil unless WithObs attached a registry; unlike
+	// the per-connection stats above, they aggregate across every
+	// connection sharing the registry.
+	obs *obs.Registry
+	om  struct {
+		dataSent, dataRecv     *obs.Counter
+		formatSent, formatRecv *obs.Counter
+		bytesSent, bytesRecv   *obs.Counter
+		formatErrors           *obs.Counter
+		corruptFrames          *obs.Counter
+		oversizedFrames        *obs.Counter
+		formatNS               *obs.Histogram // format control frame handling time
 	}
 }
 
 // Stats is a snapshot of a connection's frame counters. The format counters
 // make the out-of-band design visible: in steady state they stay constant
-// while the data counters grow.
+// while the data counters grow. The error counters surface hostile or
+// corrupt input: malformed format control frames (FormatErrors), malformed
+// frame headers/bodies (CorruptFrames), and frames rejected by the size
+// limit (OversizedFrames).
 type Stats struct {
 	DataFramesSent   uint64
 	DataFramesRecv   uint64
@@ -94,6 +116,9 @@ type Stats struct {
 	FormatFramesRecv uint64
 	BytesSent        uint64
 	BytesRecv        uint64
+	FormatErrors     uint64
+	CorruptFrames    uint64
+	OversizedFrames  uint64
 }
 
 // Stats returns the connection's counters.
@@ -105,6 +130,9 @@ func (c *Conn) Stats() Stats {
 		FormatFramesRecv: c.stats.formatRecv.Load(),
 		BytesSent:        c.stats.bytesSent.Load(),
 		BytesRecv:        c.stats.bytesRecv.Load(),
+		FormatErrors:     c.stats.formatErrors.Load(),
+		CorruptFrames:    c.stats.corruptFrames.Load(),
+		OversizedFrames:  c.stats.oversizedFrames.Load(),
 	}
 }
 
@@ -124,6 +152,15 @@ func WithMorpher(m *core.Morpher) Option {
 // WithMaxFrame overrides the incoming frame size limit.
 func WithMaxFrame(n int) Option {
 	return func(c *Conn) { c.maxFrame = n }
+}
+
+// WithObs attaches an observability registry: the connection mirrors its
+// frame/byte/error counters into the registry's "wire.*" instruments and
+// records format-control-frame handling time. Connections sharing a
+// registry aggregate. A nil registry is valid and leaves observability
+// disabled.
+func WithObs(reg *obs.Registry) Option {
+	return func(c *Conn) { c.obs = reg }
 }
 
 // WithFormatHook installs a callback invoked whenever a format control
@@ -154,6 +191,18 @@ func NewStreamConn(nc Stream, opts ...Option) *Conn {
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.obs != nil {
+		c.om.dataSent = c.obs.Counter("wire.data_frames_sent")
+		c.om.dataRecv = c.obs.Counter("wire.data_frames_recv")
+		c.om.formatSent = c.obs.Counter("wire.format_frames_sent")
+		c.om.formatRecv = c.obs.Counter("wire.format_frames_recv")
+		c.om.bytesSent = c.obs.Counter("wire.bytes_sent")
+		c.om.bytesRecv = c.obs.Counter("wire.bytes_recv")
+		c.om.formatErrors = c.obs.Counter("wire.format_errors")
+		c.om.corruptFrames = c.obs.Counter("wire.corrupt_frames")
+		c.om.oversizedFrames = c.obs.Counter("wire.oversized_frames")
+		c.om.formatNS = c.obs.Histogram("wire.format_frame_ns")
 	}
 	return c
 }
@@ -219,10 +268,13 @@ func (c *Conn) writeFrameLocked(typ byte, body []byte) error {
 		return err
 	}
 	c.stats.bytesSent.Add(uint64(1 + n + len(body)))
+	c.om.bytesSent.Add(uint64(1 + n + len(body)))
 	if typ == frameData {
 		c.stats.dataSent.Add(1)
+		c.om.dataSent.Inc()
 	} else {
 		c.stats.formatSent.Add(1)
+		c.om.formatSent.Inc()
 	}
 	return nil
 }
@@ -239,12 +291,24 @@ func (c *Conn) ReadRecord() (*pbio.Record, error) {
 		}
 		switch typ {
 		case frameFormat:
+			var t0 time.Time
+			if c.om.formatNS != nil {
+				t0 = time.Now()
+			}
 			if err := c.handleFormatFrame(body); err != nil {
+				// Surface malformed format meta-data loudly: count it (the
+				// satellite fix for silently indistinguishable drops) and
+				// return the error to the caller.
+				c.stats.formatErrors.Add(1)
+				c.om.formatErrors.Inc()
 				return nil, err
 			}
+			c.om.formatNS.ObserveNS(time.Since(t0).Nanoseconds())
 		case frameData:
 			fp, err := pbio.PeekFingerprint(body)
 			if err != nil {
+				c.stats.corruptFrames.Add(1)
+				c.om.corruptFrames.Inc()
 				return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
 			}
 			f, ok := c.recvFormats[fp]
@@ -253,6 +317,8 @@ func (c *Conn) ReadRecord() (*pbio.Record, error) {
 			}
 			return pbio.DecodeRecord(body, f)
 		default:
+			c.stats.corruptFrames.Add(1)
+			c.om.corruptFrames.Inc()
 			return nil, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, typ)
 		}
 	}
@@ -265,20 +331,29 @@ func (c *Conn) readFrame() (byte, []byte, error) {
 	}
 	size, err := binary.ReadUvarint(c.br)
 	if err != nil {
+		c.stats.corruptFrames.Add(1)
+		c.om.corruptFrames.Inc()
 		return 0, nil, fmt.Errorf("%w: bad length: %v", ErrBadFrame, err)
 	}
 	if size > uint64(c.maxFrame) {
+		c.stats.oversizedFrames.Add(1)
+		c.om.oversizedFrames.Inc()
 		return 0, nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, size, c.maxFrame)
 	}
 	body := make([]byte, size)
 	if _, err := io.ReadFull(c.br, body); err != nil {
+		c.stats.corruptFrames.Add(1)
+		c.om.corruptFrames.Inc()
 		return 0, nil, fmt.Errorf("%w: truncated body: %v", ErrBadFrame, err)
 	}
 	c.stats.bytesRecv.Add(1 + uint64(uvarintLen(size)) + size)
+	c.om.bytesRecv.Add(1 + uint64(uvarintLen(size)) + size)
 	if typ == frameData {
 		c.stats.dataRecv.Add(1)
+		c.om.dataRecv.Inc()
 	} else {
 		c.stats.formatRecv.Add(1)
+		c.om.formatRecv.Inc()
 	}
 	return typ, body, nil
 }

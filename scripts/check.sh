@@ -1,0 +1,14 @@
+#!/bin/sh
+# Repo hygiene gate: vet, build, and race-enabled tests for every package.
+# Referenced from README.md ("Observability" / "Testing"); CI and pre-commit
+# both run exactly this.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "ok"
