@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	morphbench [-exp all|table1|fig8|fig9|fig10|ablations] [-quick] [-csv dir] [-obs]
+//	morphbench [-exp all|table1|fig8|fig9|fig10|pipeline|ablations] [-quick] [-csv dir] [-obs]
 package main
 
 import (
@@ -32,10 +32,11 @@ func main() {
 func run(stdout io.Writer, args []string) error {
 	fs := flag.NewFlagSet("morphbench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, ablations")
-		quick   = fs.Bool("quick", false, "shorter measuring windows and smaller max size (for CI)")
-		csvDir  = fs.String("csv", "", "also write CSV files into this directory")
-		withObs = fs.Bool("obs", false, "attach an observability registry and print its final snapshot as JSON")
+		exp      = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, pipeline, ablations")
+		quick    = fs.Bool("quick", false, "shorter measuring windows and smaller max size (for CI)")
+		csvDir   = fs.String("csv", "", "also write CSV files into this directory")
+		withObs  = fs.Bool("obs", false, "attach an observability registry and print its final snapshot as JSON")
+		pipeJSON = fs.String("pipelinejson", "BENCH_pipeline.json", "file the pipeline experiment writes its results to (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +125,28 @@ func run(stdout io.Writer, args []string) error {
 			"PBIO Morphing", "XML/XSLT", morph)
 		if err := writeCSV("fig10.csv", func(f *os.File) { bench.PrintFigureCSV(f, morph) }); err != nil {
 			return err
+		}
+	}
+	if want("pipeline") {
+		results, err := h.PipelineSweep(opts.MinTotal)
+		if err != nil {
+			return err
+		}
+		bench.PrintPipeline(stdout, results)
+		if *pipeJSON != "" {
+			f, err := os.Create(*pipeJSON)
+			if err != nil {
+				return err
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(results); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
 		}
 	}
 	if want("ablations") {

@@ -66,6 +66,45 @@ func TestRunObs(t *testing.T) {
 	}
 }
 
+// TestRunPipeline drives the splice-lane A/B and checks the JSON artifact:
+// both workloads present, and the fast lane not slower than the record lane
+// (the acceptance bar of ≥2x is asserted by the real benchmark runs, not in
+// a -quick unit test where timing windows are tiny).
+func TestRunPipeline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	var out strings.Builder
+	if err := run(&out, []string{"-exp", "pipeline", "-quick", "-pipelinejson", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "record lane vs splice lane") {
+		t.Errorf("output missing pipeline section:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []struct {
+		Workload string  `json:"workload"`
+		RecordNS int64   `json:"record_ns_per_op"`
+		SpliceNS int64   `json:"splice_ns_per_op"`
+		Speedup  float64 `json:"speedup"`
+	}
+	if err := json.Unmarshal(raw, &results); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(results) != 2 || results[0].Workload != "identity" || results[1].Workload != "convert" {
+		t.Fatalf("unexpected workloads in %s", raw)
+	}
+	for _, r := range results {
+		if r.RecordNS <= 0 || r.SpliceNS <= 0 {
+			t.Errorf("%s: non-positive timings: %+v", r.Workload, r)
+		}
+		if r.Speedup < 1 {
+			t.Errorf("%s: splice lane slower than record lane: %+v", r.Workload, r)
+		}
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run(&out, []string{"-definitely-not-a-flag"}); err == nil {

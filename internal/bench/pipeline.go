@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pbio"
+)
+
+// The pipeline experiment is the A/B for the zero-copy encoded fast path:
+// the same encoded message delivered through Morpher.DeliverEncoded with the
+// byte-level splice lane enabled (the default) and disabled
+// (core.WithSpliceDisabled, i.e. the record lane: decode → convert →
+// re-encode). Two workloads are measured on a fixed-stride telemetry format:
+//
+//   - identity: the subscriber registered exactly the wire format, so the
+//     fast lane is a validated pass-through of the incoming bytes.
+//   - convert:  the subscriber registered an older, reordered subset, so the
+//     fast lane executes a compiled splice program (copy runs + fill
+//     template) with a single output allocation.
+//
+// The handler consumes bytes in both lanes, so each lane pays its true
+// end-to-end cost.
+
+// PipelineResult is one workload's A/B measurement.
+type PipelineResult struct {
+	Workload     string  `json:"workload"`
+	RecordNS     int64   `json:"record_ns_per_op"`
+	SpliceNS     int64   `json:"splice_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+	RecordAllocs float64 `json:"record_allocs_per_op"`
+	SpliceAllocs float64 `json:"splice_allocs_per_op"`
+}
+
+func pipelineFormats() (v2, v1 *pbio.Format, err error) {
+	v2, err = pbio.NewFormat("host_stats", []pbio.Field{
+		{Name: "timestamp", Kind: pbio.Unsigned, Size: 8},
+		{Name: "node_id", Kind: pbio.Integer, Size: 4},
+		{Name: "cpu_load", Kind: pbio.Float, Size: 8},
+		{Name: "mem_used", Kind: pbio.Unsigned, Size: 8},
+		{Name: "mem_total", Kind: pbio.Unsigned, Size: 8},
+		{Name: "net_rx", Kind: pbio.Unsigned, Size: 8},
+		{Name: "net_tx", Kind: pbio.Unsigned, Size: 8},
+		{Name: "healthy", Kind: pbio.Boolean},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	v1, err = pbio.NewFormat("host_stats", []pbio.Field{
+		{Name: "node_id", Kind: pbio.Integer, Size: 4},
+		{Name: "timestamp", Kind: pbio.Unsigned, Size: 8},
+		{Name: "cpu_load", Kind: pbio.Float, Size: 8},
+		{Name: "mem_used", Kind: pbio.Unsigned, Size: 8},
+	})
+	return v2, v1, err
+}
+
+// pipelineMorpher builds a single-subscriber morpher with the decision cache
+// warmed, returning the delivery closure to measure.
+func pipelineMorpher(dst, wireFmt *pbio.Format, data []byte, opts ...core.MorpherOption) (func(), error) {
+	m := core.NewMorpher(core.DefaultThresholds, opts...)
+	if err := m.RegisterFormatEncoded(dst, func([]byte, *pbio.Format) error { return nil }); err != nil {
+		return nil, err
+	}
+	if err := m.DeliverEncoded(data, wireFmt); err != nil {
+		return nil, err
+	}
+	return func() {
+		if err := m.DeliverEncoded(data, wireFmt); err != nil {
+			panic(err)
+		}
+	}, nil
+}
+
+// PipelineSweep measures both workloads on both lanes.
+func (h *Harness) PipelineSweep(minTotal time.Duration) ([]PipelineResult, error) {
+	v2, v1, err := pipelineFormats()
+	if err != nil {
+		return nil, err
+	}
+	data := pbio.EncodeRecord(pbio.NewRecord(v2).
+		MustSet("timestamp", pbio.Uint(1722902400)).
+		MustSet("node_id", pbio.Int(17)).
+		MustSet("cpu_load", pbio.Float64(0.73)).
+		MustSet("mem_used", pbio.Uint(6<<30)).
+		MustSet("mem_total", pbio.Uint(16<<30)).
+		MustSet("net_rx", pbio.Uint(1<<20)).
+		MustSet("net_tx", pbio.Uint(2<<20)).
+		MustSet("healthy", pbio.Bool(true)))
+
+	var out []PipelineResult
+	for _, wl := range []struct {
+		name string
+		dst  *pbio.Format
+	}{
+		{"identity", v2},
+		{"convert", v1},
+	} {
+		record, err := pipelineMorpher(wl.dst, v2, data, core.WithSpliceDisabled())
+		if err != nil {
+			return nil, err
+		}
+		splice, err := pipelineMorpher(wl.dst, v2, data)
+		if err != nil {
+			return nil, err
+		}
+		r := PipelineResult{
+			Workload:     wl.name,
+			RecordNS:     timeIt(record, minTotal).Nanoseconds(),
+			SpliceNS:     timeIt(splice, minTotal).Nanoseconds(),
+			RecordAllocs: testing.AllocsPerRun(200, record),
+			SpliceAllocs: testing.AllocsPerRun(200, splice),
+		}
+		if r.SpliceNS > 0 {
+			r.Speedup = float64(r.RecordNS) / float64(r.SpliceNS)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PrintPipeline renders the sweep as the paper-style text block.
+func PrintPipeline(w io.Writer, results []PipelineResult) {
+	fmt.Fprintln(w, "Pipeline. Encoded delivery: record lane vs splice lane (ns/op, allocs/op)")
+	fmt.Fprintf(w, "  %-10s %12s %12s %9s %14s %14s\n",
+		"workload", "record", "splice", "speedup", "record allocs", "splice allocs")
+	for _, r := range results {
+		fmt.Fprintf(w, "  %-10s %10dns %10dns %8.1fx %14.1f %14.1f\n",
+			r.Workload, r.RecordNS, r.SpliceNS, r.Speedup, r.RecordAllocs, r.SpliceAllocs)
+	}
+	fmt.Fprintln(w)
+}

@@ -15,6 +15,15 @@ import (
 // handler's owner registered.
 type Handler func(*pbio.Record) error
 
+// EncodedHandler consumes a delivered message in its encoded form: a valid
+// enveloped message (fingerprint + payload) of the registered format f.
+// Handlers that operate on bytes — spools, relays, fan-out servers — skip
+// record materialization entirely on the splice fast lane.
+//
+// The data slice may alias a transport-owned (pooled) buffer; it is valid
+// only for the duration of the call and must be copied if retained.
+type EncodedHandler func(data []byte, f *pbio.Format) error
+
 // Morpher errors.
 var (
 	// ErrRejected is returned when no registered format matches an incoming
@@ -34,18 +43,20 @@ var (
 // appear to run ahead of the deliveries that caused them, even under
 // concurrent load.
 type Stats struct {
-	Delivered   uint64 // messages processed
-	CacheHits   uint64 // messages whose format decision was already cached
-	Compiled    uint64 // transformation programs compiled (cold path)
-	Transformed uint64 // messages that ran ≥1 transformation step
-	Converted   uint64 // messages that needed name-wise fill/drop conversion
-	Rejected    uint64 // messages with no acceptable match
+	Delivered    uint64 // messages processed
+	CacheHits    uint64 // messages whose format decision was already cached
+	Compiled     uint64 // transformation programs compiled (cold path)
+	Transformed  uint64 // messages that ran ≥1 transformation step
+	Converted    uint64 // messages that needed name-wise fill/drop conversion
+	Rejected     uint64 // messages with no acceptable match
+	SpliceHits   uint64 // accepted deliveries completed on the encoded (byte-level) lane
+	SpliceMisses uint64 // accepted deliveries that materialized a Record
 }
 
 // String renders the snapshot as one log-friendly line.
 func (s Stats) String() string {
-	return fmt.Sprintf("delivered=%d cache_hits=%d compiled=%d transformed=%d converted=%d rejected=%d",
-		s.Delivered, s.CacheHits, s.Compiled, s.Transformed, s.Converted, s.Rejected)
+	return fmt.Sprintf("delivered=%d cache_hits=%d compiled=%d transformed=%d converted=%d rejected=%d splice_hits=%d splice_misses=%d",
+		s.Delivered, s.CacheHits, s.Compiled, s.Transformed, s.Converted, s.Rejected, s.SpliceHits, s.SpliceMisses)
 }
 
 // Morpher is the receiver-side morphing engine (the paper's Algorithm 2).
@@ -58,7 +69,8 @@ func (s Stats) String() string {
 // whole decision under the incoming fingerprint, and delivers. Subsequent
 // messages of that format take the cached fast path.
 type Morpher struct {
-	th Thresholds
+	th       Thresholds
+	noSplice bool
 
 	mu             sync.RWMutex
 	weigher        Weigher
@@ -79,19 +91,22 @@ type Morpher struct {
 	compileHist *obs.Histogram // per-transform compile latency
 }
 
-// morphCounters are the six activity counters of Stats.
+// morphCounters are the activity counters of Stats.
 type morphCounters struct {
 	delivered, cacheHits, compiled, transformed, converted, rejected *obs.Counter
+	spliceHits, spliceMisses                                         *obs.Counter
 }
 
 func newPrivateCounters() morphCounters {
 	return morphCounters{
-		delivered:   &obs.Counter{},
-		cacheHits:   &obs.Counter{},
-		compiled:    &obs.Counter{},
-		transformed: &obs.Counter{},
-		converted:   &obs.Counter{},
-		rejected:    &obs.Counter{},
+		delivered:    &obs.Counter{},
+		cacheHits:    &obs.Counter{},
+		compiled:     &obs.Counter{},
+		transformed:  &obs.Counter{},
+		converted:    &obs.Counter{},
+		rejected:     &obs.Counter{},
+		spliceHits:   &obs.Counter{},
+		spliceMisses: &obs.Counter{},
 	}
 }
 
@@ -102,8 +117,32 @@ func newPrivateCounters() morphCounters {
 const hotSampleMask = 255
 
 type registration struct {
-	format  *pbio.Format
-	handler Handler
+	format     *pbio.Format
+	handler    Handler
+	encHandler EncodedHandler
+}
+
+// deliverRecord invokes the registration's handler with a boxed record,
+// encoding it on demand when only an encoded handler is registered.
+func (r *registration) deliverRecord(rec *pbio.Record) error {
+	if r.handler != nil {
+		return r.handler(rec)
+	}
+	return r.encHandler(pbio.EncodeRecord(rec), r.format)
+}
+
+// deliverEncoded invokes the registration's handler with an enveloped
+// message of the registered format, decoding lazily when only a boxed
+// handler is registered.
+func (r *registration) deliverEncoded(data []byte) error {
+	if r.encHandler != nil {
+		return r.encHandler(data, r.format)
+	}
+	rec, err := pbio.DecodeRecord(data, r.format)
+	if err != nil {
+		return err
+	}
+	return r.handler(rec)
 }
 
 // decision is the cached outcome of the expensive path of Algorithm 2 for
@@ -114,6 +153,38 @@ type decision struct {
 	dsts   []*pbio.Format   // destination format of each step
 	conv   *Converter       // name-wise fill/drop; nil when structures align
 	reg    *registration
+
+	// Byte-level fast lane (splice.go). identity marks a structure-identical
+	// match (no steps, no conv); passLen is the exact enveloped length of an
+	// identity message when the format is fixed-stride (0 = not applicable),
+	// enabling zero-copy pass-through; splice is the compiled byte-level
+	// conversion when the whole plan reduces to copies and fills.
+	identity bool
+	passLen  int
+	splice   *spliceProgram
+}
+
+// finalizeFastLane derives the decision's byte-lane fields once, at build
+// time. noSplice (WithSpliceDisabled) keeps the record lane authoritative,
+// for A/B benchmarking and as an escape hatch.
+func (d *decision) finalizeFastLane(noSplice bool) {
+	d.identity = !d.reject && len(d.steps) == 0 && d.conv == nil
+	if noSplice || d.reject {
+		return
+	}
+	if d.identity {
+		if l := d.reg.format.Layout(); l.Fixed() {
+			// A fixed-stride payload of the right length is fully valid, so
+			// identity deliveries can forward the incoming bytes untouched.
+			d.passLen = pbio.EnvelopeSize + l.Size()
+		}
+		return
+	}
+	if len(d.steps) == 0 && d.conv != nil {
+		if sp, ok := compileSplice(d.conv); ok {
+			d.splice = sp
+		}
+	}
 }
 
 // MorpherOption configures a Morpher at construction time.
@@ -125,6 +196,13 @@ type MorpherOption func(*Morpher)
 // recorded. A nil registry is valid and leaves observability disabled.
 func WithObs(reg *obs.Registry) MorpherOption {
 	return func(m *Morpher) { m.reg = reg }
+}
+
+// WithSpliceDisabled turns the byte-level fast lane off: every delivery goes
+// through the record lane, as before the splice optimization. Exists as an
+// escape hatch and for A/B measurement (morphbench's pipeline experiment).
+func WithSpliceDisabled() MorpherOption {
+	return func(m *Morpher) { m.noSplice = true }
 }
 
 // NewMorpher returns a Morpher with the given thresholds. Use
@@ -142,12 +220,14 @@ func NewMorpher(th Thresholds, opts ...MorpherOption) *Morpher {
 	}
 	if m.reg != nil {
 		m.c = morphCounters{
-			delivered:   m.reg.Counter("core.delivered"),
-			cacheHits:   m.reg.Counter("core.cache_hits"),
-			compiled:    m.reg.Counter("core.compiled"),
-			transformed: m.reg.Counter("core.transformed"),
-			converted:   m.reg.Counter("core.converted"),
-			rejected:    m.reg.Counter("core.rejected"),
+			delivered:    m.reg.Counter("core.delivered"),
+			cacheHits:    m.reg.Counter("core.cache_hits"),
+			compiled:     m.reg.Counter("core.compiled"),
+			transformed:  m.reg.Counter("core.transformed"),
+			converted:    m.reg.Counter("core.converted"),
+			rejected:     m.reg.Counter("core.rejected"),
+			spliceHits:   m.reg.Counter("core.splice_hits"),
+			spliceMisses: m.reg.Counter("core.splice_misses"),
 		}
 		m.hotHist = m.reg.Histogram("core.deliver_hot_ns")
 		m.coldHist = m.reg.Histogram("core.decide_cold_ns")
@@ -166,19 +246,35 @@ func (m *Morpher) Thresholds() Thresholds { return m.th }
 // same fingerprint again replaces its handler. Registration order matters
 // for ties: earlier formats win equal MaxMatch scores.
 func (m *Morpher) RegisterFormat(f *pbio.Format, handler Handler) error {
-	if f == nil {
-		return errors.New("core: nil format")
-	}
 	if handler == nil {
 		return errors.New("core: nil handler")
+	}
+	return m.register(f, &registration{format: f, handler: handler})
+}
+
+// RegisterFormatEncoded is RegisterFormat for byte-level consumers: matching
+// messages reach handler as enveloped bytes of format f. Deliveries on the
+// splice fast lane never materialize a Record on the way; record-lane
+// deliveries (transformation chains, width-changing conversions, Deliver
+// with an already-boxed record) encode the result before invoking handler.
+// Registering the same fingerprint again replaces the handler in kind.
+func (m *Morpher) RegisterFormatEncoded(f *pbio.Format, handler EncodedHandler) error {
+	if handler == nil {
+		return errors.New("core: nil handler")
+	}
+	return m.register(f, &registration{format: f, encHandler: handler})
+}
+
+func (m *Morpher) register(f *pbio.Format, reg *registration) error {
+	if f == nil {
+		return errors.New("core: nil format")
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if existing, ok := m.byFP[f.Fingerprint()]; ok {
-		existing.handler = handler
+		existing.handler, existing.encHandler = reg.handler, reg.encHandler
 		return nil
 	}
-	reg := &registration{format: f, handler: handler}
 	m.regs = append(m.regs, reg)
 	m.byFP[f.Fingerprint()] = reg
 	m.invalidateLocked()
@@ -264,11 +360,13 @@ func (m *Morpher) invalidateLocked() {
 // over-count it relative to the sub-counters, never under-count.
 func (m *Morpher) Stats() Stats {
 	s := Stats{
-		CacheHits:   m.c.cacheHits.Load(),
-		Compiled:    m.c.compiled.Load(),
-		Transformed: m.c.transformed.Load(),
-		Converted:   m.c.converted.Load(),
-		Rejected:    m.c.rejected.Load(),
+		CacheHits:    m.c.cacheHits.Load(),
+		Compiled:     m.c.compiled.Load(),
+		Transformed:  m.c.transformed.Load(),
+		Converted:    m.c.converted.Load(),
+		Rejected:     m.c.rejected.Load(),
+		SpliceHits:   m.c.spliceHits.Load(),
+		SpliceMisses: m.c.spliceMisses.Load(),
 	}
 	s.Delivered = m.c.delivered.Load()
 	return s
@@ -290,7 +388,7 @@ func (m *Morpher) Deliver(rec *pbio.Record) error {
 		}
 		return fmt.Errorf("%w: %q (%016x)", ErrRejected, rec.Format().Name(), rec.Format().Fingerprint())
 	}
-	return d.reg.handler(out)
+	return d.reg.deliverRecord(out)
 }
 
 // Morph converts rec into a registered format without invoking its handler;
@@ -326,6 +424,7 @@ func (m *Morpher) morph(rec *pbio.Record) (*pbio.Record, *decision, error) {
 		m.c.rejected.Inc()
 		return nil, d, nil
 	}
+	m.c.spliceMisses.Inc() // a boxed delivery is by definition a record-lane delivery
 	out, err := m.applyDecision(d, rec)
 	if err != nil {
 		return nil, nil, err
@@ -336,14 +435,100 @@ func (m *Morpher) morph(rec *pbio.Record) (*pbio.Record, *decision, error) {
 	return out, d, nil
 }
 
-// DeliverEncoded decodes an enveloped message (whose wire format the
-// transport looked up out-of-band) and delivers it.
+// DeliverEncoded delivers an enveloped message (whose wire format the
+// transport looked up out-of-band) without necessarily decoding it.
+//
+// The cached decision is consulted first: identity decisions on
+// fixed-stride formats pass the incoming bytes straight through (zero
+// copies, zero allocations), and decisions whose whole plan compiled to a
+// splice program are executed directly []byte → []byte with a single output
+// allocation. Both count as core.splice_hits. Everything else — variable
+// width formats, transformation chains, width-changing conversions — falls
+// back to decode + record lane and counts as core.splice_misses. Boxed
+// Handler registrations work on either lane via lazy decode.
 func (m *Morpher) DeliverEncoded(data []byte, wire *pbio.Format) error {
+	fp, err := pbio.PeekFingerprint(data)
+	if err != nil {
+		return err
+	}
+	if fp != wire.Fingerprint() {
+		return fmt.Errorf("%w: message %016x, format %q is %016x",
+			pbio.ErrFingerprint, fp, wire.Name(), wire.Fingerprint())
+	}
+	n := m.c.delivered.Inc()
+	timed := m.hotHist != nil && n&hotSampleMask == 1
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	d, hit, err := m.decide(wire)
+	if err != nil {
+		return err
+	}
+	if d.reject {
+		m.c.rejected.Inc()
+		m.mu.RLock()
+		dh := m.defaultHandler
+		m.mu.RUnlock()
+		if dh == nil {
+			return fmt.Errorf("%w: %q (%016x)", ErrRejected, wire.Name(), fp)
+		}
+		rec, err := pbio.DecodeRecord(data, wire)
+		if err != nil {
+			return err
+		}
+		return dh(rec)
+	}
+
+	// Byte lane: splice or fixed-stride identity pass-through. Length
+	// validation is strict — a short (or long) payload is rejected before a
+	// single byte is copied out of it.
+	if d.splice != nil {
+		out, err := d.splice.run(data)
+		if err != nil {
+			return err
+		}
+		m.c.spliceHits.Inc()
+		err = d.reg.deliverEncoded(out)
+		if timed && hit {
+			m.hotHist.ObserveNS(time.Since(t0).Nanoseconds())
+		}
+		return err
+	}
+	if d.passLen != 0 {
+		if len(data) != d.passLen {
+			return fmt.Errorf("%w: identity lane: %d payload bytes, fixed format %q needs %d",
+				pbio.ErrShortMessage, len(data)-pbio.EnvelopeSize, wire.Name(), d.passLen-pbio.EnvelopeSize)
+		}
+		m.c.spliceHits.Inc()
+		err = d.reg.deliverEncoded(data)
+		if timed && hit {
+			m.hotHist.ObserveNS(time.Since(t0).Nanoseconds())
+		}
+		return err
+	}
+
+	// Record lane: decode, transform/convert, deliver. Identity decisions
+	// on variable-width formats still hand encoded consumers the original
+	// bytes — the decode above serves as validation only.
+	m.c.spliceMisses.Inc()
 	rec, err := pbio.DecodeRecord(data, wire)
 	if err != nil {
 		return err
 	}
-	return m.Deliver(rec)
+	out, err := m.applyDecision(d, rec)
+	if err != nil {
+		return err
+	}
+	if d.identity && d.reg.encHandler != nil {
+		err = d.reg.encHandler(data, d.reg.format)
+	} else {
+		err = d.reg.deliverRecord(out)
+	}
+	if timed && hit {
+		m.hotHist.ObserveNS(time.Since(t0).Nanoseconds())
+	}
+	return err
 }
 
 func (m *Morpher) applyDecision(d *decision, rec *pbio.Record) (*pbio.Record, error) {
@@ -407,6 +592,7 @@ func (m *Morpher) decide(fm *pbio.Format) (d *decision, hit bool, err error) {
 	if err != nil {
 		return nil, false, err
 	}
+	d.finalizeFastLane(m.noSplice)
 	m.cache[fp] = d
 	return d, false, nil
 }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pbio"
+)
+
+// spliceBenchFormats is a realistic fixed-stride telemetry pair: v2 is the
+// wire format, v1 is the subscriber's older view (a reordered subset), so
+// v2 → v1 is a genuine fill/drop conversion that compiles to a splice.
+func spliceBenchFormats(b *testing.B) (v2, v1 *pbio.Format) {
+	b.Helper()
+	var err error
+	v2, err = pbio.NewFormat("host_stats", []pbio.Field{
+		{Name: "timestamp", Kind: pbio.Unsigned, Size: 8},
+		{Name: "node_id", Kind: pbio.Integer, Size: 4},
+		{Name: "cpu_load", Kind: pbio.Float, Size: 8},
+		{Name: "mem_used", Kind: pbio.Unsigned, Size: 8},
+		{Name: "mem_total", Kind: pbio.Unsigned, Size: 8},
+		{Name: "net_rx", Kind: pbio.Unsigned, Size: 8},
+		{Name: "net_tx", Kind: pbio.Unsigned, Size: 8},
+		{Name: "healthy", Kind: pbio.Boolean},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v1, err = pbio.NewFormat("host_stats", []pbio.Field{
+		{Name: "node_id", Kind: pbio.Integer, Size: 4},
+		{Name: "timestamp", Kind: pbio.Unsigned, Size: 8},
+		{Name: "cpu_load", Kind: pbio.Float, Size: 8},
+		{Name: "mem_used", Kind: pbio.Unsigned, Size: 8},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return v2, v1
+}
+
+func spliceBenchMessage(b *testing.B, f *pbio.Format) []byte {
+	b.Helper()
+	return pbio.EncodeRecord(pbio.NewRecord(f).
+		MustSet("timestamp", pbio.Uint(1722902400)).
+		MustSet("node_id", pbio.Int(17)).
+		MustSet("cpu_load", pbio.Float64(0.73)).
+		MustSet("mem_used", pbio.Uint(6<<30)).
+		MustSet("mem_total", pbio.Uint(16<<30)).
+		MustSet("net_rx", pbio.Uint(1<<20)).
+		MustSet("net_tx", pbio.Uint(2<<20)).
+		MustSet("healthy", pbio.Bool(true)))
+}
+
+// BenchmarkDeliverEncodedSplice is the tentpole A/B: encoded delivery on the
+// byte-level splice lane versus the record lane (WithSpliceDisabled), for an
+// identity match and for a reordering/dropping conversion. The handler is a
+// byte consumer in all variants, so the record lane pays its real cost
+// (decode + convert + re-encode) and the splice lane its real cost
+// (validate + memcpy).
+func BenchmarkDeliverEncodedSplice(b *testing.B) {
+	v2, v1 := spliceBenchFormats(b)
+	data := spliceBenchMessage(b, v2)
+
+	for _, tc := range []struct {
+		name string
+		dst  *pbio.Format
+		opts []MorpherOption
+	}{
+		{"identity/record", v2, []MorpherOption{WithSpliceDisabled()}},
+		{"identity/splice", v2, nil},
+		{"convert/record", v1, []MorpherOption{WithSpliceDisabled()}},
+		{"convert/splice", v1, nil},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m := NewMorpher(DefaultThresholds, tc.opts...)
+			if err := m.RegisterFormatEncoded(tc.dst, func([]byte, *pbio.Format) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.DeliverEncoded(data, v2); err != nil { // warm the decision cache
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.DeliverEncoded(data, v2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

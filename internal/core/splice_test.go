@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pbio"
+)
+
+// randomFixedFormat is randomFormat restricted to fixed-width kinds (plus
+// nested complex fields), so every generated format is fixed-stride. Names
+// come from the same shared pool, so random pairs overlap and exercise real
+// fill/drop conversions.
+func randomFixedFormat(rng *rand.Rand, depth int) *pbio.Format {
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	n := 1 + rng.Intn(len(names)-1)
+	fields := make([]pbio.Field, 0, n)
+	for i := 0; i < n; i++ {
+		fields = append(fields, randomFixedField(rng, names[i], depth))
+	}
+	f, err := pbio.NewFormat("quick", fields)
+	if err != nil {
+		panic(err) // generator bug, not a property failure
+	}
+	return f
+}
+
+func randomFixedField(rng *rand.Rand, name string, depth int) pbio.Field {
+	kinds := []pbio.Kind{pbio.Integer, pbio.Unsigned, pbio.Float, pbio.Boolean, pbio.Char, pbio.Enum}
+	if depth > 0 {
+		kinds = append(kinds, pbio.Complex)
+	}
+	k := kinds[rng.Intn(len(kinds))]
+	switch k {
+	case pbio.Complex:
+		return pbio.Field{Name: name, Kind: pbio.Complex, Sub: randomFixedFormat(rng, depth-1)}
+	case pbio.Integer, pbio.Unsigned, pbio.Enum:
+		sizes := []int{1, 2, 4, 8}
+		return pbio.Field{Name: name, Kind: k, Size: sizes[rng.Intn(len(sizes))]}
+	case pbio.Float:
+		sizes := []int{4, 8}
+		return pbio.Field{Name: name, Kind: k, Size: sizes[rng.Intn(len(sizes))]}
+	default:
+		return pbio.Field{Name: name, Kind: k}
+	}
+}
+
+// deliverOnce builds a one-registration morpher, pushes data through
+// DeliverEncoded, and reports what the handler received.
+func deliverOnce(t *testing.T, dst *pbio.Format, data []byte, src *pbio.Format, opts ...MorpherOption) ([]byte, Stats, error) {
+	t.Helper()
+	var got []byte
+	m := NewMorpher(DefaultThresholds, opts...)
+	if err := m.RegisterFormatEncoded(dst, func(b []byte, f *pbio.Format) error {
+		if !f.SameStructure(dst) {
+			t.Fatalf("handler got format %q (%016x), registered %016x", f.Name(), f.Fingerprint(), dst.Fingerprint())
+		}
+		got = append([]byte(nil), b...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := m.DeliverEncoded(data, src)
+	return got, m.Stats(), err
+}
+
+// TestQuickSpliceLaneMatchesRecordLane is the differential property the
+// whole fast lane rests on: for ANY pair of fixed-stride formats and any
+// source record, delivering the encoded message with splicing enabled and
+// with it disabled (WithSpliceDisabled) must hand the registered handler
+// byte-identical input — or both must fail identically.
+func TestQuickSpliceLaneMatchesRecordLane(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomFixedFormat(rng, 2)
+		dst := randomFixedFormat(rng, 2)
+		rec := randomRecordOf(rng, src)
+		data := pbio.EncodeRecord(rec)
+
+		spliceOut, spliceStats, errS := deliverOnce(t, dst, data, src)
+		recordOut, _, errR := deliverOnce(t, dst, data, src, WithSpliceDisabled())
+		if (errS == nil) != (errR == nil) {
+			t.Logf("seed %d: lanes disagree on acceptance: splice=%v record=%v\nsrc:\n%s\ndst:\n%s",
+				seed, errS, errR, src, dst)
+			return false
+		}
+		if !bytes.Equal(spliceOut, recordOut) {
+			t.Logf("seed %d: lanes delivered different bytes\nsplice: %x\nrecord: %x\nsrc:\n%s\ndst:\n%s",
+				seed, spliceOut, recordOut, src, dst)
+			return false
+		}
+		// Counter discipline: an accepted delivery is exactly one of hit/miss.
+		if errS == nil && spliceStats.SpliceHits+spliceStats.SpliceMisses != 1 {
+			t.Logf("seed %d: stats %+v: accepted delivery not counted exactly once", seed, spliceStats)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSpliceBoxedHandlersAgree runs the same differential property for
+// boxed Handler registrations: the splice lane's lazy decode must produce a
+// record equal to the record lane's.
+func TestQuickSpliceBoxedHandlersAgree(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomFixedFormat(rng, 2)
+		dst := randomFixedFormat(rng, 2)
+		data := pbio.EncodeRecord(randomRecordOf(rng, src))
+
+		run := func(opts ...MorpherOption) (*pbio.Record, error) {
+			var got *pbio.Record
+			m := NewMorpher(DefaultThresholds, opts...)
+			if err := m.RegisterFormat(dst, func(r *pbio.Record) error {
+				got = r
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return got, m.DeliverEncoded(data, src)
+		}
+		spliceRec, errS := run()
+		recordRec, errR := run(WithSpliceDisabled())
+		if (errS == nil) != (errR == nil) {
+			t.Logf("seed %d: lanes disagree on acceptance: splice=%v record=%v", seed, errS, errR)
+			return false
+		}
+		if errS != nil {
+			return true
+		}
+		if !spliceRec.Equal(recordRec) {
+			t.Logf("seed %d: records differ\nsplice: %s\nrecord: %s\nsrc:\n%s\ndst:\n%s",
+				seed, spliceRec, recordRec, src, dst)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func spliceTestFormats(t *testing.T) (src, dst *pbio.Format) {
+	t.Helper()
+	src, err := pbio.NewFormat("m", []pbio.Field{
+		{Name: "a", Kind: pbio.Integer, Size: 4},
+		{Name: "b", Kind: pbio.Float, Size: 8},
+		{Name: "c", Kind: pbio.Unsigned, Size: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err = pbio.NewFormat("m", []pbio.Field{
+		{Name: "c", Kind: pbio.Unsigned, Size: 2},
+		{Name: "a", Kind: pbio.Integer, Size: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, dst
+}
+
+// TestSpliceConversionTakesByteLane pins that a reordering/dropping
+// conversion between fixed-stride formats actually compiles to a splice
+// program and is counted as a splice hit — guarding against the fast lane
+// silently regressing to the record lane.
+func TestSpliceConversionTakesByteLane(t *testing.T) {
+	src, dst := spliceTestFormats(t)
+	rec := pbio.NewRecord(src).
+		MustSet("a", pbio.Int(-7)).
+		MustSet("b", pbio.Float64(2.5)).
+		MustSet("c", pbio.Uint(40000))
+	data := pbio.EncodeRecord(rec)
+
+	got, stats, err := deliverOnce(t, dst, data, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SpliceHits != 1 || stats.SpliceMisses != 0 {
+		t.Fatalf("stats %+v: conversion did not take the splice lane", stats)
+	}
+	out, err := pbio.DecodeRecord(got, dst)
+	if err != nil {
+		t.Fatalf("splice output does not decode: %v", err)
+	}
+	if v, _ := out.Get("a"); v.Int64() != -7 {
+		t.Errorf("a = %d, want -7", v.Int64())
+	}
+	if v, _ := out.Get("c"); v.Int64() != 40000 {
+		t.Errorf("c = %d, want 40000", v.Int64())
+	}
+}
+
+// TestSpliceLaneRejectsCorruptPayload proves the byte lane never copies out
+// of a payload whose length does not match the source format's stride — for
+// both the identity pass-through and a compiled splice program.
+func TestSpliceLaneRejectsCorruptPayload(t *testing.T) {
+	src, dst := spliceTestFormats(t)
+	rec := pbio.NewRecord(src).MustSet("a", pbio.Int(1))
+	data := pbio.EncodeRecord(rec)
+
+	t.Run("splice", func(t *testing.T) {
+		for _, corrupt := range [][]byte{
+			data[:len(data)-3],            // truncated payload
+			data[:pbio.EnvelopeSize],      // envelope only
+			append(append([]byte(nil), data...), 0xEE), // trailing byte
+		} {
+			got, _, err := deliverOnce(t, dst, corrupt, src)
+			if !errors.Is(err, pbio.ErrShortMessage) {
+				t.Errorf("len %d: err = %v, want ErrShortMessage", len(corrupt), err)
+			}
+			if got != nil {
+				t.Errorf("len %d: handler invoked with %x despite corrupt input", len(corrupt), got)
+			}
+		}
+	})
+	t.Run("identity", func(t *testing.T) {
+		for _, corrupt := range [][]byte{
+			data[:len(data)-3],
+			append(append([]byte(nil), data...), 0xEE),
+		} {
+			got, _, err := deliverOnce(t, src, corrupt, src)
+			if !errors.Is(err, pbio.ErrShortMessage) {
+				t.Errorf("len %d: err = %v, want ErrShortMessage", len(corrupt), err)
+			}
+			if got != nil {
+				t.Errorf("len %d: handler invoked with %x despite corrupt input", len(corrupt), got)
+			}
+		}
+	})
+}
+
+// TestSpliceDisabledByOption verifies the escape hatch: the same delivery
+// counts as a miss when WithSpliceDisabled is set.
+func TestSpliceDisabledByOption(t *testing.T) {
+	src, dst := spliceTestFormats(t)
+	data := pbio.EncodeRecord(pbio.NewRecord(src).MustSet("a", pbio.Int(5)))
+	_, stats, err := deliverOnce(t, dst, data, src, WithSpliceDisabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SpliceHits != 0 || stats.SpliceMisses != 1 {
+		t.Fatalf("stats %+v: WithSpliceDisabled did not force the record lane", stats)
+	}
+}

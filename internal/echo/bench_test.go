@@ -1,0 +1,67 @@
+package echo
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/pbio"
+	"repro/internal/wire"
+)
+
+type discardStream struct{}
+
+func (discardStream) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (discardStream) Write(p []byte) (int, error) { return len(p), nil }
+func (discardStream) Close() error                { return nil }
+
+// BenchmarkFanoutEncodeOnce measures one fan-out pass over an N-member
+// channel. The event is forwarded as the publisher's encoded bytes, so the
+// cost per pass is N frame writes — no per-member (or even per-event)
+// re-encode of the record. The filter variant adds a derived-channel filter
+// on every member, which costs exactly one lazy decode per event regardless
+// of N.
+func BenchmarkFanoutEncodeOnce(b *testing.B) {
+	f, err := pbio.NewFormat("tick", []pbio.Field{
+		{Name: "seq", Kind: pbio.Unsigned, Size: 8},
+		{Name: "price", Kind: pbio.Float, Size: 8},
+		{Name: "size", Kind: pbio.Unsigned, Size: 4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := pbio.EncodeRecord(pbio.NewRecord(f).
+		MustSet("seq", pbio.Uint(42)).
+		MustSet("price", pbio.Float64(101.5)).
+		MustSet("size", pbio.Uint(300)))
+
+	bench := func(members int, filter string) func(*testing.B) {
+		return func(b *testing.B) {
+			if filter != "" {
+				rec, err := pbio.DecodeRecord(data, f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !(&memberConn{filter: filter}).wants(rec) {
+					b.Fatalf("filter %q does not admit the bench event", filter)
+				}
+			}
+			ch := &channel{id: "bench", om: &echoObs{}, members: make(map[*memberConn]Member)}
+			pub := &memberConn{}
+			for i := 0; i < members; i++ {
+				mc := &memberConn{conn: wire.NewStreamConn(discardStream{}), filter: filter}
+				mc.member = Member{ID: int32(i + 1), IsSink: true}
+				ch.members[mc] = mc.member
+			}
+			// Warm each member conn's format frame and filter cache.
+			ch.fanout(pub, f, data)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ch.fanout(pub, f, data)
+			}
+		}
+	}
+	b.Run("members=4", bench(4, ""))
+	b.Run("members=32", bench(32, ""))
+	b.Run("members=32/filtered", bench(32, "return event.size > 100;"))
+}

@@ -143,10 +143,14 @@ func (mc *memberConn) filterFor(f *pbio.Format) (*ecode.Program, bool) {
 }
 
 // wants reports whether the member's filter admits the event. Errors during
-// filter evaluation fail closed.
+// filter evaluation fail closed, as does a nil record (an event payload the
+// server could not decode).
 func (mc *memberConn) wants(ev *pbio.Record) bool {
 	if mc.filter == "" {
 		return true
+	}
+	if ev == nil {
+		return false
 	}
 	prog, ok := mc.filterFor(ev.Format())
 	if !ok {
@@ -386,8 +390,13 @@ func (s *Server) handleConn(nc net.Conn) {
 	s.om.members.Add(1)
 
 	// Event loop: everything else the member sends is an event submission.
+	// Events stay in their encoded form end to end: the publisher's bytes are
+	// forwarded to every sink verbatim (fanout never re-encodes, and decodes
+	// at most once — lazily, for derived-channel filters). The buffer from
+	// ReadEncoded is only valid until the next read, which is fine because
+	// fanout completes synchronously before the loop iterates.
 	for {
-		ev, err := conn.ReadRecord()
+		data, f, err := conn.ReadEncoded()
 		if err != nil {
 			ch.remove(mc)
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
@@ -395,7 +404,7 @@ func (s *Server) handleConn(nc net.Conn) {
 			}
 			return
 		}
-		ch.fanout(mc, ev)
+		ch.fanout(mc, f, data)
 	}
 }
 
@@ -425,7 +434,13 @@ func (ch *channel) remove(mc *memberConn) {
 
 // fanout forwards an event to every sink subscriber except its publisher.
 // Dead sinks are dropped from the membership.
-func (ch *channel) fanout(from *memberConn, ev *pbio.Record) {
+//
+// The event is forwarded as the publisher's encoded bytes: one read-side
+// decode at most (lazy, only when some sink has a derived-channel filter)
+// and zero re-encodes regardless of membership size — previously each sink
+// paid a full encode of the same record. The server is a pure forwarder;
+// payload validation is the receiving Morpher's job.
+func (ch *channel) fanout(from *memberConn, f *pbio.Format, data []byte) {
 	ch.om.eventsIn.Inc()
 	// Fan-out latency is recorded unconditionally (not sampled): fan-outs
 	// are orders of magnitude rarer than morph deliveries and already pay
@@ -445,10 +460,22 @@ func (ch *channel) fanout(from *memberConn, ev *pbio.Record) {
 	meta := append([]eventMeta(nil), ch.eventMeta...)
 	ch.mu.Unlock()
 
+	// Lazily decode the event once, shared across every filtered sink. A
+	// payload that does not decode fails filters closed (nil record).
+	var ev *pbio.Record
+	var evTried bool
+	decoded := func() *pbio.Record {
+		if !evTried {
+			evTried = true
+			ev, _ = pbio.DecodeRecord(data, f)
+		}
+		return ev
+	}
+
 	for _, mc := range sinks {
 		// Derived channels: apply the member's filter at the source side,
 		// so uninteresting events never cross the network.
-		if !mc.wants(ev) {
+		if mc.filter != "" && !mc.wants(decoded()) {
 			ch.om.filtered.Inc()
 			continue
 		}
@@ -456,11 +483,11 @@ func (ch *channel) fanout(from *memberConn, ev *pbio.Record) {
 		// connection; Declare is idempotent enough (the format frame is
 		// only emitted once per conn).
 		for _, em := range meta {
-			if em.format.SameStructure(ev.Format()) {
+			if em.format.SameStructure(f) {
 				mc.conn.Declare(em.format, em.xforms...)
 			}
 		}
-		if err := mc.conn.WriteRecord(ev); err != nil {
+		if err := mc.conn.WriteEncoded(f, data); err != nil {
 			ch.remove(mc)
 			_ = mc.conn.Close()
 			continue

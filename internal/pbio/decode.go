@@ -46,7 +46,22 @@ func DecodeRecord(data []byte, f *Format) (*Record, error) {
 
 // DecodePayload decodes raw field data (no envelope) against f. The entire
 // buffer must be consumed.
+//
+// Fixed-stride formats (Layout().Fixed()) take a fast path: the payload
+// length is validated once up front — for such formats a correct length is
+// full validation, since no field is variable-width — and the fields are
+// then read at their static offsets with no per-field bounds checks.
 func DecodePayload(data []byte, f *Format) (*Record, error) {
+	if l := f.Layout(); l.Fixed() {
+		switch {
+		case len(data) < l.size:
+			return nil, fmt.Errorf("%w: %d bytes, fixed format %q needs %d",
+				ErrShortMessage, len(data), f.Name(), l.size)
+		case len(data) > l.size:
+			return nil, fmt.Errorf("%w: %d of %d bytes consumed", ErrTrailingData, l.size, len(data))
+		}
+		return decodeFixed(data, f), nil
+	}
 	d := decoder{buf: data}
 	r, err := d.record(f)
 	if err != nil {
@@ -56,6 +71,71 @@ func DecodePayload(data []byte, f *Format) (*Record, error) {
 		return nil, fmt.Errorf("%w: %d of %d bytes consumed", ErrTrailingData, d.pos, len(d.buf))
 	}
 	return r, nil
+}
+
+// decodeFixed reads a length-validated payload of a fixed-stride format.
+// It must produce exactly the Values the general decoder would (sign
+// extension, boolean normalization, float32 widening), since both lanes of
+// the morphing engine feed the same handlers.
+func decodeFixed(data []byte, f *Format) *Record {
+	r := &Record{format: f, vals: make([]Value, len(f.fields))}
+	off := 0
+	for i := range f.fields {
+		r.vals[i], off = decodeFixedValue(data, off, &f.fields[i])
+	}
+	return r
+}
+
+func decodeFixedValue(data []byte, off int, fld *Field) (Value, int) {
+	switch fld.Kind {
+	case Integer:
+		return Value{kind: Integer, num: fixedSigned(data[off:], fld.Size)}, off + fld.Size
+	case Unsigned:
+		return Value{kind: Unsigned, num: fixedUnsigned(data[off:], fld.Size)}, off + fld.Size
+	case Char:
+		return Value{kind: Char, num: int64(data[off])}, off + 1
+	case Enum:
+		return Value{kind: Enum, num: fixedSigned(data[off:], fld.Size)}, off + fld.Size
+	case Boolean:
+		return Bool(data[off] != 0), off + 1
+	case Float:
+		if fld.Size == 4 {
+			return Float64(float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off:])))), off + 4
+		}
+		return Float64(math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))), off + 8
+	default: // Complex: the only structured kind a fixed format can hold
+		sub := &Record{format: fld.Sub, vals: make([]Value, len(fld.Sub.fields))}
+		for i := range fld.Sub.fields {
+			sub.vals[i], off = decodeFixedValue(data, off, &fld.Sub.fields[i])
+		}
+		return RecordOf(sub), off
+	}
+}
+
+func fixedSigned(b []byte, size int) int64 {
+	switch size {
+	case 1:
+		return int64(int8(b[0]))
+	case 2:
+		return int64(int16(binary.LittleEndian.Uint16(b)))
+	case 4:
+		return int64(int32(binary.LittleEndian.Uint32(b)))
+	default:
+		return int64(binary.LittleEndian.Uint64(b))
+	}
+}
+
+func fixedUnsigned(b []byte, size int) int64 {
+	switch size {
+	case 1:
+		return int64(b[0])
+	case 2:
+		return int64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return int64(binary.LittleEndian.Uint32(b))
+	default:
+		return int64(binary.LittleEndian.Uint64(b))
+	}
 }
 
 type decoder struct {

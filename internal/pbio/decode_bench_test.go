@@ -1,0 +1,50 @@
+package pbio
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkDecodePayload contrasts the fixed-stride fast path (static
+// offsets, one up-front length check) with the general cursor-based decoder
+// on a variable-width sibling of the same shape.
+func BenchmarkDecodePayload(b *testing.B) {
+	point := MustFormat("point", []Field{
+		{Name: "x", Kind: Float, Size: 4},
+		{Name: "y", Kind: Float, Size: 8},
+	})
+	fixed := MustFormat("telemetry", []Field{
+		{Name: "seq", Kind: Unsigned, Size: 8},
+		{Name: "node", Kind: Integer, Size: 4},
+		{Name: "load", Kind: Float, Size: 8},
+		{Name: "ok", Kind: Boolean},
+		{Name: "pos", Kind: Complex, Sub: point},
+	})
+	variable := MustFormat("telemetry", []Field{
+		{Name: "seq", Kind: Unsigned, Size: 8},
+		{Name: "node", Kind: Integer, Size: 4},
+		{Name: "load", Kind: Float, Size: 8},
+		{Name: "ok", Kind: Boolean},
+		{Name: "pos", Kind: Complex, Sub: point},
+		{Name: "note", Kind: String},
+	})
+
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		name string
+		f    *Format
+	}{
+		{"fixed", fixed},
+		{"variable", variable},
+	} {
+		payload := AppendPayload(nil, randomRecord(rng, tc.f))
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := DecodePayload(payload, tc.f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

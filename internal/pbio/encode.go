@@ -13,13 +13,22 @@ import (
 const EnvelopeSize = 8
 
 // EncodeRecord encodes r as fingerprint + payload and returns the buffer.
+// The buffer is allocated exactly once, at the message's final size.
 func EncodeRecord(r *Record) []byte {
-	return AppendRecord(nil, r)
+	return AppendRecord(make([]byte, 0, EncodedSize(r)), r)
 }
 
 // AppendRecord appends the encoded form of r (fingerprint + payload) to dst
-// and returns the extended buffer.
+// and returns the extended buffer. When dst lacks capacity it is grown once,
+// to the exact final size, instead of reallocating per field — callers that
+// recycle scratch buffers (GetBuffer/PutBuffer) therefore reach a
+// zero-allocation steady state.
 func AppendRecord(dst []byte, r *Record) []byte {
+	if need := EncodedSize(r); cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
 	dst = binary.LittleEndian.AppendUint64(dst, r.format.Fingerprint())
 	return AppendPayload(dst, r)
 }

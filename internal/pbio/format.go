@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"strings"
+	"sync"
 )
 
 // ErrBadFormat is wrapped by all format validation failures.
@@ -50,6 +51,12 @@ type Format struct {
 	index       map[string]int
 	weight      int
 	fingerprint uint64
+
+	// layout is the lazily computed byte-level layout analysis (layout.go);
+	// guarded by layoutOnce so all construction paths (NewFormat,
+	// DecodeFormat, reflection) share it without eager cost.
+	layoutOnce sync.Once
+	layout     *Layout
 }
 
 // NewFormat validates the field list and returns an immutable Format.

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/pbio"
+)
+
+// replayStream serves a prerecorded byte stream: prefix once (the format
+// control frame plus the first data frame), then loop forever (a data
+// frame). Writes are discarded. It lets read-path benchmarks run an
+// unbounded steady-state message stream with no peer goroutine.
+type replayStream struct {
+	prefix, loop []byte
+	pos          int
+	inLoop       bool
+}
+
+func (s *replayStream) Read(p []byte) (int, error) {
+	cur := s.prefix
+	if s.inLoop {
+		cur = s.loop
+	}
+	if s.pos == len(cur) {
+		s.inLoop, s.pos = true, 0
+		cur = s.loop
+	}
+	n := copy(p, cur[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+func (s *replayStream) Write(p []byte) (int, error) { return len(p), nil }
+func (s *replayStream) Close() error                { return nil }
+
+type discardStream struct{}
+
+func (discardStream) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (discardStream) Write(p []byte) (int, error) { return len(p), nil }
+func (discardStream) Close() error                { return nil }
+
+func benchFrameFormat(b *testing.B) *pbio.Format {
+	b.Helper()
+	f, err := pbio.NewFormat("sample", []pbio.Field{
+		{Name: "seq", Kind: pbio.Unsigned, Size: 8},
+		{Name: "value", Kind: pbio.Float, Size: 8},
+		{Name: "flags", Kind: pbio.Unsigned, Size: 4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkSpliceFrameRead measures the receive half of the encoded fast
+// path: frame parsing with pooled bodies. Steady state must be 0 allocs per
+// frame — the body buffer is drawn from and returned to the pool across
+// iterations.
+func BenchmarkSpliceFrameRead(b *testing.B) {
+	f := benchFrameFormat(b)
+	rec := pbio.NewRecord(f).MustSet("seq", pbio.Uint(1)).MustSet("value", pbio.Float64(3.14))
+
+	// Prerecord the wire bytes: format frame + first data frame, then one
+	// more data frame to loop on.
+	var buf bytes.Buffer
+	rc := NewStreamConn(&struct {
+		io.Reader
+		io.Writer
+		io.Closer
+	}{nil, &buf, io.NopCloser(nil)})
+	if err := rc.WriteRecord(rec); err != nil {
+		b.Fatal(err)
+	}
+	prefix := append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := rc.WriteRecord(rec); err != nil {
+		b.Fatal(err)
+	}
+	loop := append([]byte(nil), buf.Bytes()...)
+
+	conn := NewStreamConn(&replayStream{prefix: prefix, loop: loop})
+	if _, _, err := conn.ReadEncoded(); err != nil { // absorb the format frame
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := conn.ReadEncoded(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpliceFrameWrite measures the send half: WriteRecord encoding
+// into a pooled scratch buffer (steady state 0 allocs per frame) and
+// WriteEncoded forwarding preencoded bytes.
+func BenchmarkSpliceFrameWrite(b *testing.B) {
+	f := benchFrameFormat(b)
+	rec := pbio.NewRecord(f).MustSet("seq", pbio.Uint(1)).MustSet("value", pbio.Float64(3.14))
+	data := pbio.EncodeRecord(rec)
+
+	b.Run("record", func(b *testing.B) {
+		conn := NewStreamConn(discardStream{})
+		if err := conn.WriteRecord(rec); err != nil { // emit the format frame
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := conn.WriteRecord(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encoded", func(b *testing.B) {
+		conn := NewStreamConn(discardStream{})
+		if err := conn.WriteEncoded(f, data); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := conn.WriteEncoded(f, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

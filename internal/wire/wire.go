@@ -73,11 +73,13 @@ type Conn struct {
 
 	wmu      sync.Mutex
 	bw       *bufio.Writer
+	whdr     [binary.MaxVarintLen64 + 1]byte // frame header scratch; avoids a per-frame escape
 	sent     map[uint64]bool
 	declared map[uint64][]*core.Xform
 
 	br          *bufio.Reader
 	recvFormats map[uint64]*pbio.Format
+	held        *[]byte // pooled frame body in flight; recycled on the next read
 
 	stats struct {
 		dataSent, dataRecv     atomic.Uint64 // data frames
@@ -237,8 +239,43 @@ func (c *Conn) WriteRecord(rec *pbio.Record) error {
 		}
 		c.sent[fp] = true
 	}
-	body := pbio.EncodeRecord(rec)
-	if err := c.writeFrameLocked(frameData, body); err != nil {
+	// Encode into a pooled scratch buffer: the frame write copies the bytes
+	// into the bufio.Writer, so the scratch can be recycled immediately and
+	// steady-state sends allocate nothing per message.
+	bp := pbio.GetBuffer(0)
+	body := pbio.AppendRecord((*bp)[:0], rec)
+	err := c.writeFrameLocked(frameData, body)
+	*bp = body
+	pbio.PutBuffer(bp)
+	if err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// WriteEncoded sends an already-encoded enveloped message of format f,
+// pushing f's meta-data out-of-band first when needed — the zero-copy send
+// half of the encoded fast path: relays and fan-out servers forward bytes
+// they received without ever materializing a Record. The message fingerprint
+// must match f.
+func (c *Conn) WriteEncoded(f *pbio.Format, data []byte) error {
+	fp, err := pbio.PeekFingerprint(data)
+	if err != nil {
+		return err
+	}
+	if fp != f.Fingerprint() {
+		return fmt.Errorf("%w: message %016x, format %q is %016x",
+			pbio.ErrFingerprint, fp, f.Name(), f.Fingerprint())
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if !c.sent[fp] {
+		if err := c.writeFormatLocked(f, c.declared[fp]); err != nil {
+			return err
+		}
+		c.sent[fp] = true
+	}
+	if err := c.writeFrameLocked(frameData, data); err != nil {
 		return err
 	}
 	return c.bw.Flush()
@@ -258,7 +295,7 @@ func (c *Conn) writeFormatLocked(f *pbio.Format, xforms []*core.Xform) error {
 }
 
 func (c *Conn) writeFrameLocked(typ byte, body []byte) error {
-	var hdr [binary.MaxVarintLen64 + 1]byte
+	hdr := &c.whdr
 	hdr[0] = typ
 	n := binary.PutUvarint(hdr[1:], uint64(len(body)))
 	if _, err := c.bw.Write(hdr[:1+n]); err != nil {
@@ -284,10 +321,28 @@ func (c *Conn) writeFrameLocked(typ byte, body []byte) error {
 // are absorbed: the format cache is updated and transformations are handed
 // to the attached Morpher. io.EOF is returned when the peer closes cleanly.
 func (c *Conn) ReadRecord() (*pbio.Record, error) {
+	body, f, err := c.ReadEncoded()
+	if err != nil {
+		return nil, err
+	}
+	return pbio.DecodeRecord(body, f)
+}
+
+// ReadEncoded reads frames until a data frame arrives, returning its
+// enveloped bytes together with the wire format the peer announced for them,
+// without decoding the payload. Format control frames encountered on the way
+// are absorbed exactly as in ReadRecord.
+//
+// The returned slice aliases a pooled frame buffer owned by the connection:
+// it is valid only until the next Read*/Serve call and must be copied if
+// retained. The payload is NOT validated against the format — pass it to
+// Morpher.DeliverEncoded (which validates on whichever lane it takes) or to
+// pbio.DecodeRecord.
+func (c *Conn) ReadEncoded() ([]byte, *pbio.Format, error) {
 	for {
 		typ, body, err := c.readFrame()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		switch typ {
 		case frameFormat:
@@ -301,7 +356,7 @@ func (c *Conn) ReadRecord() (*pbio.Record, error) {
 				// return the error to the caller.
 				c.stats.formatErrors.Add(1)
 				c.om.formatErrors.Inc()
-				return nil, err
+				return nil, nil, err
 			}
 			c.om.formatNS.ObserveNS(time.Since(t0).Nanoseconds())
 		case frameData:
@@ -309,22 +364,30 @@ func (c *Conn) ReadRecord() (*pbio.Record, error) {
 			if err != nil {
 				c.stats.corruptFrames.Add(1)
 				c.om.corruptFrames.Inc()
-				return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+				return nil, nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
 			}
 			f, ok := c.recvFormats[fp]
 			if !ok {
-				return nil, fmt.Errorf("%w: %016x", ErrUnknownFormat, fp)
+				return nil, nil, fmt.Errorf("%w: %016x", ErrUnknownFormat, fp)
 			}
-			return pbio.DecodeRecord(body, f)
+			return body, f, nil
 		default:
 			c.stats.corruptFrames.Add(1)
 			c.om.corruptFrames.Inc()
-			return nil, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, typ)
+			return nil, nil, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, typ)
 		}
 	}
 }
 
+// readFrame returns the next frame. The body aliases a pooled buffer that
+// stays valid until the next readFrame call, at which point it is recycled —
+// the single-goroutine read-loop contract of Conn makes this safe, and it is
+// why a steady message stream reads with zero per-frame allocations.
 func (c *Conn) readFrame() (byte, []byte, error) {
+	if c.held != nil {
+		pbio.PutBuffer(c.held)
+		c.held = nil
+	}
 	typ, err := c.br.ReadByte()
 	if err != nil {
 		return 0, nil, err // io.EOF passes through untouched
@@ -340,7 +403,8 @@ func (c *Conn) readFrame() (byte, []byte, error) {
 		c.om.oversizedFrames.Inc()
 		return 0, nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, size, c.maxFrame)
 	}
-	body := make([]byte, size)
+	c.held = pbio.GetBuffer(int(size))
+	body := *c.held
 	if _, err := io.ReadFull(c.br, body); err != nil {
 		c.stats.corruptFrames.Add(1)
 		c.om.corruptFrames.Inc()
@@ -427,21 +491,24 @@ func (c *Conn) handleFormatFrame(body []byte) error {
 	return nil
 }
 
-// Serve reads records until EOF or error, delivering each through the
+// Serve reads messages until EOF or error, delivering each through the
 // attached Morpher. It is the receive loop of a morphing-aware endpoint.
+// Messages stay in encoded form across the transport boundary: the Morpher
+// decides per cached plan whether a delivery can complete on the byte-level
+// splice lane or needs a materialized Record.
 func (c *Conn) Serve() error {
 	if c.morpher == nil {
 		return errors.New("wire: Serve requires a Morpher (use WithMorpher)")
 	}
 	for {
-		rec, err := c.ReadRecord()
+		body, f, err := c.ReadEncoded()
 		if errors.Is(err, io.EOF) {
 			return nil
 		}
 		if err != nil {
 			return err
 		}
-		if err := c.morpher.Deliver(rec); err != nil {
+		if err := c.morpher.DeliverEncoded(body, f); err != nil {
 			return err
 		}
 	}

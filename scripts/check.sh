@@ -11,4 +11,8 @@ echo "== go build ./..."
 go build ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== bench smoke (splice/fanout fast paths)"
+go test -run xxx -bench 'Splice|Fanout' -benchtime 100x ./...
+echo "== morphbench pipeline (writes BENCH_pipeline.json)"
+go run ./cmd/morphbench -exp pipeline -quick
 echo "ok"
