@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	morphbench [-exp all|table1|fig8|fig9|fig10|pipeline|ablations] [-quick] [-csv dir] [-obs]
+//	morphbench [-exp all|table1|fig8|fig9|fig10|pipeline|trace|ablations] [-quick] [-csv dir] [-obs]
 package main
 
 import (
@@ -32,11 +32,12 @@ func main() {
 func run(stdout io.Writer, args []string) error {
 	fs := flag.NewFlagSet("morphbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, pipeline, ablations")
-		quick    = fs.Bool("quick", false, "shorter measuring windows and smaller max size (for CI)")
-		csvDir   = fs.String("csv", "", "also write CSV files into this directory")
-		withObs  = fs.Bool("obs", false, "attach an observability registry and print its final snapshot as JSON")
-		pipeJSON = fs.String("pipelinejson", "BENCH_pipeline.json", "file the pipeline experiment writes its results to (empty disables)")
+		exp       = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, pipeline, trace, ablations")
+		quick     = fs.Bool("quick", false, "shorter measuring windows and smaller max size (for CI)")
+		csvDir    = fs.String("csv", "", "also write CSV files into this directory")
+		withObs   = fs.Bool("obs", false, "attach an observability registry and print its final snapshot as JSON")
+		pipeJSON  = fs.String("pipelinejson", "BENCH_pipeline.json", "file the pipeline experiment writes its results to (empty disables)")
+		traceJSON = fs.String("tracejson", "BENCH_trace.json", "file the trace experiment writes its results to (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,26 +128,41 @@ func run(stdout io.Writer, args []string) error {
 			return err
 		}
 	}
+	writeJSON := func(path string, v any) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
 	if want("pipeline") {
 		results, err := h.PipelineSweep(opts.MinTotal)
 		if err != nil {
 			return err
 		}
 		bench.PrintPipeline(stdout, results)
-		if *pipeJSON != "" {
-			f, err := os.Create(*pipeJSON)
-			if err != nil {
-				return err
-			}
-			enc := json.NewEncoder(f)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(results); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
+		if err := writeJSON(*pipeJSON, results); err != nil {
+			return err
+		}
+	}
+	if want("trace") {
+		results, err := h.TraceSweep(opts.MinTotal)
+		if err != nil {
+			return err
+		}
+		bench.PrintTrace(stdout, results)
+		if err := writeJSON(*traceJSON, results); err != nil {
+			return err
 		}
 	}
 	if want("ablations") {

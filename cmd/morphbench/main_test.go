@@ -105,6 +105,50 @@ func TestRunPipeline(t *testing.T) {
 	}
 }
 
+// TestRunTrace drives the tracing-overhead sweep and checks the JSON
+// artifact: both workloads present, sane timings, and — the property the
+// acceptance bar rests on — zero extra allocations when a tracer is attached
+// but the traffic is unsampled. The ≤5% latency bound is asserted by real
+// benchmark runs, not in a -quick unit test where timing windows are tiny.
+func TestRunTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_trace.json")
+	var out strings.Builder
+	if err := run(&out, []string{"-exp", "trace", "-quick", "-tracejson", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tracing off vs attached-unsampled") {
+		t.Errorf("output missing trace section:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []struct {
+		Workload        string  `json:"workload"`
+		OffNS           int64   `json:"trace_off_ns_per_op"`
+		UnsampledNS     int64   `json:"trace_unsampled_ns_per_op"`
+		SampledNS       int64   `json:"trace_sampled_ns_per_op"`
+		OffAllocs       float64 `json:"trace_off_allocs_per_op"`
+		UnsampledAllocs float64 `json:"trace_unsampled_allocs_per_op"`
+		ExtraAllocs     float64 `json:"unsampled_extra_allocs_per_op"`
+	}
+	if err := json.Unmarshal(raw, &results); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(results) != 2 || results[0].Workload != "identity" || results[1].Workload != "convert" {
+		t.Fatalf("unexpected workloads in %s", raw)
+	}
+	for _, r := range results {
+		if r.OffNS <= 0 || r.UnsampledNS <= 0 || r.SampledNS <= 0 {
+			t.Errorf("%s: non-positive timings: %+v", r.Workload, r)
+		}
+		if r.ExtraAllocs != 0 {
+			t.Errorf("%s: attached-but-unsampled tracing allocates (%.1f extra allocs/op)",
+				r.Workload, r.ExtraAllocs)
+		}
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run(&out, []string{"-definitely-not-a-flag"}); err == nil {

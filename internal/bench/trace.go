@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pbio"
+	"repro/internal/trace"
+)
+
+// The trace experiment quantifies what tracing costs the encoded fast path
+// (the lane PR'd in as the zero-copy pipeline) in its three operating modes:
+//
+//   - off:       no tracer attached — the PR-2 baseline the "within 5%"
+//                acceptance bar compares against.
+//   - unsampled: a tracer is attached but the delivery context is not
+//                sampled — the steady-state cost for the (SampleEvery−1)/
+//                SampleEvery majority of traffic on a tracing deployment.
+//   - sampled:   every delivery is a fully recorded trace (root + every
+//                stage span into the ring) — the worst case, what a
+//                SampleEvery=1 deployment pays per message.
+//
+// Both splice-lane workloads from the pipeline experiment are measured, so
+// the overhead is visible on the cheapest path (identity pass-through) where
+// it is proportionally largest.
+
+// TraceResult is one workload's three-mode measurement.
+type TraceResult struct {
+	Workload           string  `json:"workload"`
+	OffNS              int64   `json:"trace_off_ns_per_op"`
+	UnsampledNS        int64   `json:"trace_unsampled_ns_per_op"`
+	SampledNS          int64   `json:"trace_sampled_ns_per_op"`
+	OffAllocs          float64 `json:"trace_off_allocs_per_op"`
+	UnsampledAllocs    float64 `json:"trace_unsampled_allocs_per_op"`
+	SampledAllocs      float64 `json:"trace_sampled_allocs_per_op"`
+	UnsampledOverhead  float64 `json:"unsampled_overhead_pct"`
+	SampledOverhead    float64 `json:"sampled_overhead_pct"`
+	UnsampledExtraAllo float64 `json:"unsampled_extra_allocs_per_op"`
+}
+
+// TraceSweep measures both splice-lane workloads in all three modes.
+func (h *Harness) TraceSweep(minTotal time.Duration) ([]TraceResult, error) {
+	v2, v1, err := pipelineFormats()
+	if err != nil {
+		return nil, err
+	}
+	data := pbio.EncodeRecord(pbio.NewRecord(v2).
+		MustSet("timestamp", pbio.Uint(1722902400)).
+		MustSet("node_id", pbio.Int(17)).
+		MustSet("cpu_load", pbio.Float64(0.73)).
+		MustSet("mem_used", pbio.Uint(6<<30)).
+		MustSet("mem_total", pbio.Uint(16<<30)).
+		MustSet("net_rx", pbio.Uint(1<<20)).
+		MustSet("net_tx", pbio.Uint(2<<20)).
+		MustSet("healthy", pbio.Bool(true)))
+
+	var out []TraceResult
+	for _, wl := range []struct {
+		name string
+		dst  *pbio.Format
+	}{
+		{"identity", v2},
+		{"convert", v1},
+	} {
+		off, err := pipelineMorpher(wl.dst, v2, data)
+		if err != nil {
+			return nil, err
+		}
+		tr := trace.New(trace.Config{Capacity: trace.DefaultCapacity})
+		unsampled, err := pipelineMorpher(wl.dst, v2, data, core.WithTracer(tr))
+		if err != nil {
+			return nil, err
+		}
+		sampled, err := traceSampledDelivery(wl.dst, v2, data, tr)
+		if err != nil {
+			return nil, err
+		}
+		r := TraceResult{
+			Workload:        wl.name,
+			OffNS:           timeIt(off, minTotal).Nanoseconds(),
+			UnsampledNS:     timeIt(unsampled, minTotal).Nanoseconds(),
+			SampledNS:       timeIt(sampled, minTotal).Nanoseconds(),
+			OffAllocs:       testing.AllocsPerRun(200, off),
+			UnsampledAllocs: testing.AllocsPerRun(200, unsampled),
+			SampledAllocs:   testing.AllocsPerRun(200, sampled),
+		}
+		if r.OffNS > 0 {
+			r.UnsampledOverhead = 100 * (float64(r.UnsampledNS) - float64(r.OffNS)) / float64(r.OffNS)
+			r.SampledOverhead = 100 * (float64(r.SampledNS) - float64(r.OffNS)) / float64(r.OffNS)
+		}
+		r.UnsampledExtraAllo = r.UnsampledAllocs - r.OffAllocs
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// traceSampledDelivery builds the fully sampled closure: each op roots a
+// trace at the receive stage and delivers under its context, the shape a
+// wire.Conn produces for a sampled inbound message.
+func traceSampledDelivery(dst, wireFmt *pbio.Format, data []byte, tr *trace.Tracer) (func(), error) {
+	m := core.NewMorpher(core.DefaultThresholds, core.WithTracer(tr))
+	if err := m.RegisterFormatEncoded(dst, func([]byte, *pbio.Format) error { return nil }); err != nil {
+		return nil, err
+	}
+	if err := m.DeliverEncoded(data, wireFmt); err != nil {
+		return nil, err
+	}
+	return func() {
+		root := tr.StartTrace(trace.StageFrameRead)
+		if err := m.DeliverEncodedCtx(data, wireFmt, root.Context()); err != nil {
+			panic(err)
+		}
+		root.End()
+	}, nil
+}
+
+// PrintTrace renders the sweep as a text block.
+func PrintTrace(w io.Writer, results []TraceResult) {
+	fmt.Fprintln(w, "Trace. Splice-lane delivery cost: tracing off vs attached-unsampled vs fully sampled (ns/op, allocs/op)")
+	fmt.Fprintf(w, "  %-10s %10s %12s %10s %12s %10s %12s\n",
+		"workload", "off", "unsampled", "(+%)", "sampled", "(+%)", "extra allocs")
+	for _, r := range results {
+		fmt.Fprintf(w, "  %-10s %8dns %10dns %9.1f%% %10dns %9.1f%% %12.1f\n",
+			r.Workload, r.OffNS, r.UnsampledNS, r.UnsampledOverhead,
+			r.SampledNS, r.SampledOverhead, r.UnsampledExtraAllo)
+	}
+	fmt.Fprintln(w)
+}

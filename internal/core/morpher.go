@@ -9,6 +9,7 @@ import (
 	"repro/internal/ecode"
 	"repro/internal/obs"
 	"repro/internal/pbio"
+	"repro/internal/trace"
 )
 
 // Handler consumes a delivered record. The record's format is always one the
@@ -89,6 +90,10 @@ type Morpher struct {
 	hotHist     *obs.Histogram // sampled cached-path delivery latency
 	coldHist    *obs.Histogram // decision-build latency (once per format)
 	compileHist *obs.Histogram // per-transform compile latency
+
+	// tracer is nil unless WithTracer attached one; sampled Ctx deliveries
+	// then record decision/lane/step/handler spans.
+	tracer *trace.Tracer
 }
 
 // morphCounters are the activity counters of Stats.
@@ -203,6 +208,15 @@ func WithObs(reg *obs.Registry) MorpherOption {
 // escape hatch and for A/B measurement (morphbench's pipeline experiment).
 func WithSpliceDisabled() MorpherOption {
 	return func(m *Morpher) { m.noSplice = true }
+}
+
+// WithTracer attaches a tracer: DeliverCtx/DeliverEncodedCtx calls carrying
+// a sampled trace context record per-stage spans (morph decision, lane
+// choice, each transform step, conversion, handler invocation). A nil
+// tracer is valid and leaves tracing disabled; untraced deliveries pay one
+// branch per hook either way.
+func WithTracer(t *trace.Tracer) MorpherOption {
+	return func(m *Morpher) { m.tracer = t }
 }
 
 // NewMorpher returns a Morpher with the given thresholds. Use
@@ -375,7 +389,14 @@ func (m *Morpher) Stats() Stats {
 // Deliver runs Algorithm 2 on rec: match (cached after the first message of
 // a format), transform, fill/drop, and invoke the matched format's handler.
 func (m *Morpher) Deliver(rec *pbio.Record) error {
-	out, d, err := m.morph(rec)
+	return m.DeliverCtx(rec, trace.Context{})
+}
+
+// DeliverCtx is Deliver with a trace context: when tctx is sampled and a
+// tracer is attached, the morph decision, record lane, transform steps and
+// handler invocation are recorded as spans of tctx's trace.
+func (m *Morpher) DeliverCtx(rec *pbio.Record, tctx trace.Context) error {
+	out, d, err := m.morph(rec, tctx)
 	if err != nil {
 		return err
 	}
@@ -388,14 +409,17 @@ func (m *Morpher) Deliver(rec *pbio.Record) error {
 		}
 		return fmt.Errorf("%w: %q (%016x)", ErrRejected, rec.Format().Name(), rec.Format().Fingerprint())
 	}
-	return d.reg.deliverRecord(out)
+	dv := m.tracer.StartSpan(tctx, trace.StageDeliver)
+	err = d.reg.deliverRecord(out)
+	dv.EndErr(err)
+	return err
 }
 
 // Morph converts rec into a registered format without invoking its handler;
 // the second result is the matched registered format. Transports that
 // deliver typed structs use this, as do the benchmarks.
 func (m *Morpher) Morph(rec *pbio.Record) (*pbio.Record, *pbio.Format, error) {
-	out, d, err := m.morph(rec)
+	out, d, err := m.morph(rec, trace.Context{})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -409,14 +433,19 @@ func (m *Morpher) Morph(rec *pbio.Record) (*pbio.Record, *pbio.Format, error) {
 // apply. out is nil when the decision is a reject. When observability is
 // enabled, the latency of every hotSampleMask+1-th cached delivery is
 // recorded; with it disabled the extra cost is the nil-histogram branch.
-func (m *Morpher) morph(rec *pbio.Record) (*pbio.Record, *decision, error) {
+func (m *Morpher) morph(rec *pbio.Record, tctx trace.Context) (*pbio.Record, *decision, error) {
 	n := m.c.delivered.Inc()
 	timed := m.hotHist != nil && n&hotSampleMask == 1
 	var t0 time.Time
 	if timed {
 		t0 = time.Now()
 	}
+	ds := m.tracer.StartSpan(tctx, trace.StageMorphDecide)
 	d, hit, err := m.decide(rec.Format())
+	if ds.Recording() {
+		ds.FP = rec.Format().Fingerprint()
+		ds.EndErr(err)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -425,7 +454,9 @@ func (m *Morpher) morph(rec *pbio.Record) (*pbio.Record, *decision, error) {
 		return nil, d, nil
 	}
 	m.c.spliceMisses.Inc() // a boxed delivery is by definition a record-lane delivery
-	out, err := m.applyDecision(d, rec)
+	ls := m.tracer.StartSpan(tctx, trace.StageLaneRecord)
+	out, err := m.applyDecision(d, rec, ls.Context())
+	ls.EndErr(err)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -447,6 +478,16 @@ func (m *Morpher) morph(rec *pbio.Record) (*pbio.Record, *decision, error) {
 // back to decode + record lane and counts as core.splice_misses. Boxed
 // Handler registrations work on either lane via lazy decode.
 func (m *Morpher) DeliverEncoded(data []byte, wire *pbio.Format) error {
+	return m.DeliverEncodedCtx(data, wire, trace.Context{})
+}
+
+// DeliverEncodedCtx is DeliverEncoded with a trace context: when tctx is
+// sampled and a tracer is attached, the morph decision, the lane taken
+// (splice or record), transform steps and handler invocation are recorded
+// as spans of tctx's trace. With tracing off (nil tracer or unsampled
+// context) the only extra cost over DeliverEncoded is a branch per hook —
+// the splice lane stays allocation-free.
+func (m *Morpher) DeliverEncodedCtx(data []byte, wire *pbio.Format, tctx trace.Context) error {
 	fp, err := pbio.PeekFingerprint(data)
 	if err != nil {
 		return err
@@ -461,7 +502,12 @@ func (m *Morpher) DeliverEncoded(data []byte, wire *pbio.Format) error {
 	if timed {
 		t0 = time.Now()
 	}
+	ds := m.tracer.StartSpan(tctx, trace.StageMorphDecide)
 	d, hit, err := m.decide(wire)
+	if ds.Recording() {
+		ds.FP = fp
+		ds.EndErr(err)
+	}
 	if err != nil {
 		return err
 	}
@@ -484,12 +530,17 @@ func (m *Morpher) DeliverEncoded(data []byte, wire *pbio.Format) error {
 	// validation is strict — a short (or long) payload is rejected before a
 	// single byte is copied out of it.
 	if d.splice != nil {
+		ls := m.tracer.StartSpan(tctx, trace.StageLaneSplice)
 		out, err := d.splice.run(data)
 		if err != nil {
+			ls.EndErr(err)
 			return err
 		}
 		m.c.spliceHits.Inc()
+		dv := m.tracer.StartSpan(ls.Context(), trace.StageDeliver)
 		err = d.reg.deliverEncoded(out)
+		dv.EndErr(err)
+		ls.EndErr(err)
 		if timed && hit {
 			m.hotHist.ObserveNS(time.Since(t0).Nanoseconds())
 		}
@@ -501,7 +552,11 @@ func (m *Morpher) DeliverEncoded(data []byte, wire *pbio.Format) error {
 				pbio.ErrShortMessage, len(data)-pbio.EnvelopeSize, wire.Name(), d.passLen-pbio.EnvelopeSize)
 		}
 		m.c.spliceHits.Inc()
+		ls := m.tracer.StartSpan(tctx, trace.StageLaneSplice)
+		dv := m.tracer.StartSpan(ls.Context(), trace.StageDeliver)
 		err = d.reg.deliverEncoded(data)
+		dv.EndErr(err)
+		ls.EndErr(err)
 		if timed && hit {
 			m.hotHist.ObserveNS(time.Since(t0).Nanoseconds())
 		}
@@ -512,32 +567,48 @@ func (m *Morpher) DeliverEncoded(data []byte, wire *pbio.Format) error {
 	// on variable-width formats still hand encoded consumers the original
 	// bytes — the decode above serves as validation only.
 	m.c.spliceMisses.Inc()
+	ls := m.tracer.StartSpan(tctx, trace.StageLaneRecord)
 	rec, err := pbio.DecodeRecord(data, wire)
 	if err != nil {
+		ls.EndErr(err)
 		return err
 	}
-	out, err := m.applyDecision(d, rec)
+	out, err := m.applyDecision(d, rec, ls.Context())
 	if err != nil {
+		ls.EndErr(err)
 		return err
 	}
+	dv := m.tracer.StartSpan(ls.Context(), trace.StageDeliver)
 	if d.identity && d.reg.encHandler != nil {
 		err = d.reg.encHandler(data, d.reg.format)
 	} else {
 		err = d.reg.deliverRecord(out)
 	}
+	dv.EndErr(err)
+	ls.EndErr(err)
 	if timed && hit {
 		m.hotHist.ObserveNS(time.Since(t0).Nanoseconds())
 	}
 	return err
 }
 
-func (m *Morpher) applyDecision(d *decision, rec *pbio.Record) (*pbio.Record, error) {
+// applyDecision runs the decision's transformation chain and conversion on
+// rec. tctx (the enclosing lane span's context, zero when untraced) parents
+// the per-step and conversion spans.
+func (m *Morpher) applyDecision(d *decision, rec *pbio.Record, tctx trace.Context) (*pbio.Record, error) {
 	cur := rec
 	for i, prog := range d.steps {
+		xs := m.tracer.StartSpan(tctx, trace.StageXformStep)
 		dst := pbio.NewRecord(d.dsts[i])
 		if _, err := prog.Run(cur, dst); err != nil {
+			xs.EndErr(err)
 			return nil, fmt.Errorf("core: transformation step %d (%q→%q): %w",
 				i, cur.Format().Name(), d.dsts[i].Name(), err)
+		}
+		if xs.Recording() {
+			xs.N = int64(i)
+			xs.FP = d.dsts[i].Fingerprint()
+			xs.End()
 		}
 		cur = dst
 	}
@@ -545,7 +616,9 @@ func (m *Morpher) applyDecision(d *decision, rec *pbio.Record) (*pbio.Record, er
 		m.c.transformed.Inc()
 	}
 	if d.conv != nil {
+		cs := m.tracer.StartSpan(tctx, trace.StageConvert)
 		out, err := d.conv.Convert(cur)
+		cs.EndErr(err)
 		if err != nil {
 			return nil, err
 		}

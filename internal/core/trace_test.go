@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pbio"
+	"repro/internal/trace"
+)
+
+// stagesByName collects the tracer's retained spans keyed by stage name,
+// preserving multiplicity.
+func stagesByName(tr *trace.Tracer) map[string][]trace.SpanRecord {
+	out := make(map[string][]trace.SpanRecord)
+	for _, r := range tr.Snapshot() {
+		out[r.Stage.String()] = append(out[r.Stage.String()], r)
+	}
+	return out
+}
+
+// TestTraceSpansSpliceLane: a sampled identity delivery on the byte lane
+// must record decision, lane and handler spans, properly nested.
+func TestTraceSpansSpliceLane(t *testing.T) {
+	f := fmtOrDie(t, "m", []pbio.Field{{Name: "x", Kind: pbio.Integer, Size: 8}})
+	tr := trace.New(trace.Config{Capacity: 64})
+	m := NewMorpher(DefaultThresholds, WithTracer(tr))
+	if err := m.RegisterFormatEncoded(f, func([]byte, *pbio.Format) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	data := pbio.EncodeRecord(pbio.NewRecord(f).MustSet("x", pbio.Int(1)))
+
+	root := tr.StartTrace(trace.StageFrameRead)
+	if err := m.DeliverEncodedCtx(data, f, root.Context()); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	if st := m.Stats(); st.SpliceHits != 1 {
+		t.Fatalf("delivery did not take the splice lane: %+v", st)
+	}
+	spans := stagesByName(tr)
+	for _, want := range []string{"frame_read", "morph_decide", "lane_splice", "deliver"} {
+		if len(spans[want]) != 1 {
+			t.Fatalf("stage %q recorded %d times, want 1 (have %v)", want, len(spans[want]), keys(spans))
+		}
+	}
+	if got := spans["morph_decide"][0].FP; got != f.Fingerprint() {
+		t.Errorf("decision span FP = %016x, want %016x", got, f.Fingerprint())
+	}
+	if spans["lane_splice"][0].Parent != root.Context().Span {
+		t.Error("lane span must parent under the delivery context")
+	}
+	if spans["deliver"][0].Parent != spans["lane_splice"][0].Span {
+		t.Error("deliver span must nest inside the lane span")
+	}
+	for _, r := range tr.Snapshot() {
+		if r.Trace != root.Context().Trace {
+			t.Fatalf("span %v escaped the trace", r.Stage)
+		}
+	}
+}
+
+// TestTraceSpansRecordLaneXform: a transformation-chain delivery must record
+// the record lane and one span per chain step, nested inside it.
+func TestTraceSpansRecordLaneXform(t *testing.T) {
+	from := fmtOrDie(t, "m", []pbio.Field{bf("x", pbio.Integer), bf("y", pbio.Integer)})
+	to := fmtOrDie(t, "m", []pbio.Field{bf("x", pbio.Integer)})
+	tr := trace.New(trace.Config{Capacity: 64})
+	m := NewMorpher(DefaultThresholds, WithTracer(tr))
+	if err := m.RegisterFormat(to, func(*pbio.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddTransform(&Xform{From: from, To: to, Code: "old.x = new.x;"}); err != nil {
+		t.Fatal(err)
+	}
+	data := pbio.EncodeRecord(pbio.NewRecord(from).MustSet("x", pbio.Int(3)).MustSet("y", pbio.Int(4)))
+
+	root := tr.StartTrace(trace.StageFrameRead)
+	if err := m.DeliverEncodedCtx(data, from, root.Context()); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	spans := stagesByName(tr)
+	for _, want := range []string{"morph_decide", "lane_record", "xform_step", "deliver"} {
+		if len(spans[want]) != 1 {
+			t.Fatalf("stage %q recorded %d times, want 1 (have %v)", want, len(spans[want]), keys(spans))
+		}
+	}
+	step := spans["xform_step"][0]
+	if step.Parent != spans["lane_record"][0].Span {
+		t.Error("xform_step must nest inside lane_record")
+	}
+	if step.N != 0 {
+		t.Errorf("step index = %d, want 0", step.N)
+	}
+	if step.FP != to.Fingerprint() {
+		t.Errorf("step FP = %016x, want destination %016x", step.FP, to.Fingerprint())
+	}
+}
+
+// TestTraceSpansConvert: a name-wise fill/drop conversion on the record lane
+// (variable-width, so no splice program compiles) records a convert span.
+func TestTraceSpansConvert(t *testing.T) {
+	src := fmtOrDie(t, "m", []pbio.Field{bf("s", pbio.String), bf("extra", pbio.Integer)})
+	dst := fmtOrDie(t, "m", []pbio.Field{bf("s", pbio.String), {Name: "q", Kind: pbio.Integer, Default: pbio.Int(-1)}})
+	tr := trace.New(trace.Config{Capacity: 64})
+	m := NewMorpher(DefaultThresholds, WithTracer(tr))
+	if err := m.RegisterFormat(dst, func(*pbio.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	data := pbio.EncodeRecord(pbio.NewRecord(src).MustSet("s", pbio.Str("v")).MustSet("extra", pbio.Int(9)))
+
+	root := tr.StartTrace(trace.StageFrameRead)
+	if err := m.DeliverEncodedCtx(data, src, root.Context()); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	if st := m.Stats(); st.Converted != 1 {
+		t.Fatalf("expected a conversion: %+v", st)
+	}
+	spans := stagesByName(tr)
+	for _, want := range []string{"morph_decide", "lane_record", "convert", "deliver"} {
+		if len(spans[want]) != 1 {
+			t.Fatalf("stage %q recorded %d times, want 1 (have %v)", want, len(spans[want]), keys(spans))
+		}
+	}
+	if spans["convert"][0].Parent != spans["lane_record"][0].Span {
+		t.Error("convert must nest inside lane_record")
+	}
+}
+
+// TestTraceSpansBoxedDeliver: DeliverCtx (boxed record lane) emits the same
+// decision/lane/handler stages.
+func TestTraceSpansBoxedDeliver(t *testing.T) {
+	f := fmtOrDie(t, "m", []pbio.Field{bf("x", pbio.Integer)})
+	tr := trace.New(trace.Config{Capacity: 64})
+	m := NewMorpher(DefaultThresholds, WithTracer(tr))
+	if err := m.RegisterFormat(f, func(*pbio.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	root := tr.StartTrace(trace.StageFrameRead)
+	if err := m.DeliverCtx(pbio.NewRecord(f).MustSet("x", pbio.Int(2)), root.Context()); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	spans := stagesByName(tr)
+	for _, want := range []string{"morph_decide", "lane_record", "deliver"} {
+		if len(spans[want]) != 1 {
+			t.Fatalf("stage %q recorded %d times, want 1 (have %v)", want, len(spans[want]), keys(spans))
+		}
+	}
+}
+
+// TestTraceDisabledCostsNothing: with a nil tracer — and with a live tracer
+// but an unsampled context — the splice lane must stay allocation-free and
+// record nothing, the property the "within 5% of PR 2" acceptance bar rests
+// on.
+func TestTraceDisabledCostsNothing(t *testing.T) {
+	f := fmtOrDie(t, "m", []pbio.Field{{Name: "x", Kind: pbio.Integer, Size: 8}})
+	data := pbio.EncodeRecord(pbio.NewRecord(f).MustSet("x", pbio.Int(1)))
+
+	build := func(opts ...MorpherOption) *Morpher {
+		m := NewMorpher(DefaultThresholds, opts...)
+		if err := m.RegisterFormatEncoded(f, func([]byte, *pbio.Format) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.DeliverEncoded(data, f); err != nil { // warm the decision cache
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	tr := trace.New(trace.Config{Capacity: 16})
+	for name, m := range map[string]*Morpher{
+		"nil tracer":         build(),
+		"unsampled delivery": build(WithTracer(tr)),
+	} {
+		allocs := testing.AllocsPerRun(500, func() {
+			if err := m.DeliverEncodedCtx(data, f, trace.Context{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op on the splice lane, want 0", name, allocs)
+		}
+	}
+	if tr.Total() != 0 {
+		t.Errorf("unsampled deliveries recorded %d spans", tr.Total())
+	}
+}
+
+func keys(m map[string][]trace.SpanRecord) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

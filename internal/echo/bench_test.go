@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/pbio"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -53,11 +54,11 @@ func BenchmarkFanoutEncodeOnce(b *testing.B) {
 				ch.members[mc] = mc.member
 			}
 			// Warm each member conn's format frame and filter cache.
-			ch.fanout(pub, f, data)
+			ch.fanout(pub, f, data, trace.Context{})
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				ch.fanout(pub, f, data)
+				ch.fanout(pub, f, data, trace.Context{})
 			}
 		}
 	}

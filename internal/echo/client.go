@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pbio"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -47,6 +48,12 @@ type Options struct {
 	// records wire.* frame metrics there. Nil disables observability.
 	Obs *obs.Registry
 
+	// Tracer attaches a message tracer: sampled publishes start a trace
+	// whose context rides the wire ahead of the event, and received events
+	// carry their sender's context through the morphing engine. Nil
+	// disables tracing (the zero-cost default).
+	Tracer *trace.Tracer
+
 	// HandshakeTimeout bounds the open handshake; defaults to 10 seconds.
 	HandshakeTimeout time.Duration
 }
@@ -58,6 +65,7 @@ type Options struct {
 type Subscriber struct {
 	conn    *wire.Conn
 	morpher *core.Morpher
+	tracer  *trace.Tracer
 	channel string
 
 	mu      sync.Mutex
@@ -87,10 +95,12 @@ func open(nc net.Conn, channelID string, opts Options) (*Subscriber, error) {
 	}
 
 	s := &Subscriber{
-		morpher: core.NewMorpher(th, core.WithObs(opts.Obs)),
+		morpher: core.NewMorpher(th, core.WithObs(opts.Obs), core.WithTracer(opts.Tracer)),
+		tracer:  opts.Tracer,
 		channel: channelID,
 	}
-	s.conn = wire.NewConn(nc, wire.WithMorpher(s.morpher), wire.WithObs(opts.Obs))
+	s.conn = wire.NewConn(nc, wire.WithMorpher(s.morpher), wire.WithObs(opts.Obs),
+		wire.WithTracer(opts.Tracer))
 
 	// Register the ChannelOpenResponse format this client understands.
 	// A v1-compat client knows nothing about v2.0; morphing bridges the gap.
@@ -188,9 +198,17 @@ func (s *Subscriber) Declare(f *pbio.Format, xforms ...*core.Xform) {
 	s.conn.Declare(f, xforms...)
 }
 
-// Publish submits an event record to the channel.
+// Publish submits an event record to the channel. When a sampled tracer is
+// attached, each publish roots a new trace whose context travels with the
+// event across the domain and into every sink.
 func (s *Subscriber) Publish(rec *pbio.Record) error {
-	return s.conn.WriteRecord(rec)
+	root := s.tracer.StartTrace(trace.StagePublish)
+	if root.Recording() {
+		root.FP = rec.Format().Fingerprint()
+	}
+	err := s.conn.WriteRecordCtx(rec, root.Context())
+	root.EndErr(err)
+	return err
 }
 
 // Morpher exposes the subscriber's morphing engine (for stats and

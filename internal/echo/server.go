@@ -4,6 +4,8 @@ import (
 	"errors"
 	"io"
 	"net"
+	"net/http"
+	httppprof "net/http/pprof"
 	"sync"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"repro/internal/ecode"
 	"repro/internal/obs"
 	"repro/internal/pbio"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -29,11 +32,14 @@ type Server struct {
 
 	// Observability (nil/zero when disabled). The obs registry is shared
 	// with every member connection (wire.* counters) and, through
-	// WithMorphzAddr, exposed over HTTP.
+	// WithMorphzAddr, exposed over HTTP alongside /debug/tracez (and,
+	// opt-in, net/http/pprof).
 	obs        *obs.Registry
 	om         echoObs
+	tracer     *trace.Tracer
 	morphzAddr string
 	morphz     *obs.Server
+	pprof      bool
 }
 
 // echoObs holds the server's instrument handles, fetched once at
@@ -60,11 +66,30 @@ func WithObs(reg *obs.Registry) ServerOption {
 }
 
 // WithMorphzAddr serves the registry attached with WithObs over HTTP at
-// addr (obs.MorphzPath, typically "/debug/morphz"). The endpoint starts
-// when Serve is called and stops on Close. Use "127.0.0.1:0" to pick an
-// ephemeral port and read it back with MorphzAddr.
+// addr (obs.MorphzPath, typically "/debug/morphz"), alongside
+// trace.TracezPath for the tracer attached with WithTracer. The endpoints
+// start when Serve is called and stop on Close. Use "127.0.0.1:0" to pick
+// an ephemeral port and read it back with MorphzAddr.
 func WithMorphzAddr(addr string) ServerOption {
 	return func(s *Server) { s.morphzAddr = addr }
+}
+
+// WithTracer attaches a tracer to the event domain: sampled events fanning
+// out record fanout spans, member connections time frame reads, and the
+// debug server (WithMorphzAddr) exposes the span ring at /debug/tracez.
+// Share one tracer between the server and in-process subscribers to see
+// whole publish→sink trees in one place. A nil tracer is valid and leaves
+// tracing disabled — trace contexts still relay to sinks either way.
+func WithTracer(t *trace.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = t }
+}
+
+// WithDebugPprof additionally mounts net/http/pprof's profiling handlers
+// under /debug/pprof/ on the WithMorphzAddr debug server. Off by default:
+// profiling endpoints expose more than metrics do (full goroutine dumps,
+// CPU samples), so they must be asked for explicitly.
+func WithDebugPprof() ServerOption {
+	return func(s *Server) { s.pprof = true }
 }
 
 // NewServer returns an empty event domain.
@@ -90,9 +115,10 @@ type channel struct {
 
 	// om points at the server's instrument handles; perDelivered counts
 	// this channel's deliveries alone ("echo.channel.<id>.delivered").
-	// Both are inert when observability is disabled.
+	// Both are inert when observability is disabled, as is tracer.
 	om           *echoObs
 	perDelivered *obs.Counter
+	tracer       *trace.Tracer
 
 	mu      sync.Mutex
 	nextID  int32
@@ -176,7 +202,7 @@ func (s *Server) channelFor(id string) *channel {
 	defer s.mu.Unlock()
 	ch, ok := s.channels[id]
 	if !ok {
-		ch = &channel{id: id, om: &s.om, members: make(map[*memberConn]Member)}
+		ch = &channel{id: id, om: &s.om, tracer: s.tracer, members: make(map[*memberConn]Member)}
 		if s.obs != nil {
 			ch.perDelivered = s.obs.Counter("echo.channel." + id + ".delivered")
 		}
@@ -228,7 +254,17 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Unlock()
 
 	if startMorphz {
-		ms, err := obs.Serve(s.morphzAddr, s.obs)
+		mounts := []obs.Mount{{Path: trace.TracezPath, Handler: trace.Handler(s.tracer)}}
+		if s.pprof {
+			mounts = append(mounts,
+				obs.Mount{Path: "/debug/pprof/", Handler: http.HandlerFunc(httppprof.Index)},
+				obs.Mount{Path: "/debug/pprof/cmdline", Handler: http.HandlerFunc(httppprof.Cmdline)},
+				obs.Mount{Path: "/debug/pprof/profile", Handler: http.HandlerFunc(httppprof.Profile)},
+				obs.Mount{Path: "/debug/pprof/symbol", Handler: http.HandlerFunc(httppprof.Symbol)},
+				obs.Mount{Path: "/debug/pprof/trace", Handler: http.HandlerFunc(httppprof.Trace)},
+			)
+		}
+		ms, err := obs.Serve(s.morphzAddr, s.obs, mounts...)
 		if err != nil {
 			return err
 		}
@@ -318,7 +354,7 @@ func (s *Server) handleConn(nc net.Conn) {
 		ch *channel
 		mc *memberConn
 	)
-	conn := wire.NewConn(nc, wire.WithObs(s.obs), wire.WithFormatHook(func(f *pbio.Format, xforms []*core.Xform) {
+	conn := wire.NewConn(nc, wire.WithObs(s.obs), wire.WithTracer(s.tracer), wire.WithFormatHook(func(f *pbio.Format, xforms []*core.Xform) {
 		// Remember payload formats and their evolution meta-data so they
 		// can be re-declared toward every sink (existing and future).
 		if ch == nil || f.SameStructure(RequestFormat) || f.SameStructure(RequestV2Format) {
@@ -404,7 +440,7 @@ func (s *Server) handleConn(nc net.Conn) {
 			}
 			return
 		}
-		ch.fanout(mc, f, data)
+		ch.fanout(mc, f, data, conn.TraceContext())
 	}
 }
 
@@ -440,7 +476,12 @@ func (ch *channel) remove(mc *memberConn) {
 // and zero re-encodes regardless of membership size — previously each sink
 // paid a full encode of the same record. The server is a pure forwarder;
 // payload validation is the receiving Morpher's job.
-func (ch *channel) fanout(from *memberConn, f *pbio.Format, data []byte) {
+//
+// tctx is the event's trace context from the publisher's connection. When
+// the server traces, the whole pass is a fanout span and sinks receive that
+// span's context; when it does not, tctx relays to sinks verbatim — the
+// same pass-through discipline as format meta-data.
+func (ch *channel) fanout(from *memberConn, f *pbio.Format, data []byte, tctx trace.Context) {
 	ch.om.eventsIn.Inc()
 	// Fan-out latency is recorded unconditionally (not sampled): fan-outs
 	// are orders of magnitude rarer than morph deliveries and already pay
@@ -449,6 +490,11 @@ func (ch *channel) fanout(from *memberConn, f *pbio.Format, data []byte) {
 	var t0 time.Time
 	if timed {
 		t0 = time.Now()
+	}
+	fs := ch.tracer.StartSpan(tctx, trace.StageFanout)
+	if fs.Recording() {
+		fs.FP = f.Fingerprint()
+		tctx = fs.Context()
 	}
 	ch.mu.Lock()
 	sinks := make([]*memberConn, 0, len(ch.members))
@@ -487,13 +533,17 @@ func (ch *channel) fanout(from *memberConn, f *pbio.Format, data []byte) {
 				mc.conn.Declare(em.format, em.xforms...)
 			}
 		}
-		if err := mc.conn.WriteEncoded(f, data); err != nil {
+		if err := mc.conn.WriteEncodedCtx(f, data, tctx); err != nil {
 			ch.remove(mc)
 			_ = mc.conn.Close()
 			continue
 		}
 		ch.om.delivered.Inc()
 		ch.perDelivered.Inc()
+	}
+	if fs.Recording() {
+		fs.N = int64(len(sinks))
+		fs.End()
 	}
 	if timed {
 		ch.om.fanoutNS.ObserveNS(time.Since(t0).Nanoseconds())

@@ -1,0 +1,239 @@
+package echo
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pbio"
+	"repro/internal/trace"
+)
+
+// TestTracezEndToEnd is the tracing acceptance scenario: a publisher, the
+// event domain, and two sink subscribers share one tracer (everything runs
+// in-process), a single publish crosses all of them, and /debug/tracez must
+// show one trace tree spanning the whole journey — client-side encode and
+// frame write, the server's frame read and fan-out, and each sink's frame
+// read, morph decision, lane and handler delivery.
+func TestTracezEndToEnd(t *testing.T) {
+	tr := trace.New(trace.Config{Capacity: 256})
+	reg := obs.NewRegistry("trace-e2e")
+	srv := NewServer(WithObs(reg), WithTracer(tr), WithMorphzAddr("127.0.0.1:0"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		_ = srv.Close()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("Serve: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("server did not shut down")
+		}
+	}()
+	addr := ln.Addr().String()
+
+	tick := pbio.MustFormat("Tick", []pbio.Field{
+		{Name: "seq", Kind: pbio.Integer, Size: 8},
+	})
+
+	received := make(chan int64, 4)
+	for i := 0; i < 2; i++ {
+		sink, err := Open(addr, "t", Options{Sink: true, Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sink.Close()
+		if err := sink.Handle(tick, func(r *pbio.Record) error {
+			v, _ := r.Get("seq")
+			received <- v.Int64()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = sink.Run() }()
+	}
+
+	pub, err := Open(addr, "t", Options{Source: true, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	if err := pub.Publish(pbio.NewRecord(tick).MustSet("seq", pbio.Int(7))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case v := <-received:
+			if v != 7 {
+				t.Fatalf("sink received %d, want 7", v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of 2 sinks received the event", i)
+		}
+	}
+
+	mzAddr := srv.MorphzAddr()
+	if mzAddr == nil {
+		t.Fatal("debug server did not start")
+	}
+	base := "http://" + mzAddr.String()
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	// JSON rendering: one trace, publisher-rooted, covering every hop.
+	resp, body := get(trace.TracezPath)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("tracez Content-Type = %q, want application/json", ct)
+	}
+	var snap trace.TracezSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("tracez body is not a TracezSnapshot: %v\n%s", err, body)
+	}
+	var tree *trace.TraceJSON
+	for i := range snap.Traces {
+		if _, ok := snap.Traces[i].StageNS["publish"]; ok {
+			tree = &snap.Traces[i]
+			break
+		}
+	}
+	if tree == nil {
+		t.Fatalf("no publisher-rooted trace in tracez (have %d traces)", len(snap.Traces))
+	}
+	stages := make(map[string]int)
+	for _, sp := range tree.Spans {
+		if sp.TraceID != tree.TraceID {
+			t.Fatalf("span %s/%s escaped trace %s", sp.Stage, sp.SpanID, tree.TraceID)
+		}
+		stages[sp.Stage]++
+	}
+	if len(stages) < 6 {
+		t.Errorf("trace covers %d distinct stages, want >= 6: %v", len(stages), stages)
+	}
+	for _, want := range []string{"publish", "encode", "frame_write", "frame_read", "fanout", "morph_decide", "deliver"} {
+		if stages[want] == 0 {
+			t.Errorf("stage %q missing from the trace: %v", want, stages)
+		}
+	}
+	// Both sinks contribute: two handler deliveries, and the fan-out plus
+	// two sink-side reads mean at least three frame reads in the tree.
+	if stages["deliver"] < 2 {
+		t.Errorf("deliver recorded %d times, want 2 (one per sink): %v", stages["deliver"], stages)
+	}
+	if stages["frame_read"] < 3 {
+		t.Errorf("frame_read recorded %d times, want >= 3 (server + 2 sinks): %v", stages["frame_read"], stages)
+	}
+
+	// Text rendering.
+	resp, body = get(trace.TracezPath + "?format=text")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("text Content-Type = %q", ct)
+	}
+	for _, want := range []string{"trace " + tree.TraceID, "publish", "fanout", "stages:"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("text rendering missing %q:\n%s", want, body)
+		}
+	}
+
+	// JSONL export: one parseable span object per line.
+	resp, body = get(trace.TracezPath + "?format=jsonl")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/jsonl" {
+		t.Errorf("jsonl Content-Type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("jsonl export has %d spans, want >= 6", len(lines))
+	}
+	for _, line := range lines {
+		var sp trace.SpanJSON
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			t.Fatalf("bad jsonl line %q: %v", line, err)
+		}
+	}
+
+	// The morphz endpoint advertises tracez as a sibling.
+	_, body = get(obs.MorphzPath)
+	var morphz struct {
+		SeeAlso []string `json:"see_also"`
+	}
+	if err := json.Unmarshal(body, &morphz); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range morphz.SeeAlso {
+		found = found || p == trace.TracezPath
+	}
+	if !found {
+		t.Errorf("morphz see_also = %v, want to include %s", morphz.SeeAlso, trace.TracezPath)
+	}
+}
+
+// TestDebugPprofOptIn: the profiling endpoints must 404 by default and serve
+// only when WithDebugPprof is given.
+func TestDebugPprofOptIn(t *testing.T) {
+	start := func(opts ...ServerOption) (*Server, func()) {
+		t.Helper()
+		srv := NewServer(append([]ServerOption{
+			WithObs(obs.NewRegistry("pprof")), WithMorphzAddr("127.0.0.1:0"),
+		}, opts...)...)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		deadline := time.Now().Add(5 * time.Second)
+		for srv.MorphzAddr() == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("debug server did not start")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return srv, func() { _ = srv.Close() }
+	}
+
+	srv, stop := start()
+	resp, err := http.Get("http://" + srv.MorphzAddr().String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof served without opt-in: status %d", resp.StatusCode)
+	}
+	stop()
+
+	srv, stop = start(WithDebugPprof())
+	defer stop()
+	resp, err = http.Get("http://" + srv.MorphzAddr().String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index not served with opt-in: status %d", resp.StatusCode)
+	}
+}

@@ -17,20 +17,36 @@ const MorphzPath = "/debug/morphz"
 // Snapshot. The default response is JSON; append ?format=text (or send
 // Accept: text/plain) for the human-readable dump. A nil registry serves
 // an empty snapshot, so the endpoint can be mounted unconditionally.
-func Handler(r *Registry) http.Handler {
+//
+// seeAlso lists sibling debug endpoints (e.g. /debug/tracez) advertised in
+// both renderings, so an operator landing on morphz discovers the rest of
+// the debug surface.
+func Handler(r *Registry, seeAlso ...string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		snap := r.Snapshot()
 		if req.URL.Query().Get("format") == "text" ||
 			strings.HasPrefix(req.Header.Get("Accept"), "text/plain") {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			snap.WriteText(w)
+			for _, p := range seeAlso {
+				fmt.Fprintf(w, "# see also %s\n", p)
+			}
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(snap)
+		_ = enc.Encode(struct {
+			Snapshot
+			SeeAlso []string `json:"see_also,omitempty"`
+		}{snap, seeAlso})
 	})
+}
+
+// Mount pairs a path with a handler for Serve's extra debug endpoints.
+type Mount struct {
+	Path    string
+	Handler http.Handler
 }
 
 // Server is a running debug HTTP server created by Serve.
@@ -55,17 +71,23 @@ func (s *Server) Close() error {
 	return s.srv.Close()
 }
 
-// Serve starts an HTTP server on addr exposing the registry at
-// MorphzPath. It returns once the listener is bound; the server runs until
-// Close. This is the opt-in switch the endpoint hides behind — nothing
-// listens unless a component (or the application) calls Serve.
-func Serve(addr string, r *Registry) (*Server, error) {
+// Serve starts an HTTP server on addr exposing the registry at MorphzPath,
+// plus any extra debug mounts (each advertised as a morphz see-also link).
+// It returns once the listener is bound; the server runs until Close. This
+// is the opt-in switch the endpoints hide behind — nothing listens unless a
+// component (or the application) calls Serve.
+func Serve(addr string, r *Registry, extra ...Mount) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle(MorphzPath, Handler(r))
+	seeAlso := make([]string, 0, len(extra))
+	for _, m := range extra {
+		mux.Handle(m.Path, m.Handler)
+		seeAlso = append(seeAlso, m.Path)
+	}
+	mux.Handle(MorphzPath, Handler(r, seeAlso...))
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// spanRing is a lock-free bounded ring of completed spans: the most recent
+// cap entries are retained, older ones are overwritten. Unlike the obs
+// decision ring (mutex-guarded, cold-path only), spans are recorded from
+// delivery hot paths, so writers must never block each other: a writer
+// claims a slot with one atomic add and publishes the record with one
+// atomic pointer store. Readers (Snapshot) only load pointers, so a
+// concurrent snapshot sees each slot either before or after a publish,
+// never a torn record.
+type spanRing struct {
+	slots []atomic.Pointer[SpanRecord]
+	next  atomic.Uint64 // spans ever recorded; slot index = (seq-1) % len
+}
+
+func newSpanRing(capacity int) *spanRing {
+	return &spanRing{slots: make([]atomic.Pointer[SpanRecord], capacity)}
+}
+
+func (r *spanRing) record(rec SpanRecord) {
+	seq := r.next.Add(1)
+	rec.Seq = seq
+	p := new(SpanRecord)
+	*p = rec
+	r.slots[(seq-1)%uint64(len(r.slots))].Store(p)
+}
+
+func (r *spanRing) total() uint64 { return r.next.Load() }
+
+// snapshot returns the retained spans ordered oldest-first by sequence.
+// Under concurrent recording the result is a consistent sample, not an
+// atomic cut: a slot may still hold the record a concurrent writer is
+// about to replace.
+func (r *spanRing) snapshot() []SpanRecord {
+	out := make([]SpanRecord, 0, len(r.slots))
+	for i := range r.slots {
+		if p := r.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

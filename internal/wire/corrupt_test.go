@@ -197,9 +197,11 @@ func TestCorruptAndOversizedCounted(t *testing.T) {
 			t.Errorf("OversizedFrames = %d, want 1", st.OversizedFrames)
 		}
 	})
-	t.Run("unknown frame type", func(t *testing.T) {
+	t.Run("zero frame type", func(t *testing.T) {
+		// Kind 0 can only mean stream desync (it is never assigned), so it
+		// stays a hard error rather than a skippable control frame.
 		pipe := newBufferPipe()
-		if _, err := pipe.Write(rawFrame(9, nil)); err != nil {
+		if _, err := pipe.Write(rawFrame(0, nil)); err != nil {
 			t.Fatal(err)
 		}
 		rx := NewConn(&bufferedConn{r: pipe, w: newBufferPipe()})
@@ -208,6 +210,35 @@ func TestCorruptAndOversizedCounted(t *testing.T) {
 		}
 		if st := rx.Stats(); st.CorruptFrames != 1 {
 			t.Errorf("CorruptFrames = %d, want 1", st.CorruptFrames)
+		}
+	})
+	t.Run("unknown frame type skipped", func(t *testing.T) {
+		// A well-formed control frame of an unimplemented kind — what a newer
+		// peer's out-of-band meta-data looks like — is counted and skipped,
+		// and the data behind it still arrives.
+		f := fmtOrDie(t, "m", []pbio.Field{{Name: "x", Kind: pbio.Integer}})
+		fwd := newBufferPipe()
+		if _, err := fwd.Write(rawFrame(9, []byte("future meta-data"))); err != nil {
+			t.Fatal(err)
+		}
+		tx := NewConn(&bufferedConn{r: newBufferPipe(), w: fwd})
+		if err := tx.WriteRecord(pbio.NewRecord(f).MustSet("x", pbio.Int(7))); err != nil {
+			t.Fatal(err)
+		}
+		rx := NewConn(&bufferedConn{r: fwd, w: newBufferPipe()})
+		rec, err := rx.ReadRecord()
+		if err != nil {
+			t.Fatalf("record behind unknown frame: %v", err)
+		}
+		if v, _ := rec.Get("x"); v.Int64() != 7 {
+			t.Errorf("record = %v", rec)
+		}
+		st := rx.Stats()
+		if st.UnknownFrames != 1 {
+			t.Errorf("UnknownFrames = %d, want 1 (stats: %+v)", st.UnknownFrames, st)
+		}
+		if st.CorruptFrames != 0 {
+			t.Errorf("CorruptFrames = %d, want 0", st.CorruptFrames)
 		}
 	})
 	t.Run("truncated body", func(t *testing.T) {

@@ -27,12 +27,17 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pbio"
+	"repro/internal/trace"
 )
 
-// Frame types.
+// Frame types. Everything except frameData is a control frame; receivers
+// skip well-formed control frames of kinds they do not implement (counting
+// them as UnknownFrames), so new out-of-band meta-data — like the trace
+// context introduced as kind 3 — never breaks older peers.
 const (
 	frameFormat byte = 1 // body: format blob + associated transform blobs
 	frameData   byte = 2 // body: enveloped record (fingerprint + payload)
+	frameTrace  byte = 3 // body: 25-byte trace context for the next data frame
 )
 
 // DefaultMaxFrame bounds incoming frame bodies; a peer cannot force an
@@ -70,6 +75,7 @@ type Conn struct {
 	maxFrame   int
 	morpher    *core.Morpher
 	formatHook func(*pbio.Format, []*core.Xform)
+	tracer     *trace.Tracer
 
 	wmu      sync.Mutex
 	bw       *bufio.Writer
@@ -81,13 +87,24 @@ type Conn struct {
 	recvFormats map[uint64]*pbio.Format
 	held        *[]byte // pooled frame body in flight; recycled on the next read
 
+	// Read-side trace state (single-goroutine, like br): pending is the
+	// context announced by the most recent frameTrace frame, waiting for
+	// its data frame; rctx is the context attached to the last data frame
+	// returned; rspan times the announced frame's arrival when this side
+	// traces too.
+	pending trace.Context
+	rctx    trace.Context
+	rspan   trace.Span
+
 	stats struct {
 		dataSent, dataRecv     atomic.Uint64 // data frames
 		formatSent, formatRecv atomic.Uint64 // format control frames
+		traceSent, traceRecv   atomic.Uint64 // trace context control frames
 		bytesSent, bytesRecv   atomic.Uint64 // frame bodies incl. headers
 		formatErrors           atomic.Uint64 // malformed format control frames
 		corruptFrames          atomic.Uint64 // malformed frame headers/bodies
 		oversizedFrames        atomic.Uint64 // frames over the size limit
+		unknownFrames          atomic.Uint64 // well-formed control frames of unknown kind, skipped
 	}
 
 	// obs instruments are nil unless WithObs attached a registry; unlike
@@ -97,10 +114,12 @@ type Conn struct {
 	om  struct {
 		dataSent, dataRecv     *obs.Counter
 		formatSent, formatRecv *obs.Counter
+		traceSent, traceRecv   *obs.Counter
 		bytesSent, bytesRecv   *obs.Counter
 		formatErrors           *obs.Counter
 		corruptFrames          *obs.Counter
 		oversizedFrames        *obs.Counter
+		unknownFrames          *obs.Counter
 		formatNS               *obs.Histogram // format control frame handling time
 	}
 }
@@ -116,11 +135,14 @@ type Stats struct {
 	DataFramesRecv   uint64
 	FormatFramesSent uint64
 	FormatFramesRecv uint64
+	TraceFramesSent  uint64
+	TraceFramesRecv  uint64
 	BytesSent        uint64
 	BytesRecv        uint64
 	FormatErrors     uint64
 	CorruptFrames    uint64
 	OversizedFrames  uint64
+	UnknownFrames    uint64 // well-formed control frames of unknown kind, skipped
 }
 
 // Stats returns the connection's counters.
@@ -130,16 +152,27 @@ func (c *Conn) Stats() Stats {
 		DataFramesRecv:   c.stats.dataRecv.Load(),
 		FormatFramesSent: c.stats.formatSent.Load(),
 		FormatFramesRecv: c.stats.formatRecv.Load(),
+		TraceFramesSent:  c.stats.traceSent.Load(),
+		TraceFramesRecv:  c.stats.traceRecv.Load(),
 		BytesSent:        c.stats.bytesSent.Load(),
 		BytesRecv:        c.stats.bytesRecv.Load(),
 		FormatErrors:     c.stats.formatErrors.Load(),
 		CorruptFrames:    c.stats.corruptFrames.Load(),
 		OversizedFrames:  c.stats.oversizedFrames.Load(),
+		UnknownFrames:    c.stats.unknownFrames.Load(),
 	}
 }
 
 // Morpher returns the morphing engine attached with WithMorpher, or nil.
 func (c *Conn) Morpher() *core.Morpher { return c.morpher }
+
+// TraceContext returns the trace context attached to the most recent data
+// frame returned by ReadRecord/ReadEncoded: the announced wire context, or
+// — when this connection traces — the context of its own frame_read span,
+// so downstream spans nest beneath it. The zero Context means the message
+// was untraced. Like the read methods, it must be called from the read
+// goroutine.
+func (c *Conn) TraceContext() trace.Context { return c.rctx }
 
 // Option configures a Conn.
 type Option func(*Conn)
@@ -173,6 +206,14 @@ func WithFormatHook(hook func(*pbio.Format, []*core.Xform)) Option {
 	return func(c *Conn) { c.formatHook = hook }
 }
 
+// WithTracer attaches a tracer: sampled write contexts gain encode and
+// frame-write spans, and incoming trace frames open frame-read spans. A nil
+// tracer is valid and leaves tracing disabled; trace contexts still relay
+// (see TraceContext), so an untraced intermediary does not break a trace.
+func WithTracer(t *trace.Tracer) Option {
+	return func(c *Conn) { c.tracer = t }
+}
+
 // NewConn wraps a net.Conn (or net.Pipe end) as a message connection.
 func NewConn(nc net.Conn, opts ...Option) *Conn {
 	return NewStreamConn(nc, opts...)
@@ -199,6 +240,9 @@ func NewStreamConn(nc Stream, opts ...Option) *Conn {
 		c.om.dataRecv = c.obs.Counter("wire.data_frames_recv")
 		c.om.formatSent = c.obs.Counter("wire.format_frames_sent")
 		c.om.formatRecv = c.obs.Counter("wire.format_frames_recv")
+		c.om.traceSent = c.obs.Counter("wire.trace_frames_sent")
+		c.om.traceRecv = c.obs.Counter("wire.trace_frames_recv")
+		c.om.unknownFrames = c.obs.Counter("wire.unknown_frames")
 		c.om.bytesSent = c.obs.Counter("wire.bytes_sent")
 		c.om.bytesRecv = c.obs.Counter("wire.bytes_recv")
 		c.om.formatErrors = c.obs.Counter("wire.format_errors")
@@ -228,6 +272,15 @@ func (c *Conn) Declare(f *pbio.Format, xforms ...*core.Xform) {
 // transforms) out-of-band if this connection has not sent that format
 // before.
 func (c *Conn) WriteRecord(rec *pbio.Record) error {
+	return c.WriteRecordCtx(rec, trace.Context{})
+}
+
+// WriteRecordCtx sends rec like WriteRecord and, when tctx is a sampled
+// trace context, announces it out-of-band in a trace control frame
+// immediately preceding the data frame. If the connection also carries a
+// tracer, the encode and frame-write stages are timed as child spans of
+// tctx.
+func (c *Conn) WriteRecordCtx(rec *pbio.Record, tctx trace.Context) error {
 	f := rec.Format()
 	fp := f.Fingerprint()
 
@@ -239,18 +292,25 @@ func (c *Conn) WriteRecord(rec *pbio.Record) error {
 		}
 		c.sent[fp] = true
 	}
+	traced := c.tracer.Enabled() && tctx.Sampled
 	// Encode into a pooled scratch buffer: the frame write copies the bytes
 	// into the bufio.Writer, so the scratch can be recycled immediately and
 	// steady-state sends allocate nothing per message.
+	var enc trace.Span
+	if traced {
+		enc = c.tracer.StartSpan(tctx, trace.StageEncode)
+		enc.FP = fp
+	}
 	bp := pbio.GetBuffer(0)
 	body := pbio.AppendRecord((*bp)[:0], rec)
-	err := c.writeFrameLocked(frameData, body)
+	if traced {
+		enc.N = int64(len(body))
+		enc.End()
+	}
+	err := c.writeDataLocked(body, fp, tctx)
 	*bp = body
 	pbio.PutBuffer(bp)
-	if err != nil {
-		return err
-	}
-	return c.bw.Flush()
+	return err
 }
 
 // WriteEncoded sends an already-encoded enveloped message of format f,
@@ -259,6 +319,13 @@ func (c *Conn) WriteRecord(rec *pbio.Record) error {
 // they received without ever materializing a Record. The message fingerprint
 // must match f.
 func (c *Conn) WriteEncoded(f *pbio.Format, data []byte) error {
+	return c.WriteEncodedCtx(f, data, trace.Context{})
+}
+
+// WriteEncodedCtx sends an already-encoded message like WriteEncoded,
+// announcing tctx out-of-band first when it is sampled — how a relay keeps
+// a trace alive across its fan-out without decoding anything.
+func (c *Conn) WriteEncodedCtx(f *pbio.Format, data []byte, tctx trace.Context) error {
 	fp, err := pbio.PeekFingerprint(data)
 	if err != nil {
 		return err
@@ -275,10 +342,33 @@ func (c *Conn) WriteEncoded(f *pbio.Format, data []byte) error {
 		}
 		c.sent[fp] = true
 	}
-	if err := c.writeFrameLocked(frameData, data); err != nil {
+	return c.writeDataLocked(data, fp, tctx)
+}
+
+// writeDataLocked writes the trace announcement (when tctx is sampled), the
+// data frame, and the flush — timing the write as a frame_write span when
+// this side traces.
+func (c *Conn) writeDataLocked(body []byte, fp uint64, tctx trace.Context) error {
+	var fw trace.Span
+	if c.tracer.Enabled() && tctx.Sampled {
+		fw = c.tracer.StartSpan(tctx, trace.StageFrameWrite)
+		fw.FP = fp
+		fw.N = int64(len(body))
+	}
+	if tctx.Sampled && tctx.Valid() {
+		var scratch [trace.ContextWireSize]byte
+		if err := c.writeFrameLocked(frameTrace, tctx.AppendWire(scratch[:0])); err != nil {
+			fw.EndErr(err)
+			return err
+		}
+	}
+	if err := c.writeFrameLocked(frameData, body); err != nil {
+		fw.EndErr(err)
 		return err
 	}
-	return c.bw.Flush()
+	err := c.bw.Flush()
+	fw.EndErr(err)
+	return err
 }
 
 func (c *Conn) writeFormatLocked(f *pbio.Format, xforms []*core.Xform) error {
@@ -306,10 +396,14 @@ func (c *Conn) writeFrameLocked(typ byte, body []byte) error {
 	}
 	c.stats.bytesSent.Add(uint64(1 + n + len(body)))
 	c.om.bytesSent.Add(uint64(1 + n + len(body)))
-	if typ == frameData {
+	switch typ {
+	case frameData:
 		c.stats.dataSent.Add(1)
 		c.om.dataSent.Inc()
-	} else {
+	case frameTrace:
+		c.stats.traceSent.Add(1)
+		c.om.traceSent.Inc()
+	default:
 		c.stats.formatSent.Add(1)
 		c.om.formatSent.Inc()
 	}
@@ -359,6 +453,17 @@ func (c *Conn) ReadEncoded() ([]byte, *pbio.Format, error) {
 				return nil, nil, err
 			}
 			c.om.formatNS.ObserveNS(time.Since(t0).Nanoseconds())
+		case frameTrace:
+			tctx, err := trace.ParseWire(body)
+			if err != nil {
+				c.stats.corruptFrames.Add(1)
+				c.om.corruptFrames.Inc()
+				return nil, nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+			}
+			c.pending = tctx
+			if c.tracer.Enabled() && tctx.Sampled {
+				c.rspan = c.tracer.StartSpan(tctx, trace.StageFrameRead)
+			}
 		case frameData:
 			fp, err := pbio.PeekFingerprint(body)
 			if err != nil {
@@ -370,11 +475,32 @@ func (c *Conn) ReadEncoded() ([]byte, *pbio.Format, error) {
 			if !ok {
 				return nil, nil, fmt.Errorf("%w: %016x", ErrUnknownFormat, fp)
 			}
+			// Consume the out-of-band context announced for this frame. When
+			// this side traces, downstream spans parent under its frame_read
+			// span; otherwise the announced context relays through untouched.
+			tctx := c.pending
+			c.pending = trace.Context{}
+			if c.rspan.Recording() {
+				c.rspan.FP = fp
+				c.rspan.N = int64(len(body))
+				c.rspan.End()
+				tctx = c.rspan.Context()
+				c.rspan = trace.Span{}
+			}
+			c.rctx = tctx
 			return body, f, nil
 		default:
-			c.stats.corruptFrames.Add(1)
-			c.om.corruptFrames.Inc()
-			return nil, nil, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, typ)
+			// A frame type of zero means the stream is desynchronized or the
+			// peer is hostile: fail loudly. Any other kind is a well-formed
+			// control frame from a newer peer — skip it so out-of-band
+			// meta-data can evolve without breaking older receivers.
+			if typ == 0 {
+				c.stats.corruptFrames.Add(1)
+				c.om.corruptFrames.Inc()
+				return nil, nil, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, typ)
+			}
+			c.stats.unknownFrames.Add(1)
+			c.om.unknownFrames.Inc()
 		}
 	}
 }
@@ -412,12 +538,16 @@ func (c *Conn) readFrame() (byte, []byte, error) {
 	}
 	c.stats.bytesRecv.Add(1 + uint64(uvarintLen(size)) + size)
 	c.om.bytesRecv.Add(1 + uint64(uvarintLen(size)) + size)
-	if typ == frameData {
+	switch typ {
+	case frameData:
 		c.stats.dataRecv.Add(1)
 		c.om.dataRecv.Inc()
-	} else {
+	case frameFormat:
 		c.stats.formatRecv.Add(1)
 		c.om.formatRecv.Inc()
+	case frameTrace:
+		c.stats.traceRecv.Add(1)
+		c.om.traceRecv.Inc()
 	}
 	return typ, body, nil
 }
@@ -508,7 +638,7 @@ func (c *Conn) Serve() error {
 		if err != nil {
 			return err
 		}
-		if err := c.morpher.DeliverEncoded(body, f); err != nil {
+		if err := c.morpher.DeliverEncodedCtx(body, f, c.rctx); err != nil {
 			return err
 		}
 	}

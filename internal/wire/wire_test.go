@@ -275,10 +275,13 @@ func TestFrameSizeLimit(t *testing.T) {
 }
 
 func TestBadFrameType(t *testing.T) {
+	// Kind 0 is never assigned, so it is the stream-desync signal and stays
+	// fatal; nonzero unknown kinds are skipped as future control frames
+	// (see the corrupt-frame tests for the skip-and-count behavior).
 	a, b := net.Pipe()
 	rx := NewConn(b)
 	t.Cleanup(func() { _ = a.Close(); _ = b.Close() })
-	go func() { _, _ = a.Write([]byte{0x7F, 0x01, 0x00}) }()
+	go func() { _, _ = a.Write([]byte{0x00, 0x01, 0x00}) }()
 	if _, err := rx.ReadRecord(); !errors.Is(err, ErrBadFrame) {
 		t.Errorf("err = %v, want ErrBadFrame", err)
 	}

@@ -15,4 +15,8 @@ echo "== bench smoke (splice/fanout fast paths)"
 go test -run xxx -bench 'Splice|Fanout' -benchtime 100x ./...
 echo "== morphbench pipeline (writes BENCH_pipeline.json)"
 go run ./cmd/morphbench -exp pipeline -quick
+echo "== morphbench trace (writes BENCH_trace.json)"
+go run ./cmd/morphbench -exp trace -quick
+echo "== fuzz smoke (wire frame parser, 10s)"
+go test -run xxx -fuzz FuzzConnReadFrames -fuzztime 10s ./internal/wire/
 echo "ok"
