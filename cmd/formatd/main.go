@@ -1,0 +1,97 @@
+// Command formatd is the format-registry daemon: the reproduction of PBIO's
+// third-party format server (PAPER §2). It stores format descriptions and
+// their transformation meta-data keyed by fingerprint and serves them over
+// the wire framing's registry control frames, so peers can exchange nothing
+// but 8-byte fingerprints in-band and still resolve full evolution
+// meta-data on demand.
+//
+//	formatd -addr :7500 -debug :7501 -snapshot /var/lib/formatd/table.spool
+//
+// The debug listener serves /debug/registryz (the live table) and
+// /debug/morphz (the daemon's own obs instruments). With -snapshot, the
+// table is persisted through the self-describing spool framing and reloaded
+// on restart, so a bounce loses nothing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/obs"
+	"repro/internal/registry"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7500", "registry RPC listen address")
+		debug    = flag.String("debug", "", "debug HTTP listen address (empty = disabled)")
+		snapshot = flag.String("snapshot", "", "table snapshot path (empty = in-memory only)")
+	)
+	flag.Parse()
+	log.SetFlags(log.Lmicroseconds)
+
+	if err := run(*addr, *debug, *snapshot, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "formatd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until SIGINT/SIGTERM (or ready is closed
+// by a test harness driving run directly; ready, when non-nil, receives the
+// bound RPC address once listening).
+func run(addr, debug, snapshot string, ready chan<- string) error {
+	reg := obs.NewRegistry("formatd")
+	srv, err := registry.NewServer(
+		registry.WithServerObs(reg),
+		registry.WithSnapshotPath(snapshot),
+	)
+	if err != nil {
+		return err
+	}
+	if snapshot != "" {
+		log.Printf("snapshot %s: %d entries loaded", snapshot, srv.Len())
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	defer ln.Close()
+	log.Printf("format registry listening on %s", ln.Addr())
+
+	if debug != "" {
+		dbg, err := obs.Serve(debug, reg, obs.Mount{
+			Path:    registry.RegistryzPath,
+			Handler: srv.Handler(),
+		})
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		log.Printf("debug endpoints on http://%s%s", dbg.Addr(), registry.RegistryzPath)
+	}
+
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	select {
+	case sig := <-sigc:
+		log.Printf("%s: shutting down (%d entries held)", sig, srv.Len())
+		return nil
+	case err := <-errc:
+		return err
+	}
+}

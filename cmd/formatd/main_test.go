@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/pbio"
+	"repro/internal/registry"
+)
+
+// TestDaemonSmoke drives run() in-process: register a format through a real
+// client, resolve it back, check /debug/registryz serves valid JSON, then
+// restart over the same snapshot and confirm the table survived.
+func TestDaemonSmoke(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "table.spool")
+	debugAddr := "127.0.0.1:0"
+
+	start := func() (addr string, stop func()) {
+		ready := make(chan string, 1)
+		done := make(chan error, 1)
+		go func() { done <- run("127.0.0.1:0", debugAddr, snap, ready) }()
+		select {
+		case addr = <-ready:
+		case err := <-done:
+			t.Fatalf("daemon exited before ready: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		return addr, func() {
+			_ = syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatal("daemon did not shut down on SIGTERM")
+			}
+		}
+	}
+
+	addr, stop := start()
+	f, err := pbio.NewFormat("smoke", []pbio.Field{{Name: "n", Kind: pbio.Integer, Size: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := registry.NewClient(addr)
+	if err := c.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	rf, _, err := c.ResolveFormat(f.Fingerprint())
+	if err != nil || rf.Fingerprint() != f.Fingerprint() {
+		t.Fatalf("resolve: %v", err)
+	}
+	_ = c.Close()
+	stop()
+
+	// Restart over the same snapshot: the entry must still resolve, this
+	// time without any client having registered it.
+	debugAddr = "127.0.0.1:0" // fresh ephemeral port for the second instance
+	addr2, stop2 := start()
+	defer stop2()
+	c2 := registry.NewClient(addr2)
+	defer c2.Close()
+	rf2, _, err := c2.ResolveFormat(f.Fingerprint())
+	if err != nil || rf2.Fingerprint() != f.Fingerprint() {
+		t.Fatalf("resolve after restart: %v", err)
+	}
+}
+
+// TestRegistryzEndToEnd checks the debug HTTP surface of a live daemon.
+func TestRegistryzEndToEnd(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	// Fixed ephemeral debug port is not knowable in advance; use the obs
+	// server indirectly by scraping the daemon log is fragile — instead run
+	// the registry server + handler directly via the library in
+	// internal/registry tests. Here, just confirm run() wires the handler:
+	// bind debug to a port we choose.
+	dbg := freePort(t)
+	go func() { done <- run("127.0.0.1:0", dbg, "", ready) }()
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	defer func() {
+		_ = syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+		<-done
+	}()
+
+	res, err := http.Get(fmt.Sprintf("http://%s%s", dbg, registry.RegistryzPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var doc struct {
+		Entries []any `json:"entries"`
+		Count   int   `json:"count"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&doc); err != nil {
+		t.Fatalf("registryz is not valid JSON: %v", err)
+	}
+	if doc.Count != 0 {
+		t.Fatalf("fresh daemon reports %d entries", doc.Count)
+	}
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}

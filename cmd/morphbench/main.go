@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	morphbench [-exp all|table1|fig8|fig9|fig10|pipeline|trace|ablations] [-quick] [-csv dir] [-obs]
+//	morphbench [-exp all|table1|fig8|fig9|fig10|pipeline|trace|registry|ablations] [-quick] [-csv dir] [-obs]
 package main
 
 import (
@@ -32,12 +32,13 @@ func main() {
 func run(stdout io.Writer, args []string) error {
 	fs := flag.NewFlagSet("morphbench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, pipeline, trace, ablations")
+		exp       = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, pipeline, trace, registry, ablations")
 		quick     = fs.Bool("quick", false, "shorter measuring windows and smaller max size (for CI)")
 		csvDir    = fs.String("csv", "", "also write CSV files into this directory")
 		withObs   = fs.Bool("obs", false, "attach an observability registry and print its final snapshot as JSON")
 		pipeJSON  = fs.String("pipelinejson", "BENCH_pipeline.json", "file the pipeline experiment writes its results to (empty disables)")
 		traceJSON = fs.String("tracejson", "BENCH_trace.json", "file the trace experiment writes its results to (empty disables)")
+		regJSON   = fs.String("registryjson", "BENCH_registry.json", "file the registry experiment writes its results to (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -162,6 +163,16 @@ func run(stdout io.Writer, args []string) error {
 		}
 		bench.PrintTrace(stdout, results)
 		if err := writeJSON(*traceJSON, results); err != nil {
+			return err
+		}
+	}
+	if want("registry") {
+		result, err := h.RegistrySweep(opts.MinTotal)
+		if err != nil {
+			return err
+		}
+		bench.PrintRegistry(stdout, result)
+		if err := writeJSON(*regJSON, result); err != nil {
 			return err
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -146,6 +147,48 @@ func TestRunTrace(t *testing.T) {
 			t.Errorf("%s: attached-but-unsampled tracing allocates (%.1f extra allocs/op)",
 				r.Workload, r.ExtraAllocs)
 		}
+	}
+}
+
+// TestRunRegistry drives the format-registry experiment against its
+// in-process loopback daemon and checks the JSON artifact: sane timings, an
+// allocation-free cache hit, and cold resolutions under the 1ms loopback
+// acceptance bar (generous here — real runs land far below it).
+func TestRunRegistry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_registry.json")
+	var out strings.Builder
+	if err := run(&out, []string{"-exp", "registry", "-quick", "-registryjson", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Format-registry resolution cost") {
+		t.Errorf("output missing registry section:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r struct {
+		HitNS       int64   `json:"hit_ns_per_op"`
+		HitAllocs   float64 `json:"hit_allocs_per_op"`
+		ColdFormats int     `json:"cold_formats"`
+		ColdP50NS   int64   `json:"cold_p50_ns"`
+		BaseNS      int64   `json:"deliver_ns_baseline"`
+		RegNS       int64   `json:"deliver_ns_with_registry"`
+	}
+	if err := json.Unmarshal(raw, &r); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, raw)
+	}
+	if r.HitNS <= 0 || r.ColdP50NS <= 0 || r.BaseNS <= 0 || r.RegNS <= 0 {
+		t.Errorf("non-positive timings: %+v", r)
+	}
+	if r.HitAllocs != 0 {
+		t.Errorf("registry cache hit allocates (%.1f allocs/op)", r.HitAllocs)
+	}
+	if r.ColdFormats < 64 {
+		t.Errorf("cold sweep covered %d formats, want >= 64", r.ColdFormats)
+	}
+	if r.ColdP50NS >= int64(time.Millisecond) {
+		t.Errorf("cold resolution p50 = %v, want < 1ms on loopback", time.Duration(r.ColdP50NS))
 	}
 }
 

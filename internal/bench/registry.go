@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pbio"
+	"repro/internal/registry"
+)
+
+// The registry experiment prices the format-registry subsystem
+// (internal/registry, cmd/formatd) at its three cost points:
+//
+//   - hit: resolving a fingerprint the client already cached. This is the
+//     steady-state cost a receiver pays per suppressed format it re-checks —
+//     it must be allocation-free and tens of nanoseconds.
+//   - cold: resolving a fingerprint for the first time over a loopback
+//     daemon round-trip — the one-time price of suppressing a format frame.
+//   - deliver: the splice-lane encoded delivery A/B with and without a
+//     TransformSource attached to the Morpher. The source is only consulted
+//     on cold decisions, so a warmed morpher must show no measurable
+//     overhead.
+
+// RegistryResult is the experiment's JSON document (BENCH_registry.json).
+type RegistryResult struct {
+	HitNS     int64   `json:"hit_ns_per_op"`
+	HitAllocs float64 `json:"hit_allocs_per_op"`
+
+	ColdFormats int   `json:"cold_formats"`
+	ColdP50NS   int64 `json:"cold_p50_ns"`
+	ColdP95NS   int64 `json:"cold_p95_ns"`
+	ColdMaxNS   int64 `json:"cold_max_ns"`
+
+	DeliverBaselineNS int64   `json:"deliver_ns_baseline"`
+	DeliverRegistryNS int64   `json:"deliver_ns_with_registry"`
+	DeliverOverheadPc float64 `json:"deliver_overhead_pct"`
+}
+
+// registryBenchFormats builds n structurally distinct formats to populate
+// the daemon's table.
+func registryBenchFormats(n int) ([]*pbio.Format, error) {
+	out := make([]*pbio.Format, 0, n)
+	for i := 0; i < n; i++ {
+		fields := []pbio.Field{
+			{Name: "timestamp", Kind: pbio.Unsigned, Size: 8},
+			{Name: "node_id", Kind: pbio.Integer, Size: 4},
+		}
+		for j := 0; j <= i%7; j++ {
+			fields = append(fields, pbio.Field{Name: fmt.Sprintf("metric_%d", j), Kind: pbio.Float, Size: 8})
+		}
+		f, err := pbio.NewFormat(fmt.Sprintf("bench_stats_%d", i), fields)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// RegistrySweep runs the experiment against an in-process daemon on a real
+// loopback TCP listener, so the cold numbers include the full RPC stack
+// (wire framing, syscalls, response matching).
+func (h *Harness) RegistrySweep(minTotal time.Duration) (RegistryResult, error) {
+	var res RegistryResult
+
+	srv, err := registry.NewServer()
+	if err != nil {
+		return res, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	// Populate the table through one client, like a fleet of publishers
+	// would.
+	formats, err := registryBenchFormats(64)
+	if err != nil {
+		return res, err
+	}
+	pub := registry.NewClient(addr)
+	defer pub.Close()
+	for _, f := range formats {
+		if err := pub.Register(f); err != nil {
+			return res, err
+		}
+	}
+
+	// Cold resolutions: a fresh client fetches every fingerprint once, each
+	// round-trip timed individually.
+	resolver := registry.NewClient(addr)
+	defer resolver.Close()
+	colds := make([]time.Duration, 0, len(formats))
+	for _, f := range formats {
+		start := time.Now()
+		if _, _, err := resolver.ResolveFormat(f.Fingerprint()); err != nil {
+			return res, err
+		}
+		colds = append(colds, time.Since(start))
+	}
+	sort.Slice(colds, func(i, j int) bool { return colds[i] < colds[j] })
+	res.ColdFormats = len(colds)
+	res.ColdP50NS = colds[len(colds)/2].Nanoseconds()
+	res.ColdP95NS = colds[len(colds)*95/100].Nanoseconds()
+	res.ColdMaxNS = colds[len(colds)-1].Nanoseconds()
+
+	// Cache hits on the now-warm client.
+	hitFP := formats[0].Fingerprint()
+	hit := func() {
+		if _, _, err := resolver.ResolveFormat(hitFP); err != nil {
+			panic(err)
+		}
+	}
+	res.HitNS = timeIt(hit, minTotal).Nanoseconds()
+	res.HitAllocs = testing.AllocsPerRun(200, hit)
+
+	// Splice-lane delivery with and without the registry as the morpher's
+	// transform source (decision already cached in both arms).
+	v2, v1, err := pipelineFormats()
+	if err != nil {
+		return res, err
+	}
+	data := pbio.EncodeRecord(pbio.NewRecord(v2).
+		MustSet("timestamp", pbio.Uint(1722902400)).
+		MustSet("node_id", pbio.Int(17)).
+		MustSet("cpu_load", pbio.Float64(0.73)).
+		MustSet("mem_used", pbio.Uint(6<<30)).
+		MustSet("mem_total", pbio.Uint(16<<30)).
+		MustSet("net_rx", pbio.Uint(1<<20)).
+		MustSet("net_tx", pbio.Uint(2<<20)).
+		MustSet("healthy", pbio.Bool(true)))
+	baseline, err := pipelineMorpher(v1, v2, data)
+	if err != nil {
+		return res, err
+	}
+	withReg, err := pipelineMorpher(v1, v2, data, core.WithTransformSource(resolver.TransformsFor))
+	if err != nil {
+		return res, err
+	}
+	res.DeliverBaselineNS = timeIt(baseline, minTotal).Nanoseconds()
+	res.DeliverRegistryNS = timeIt(withReg, minTotal).Nanoseconds()
+	if res.DeliverBaselineNS > 0 {
+		res.DeliverOverheadPc = 100 * float64(res.DeliverRegistryNS-res.DeliverBaselineNS) / float64(res.DeliverBaselineNS)
+	}
+	return res, nil
+}
+
+// PrintRegistry renders the experiment as the paper-style text block.
+func PrintRegistry(w io.Writer, r RegistryResult) {
+	fmt.Fprintln(w, "Registry. Format-registry resolution cost (loopback formatd)")
+	fmt.Fprintf(w, "  cache hit:        %6dns/op  %.1f allocs/op\n", r.HitNS, r.HitAllocs)
+	fmt.Fprintf(w, "  cold resolution:  p50 %s  p95 %s  max %s  (%d formats)\n",
+		time.Duration(r.ColdP50NS), time.Duration(r.ColdP95NS), time.Duration(r.ColdMaxNS), r.ColdFormats)
+	fmt.Fprintf(w, "  splice delivery:  %dns baseline vs %dns with registry source (%+.1f%%)\n",
+		r.DeliverBaselineNS, r.DeliverRegistryNS, r.DeliverOverheadPc)
+	fmt.Fprintln(w)
+}

@@ -94,6 +94,10 @@ type Morpher struct {
 	// tracer is nil unless WithTracer attached one; sampled Ctx deliveries
 	// then record decision/lane/step/handler spans.
 	tracer *trace.Tracer
+
+	// xsource is nil unless WithTransformSource attached one; the decision
+	// build consults it before rejecting an unmatched format.
+	xsource TransformSource
 }
 
 // morphCounters are the activity counters of Stats.
@@ -217,6 +221,24 @@ func WithSpliceDisabled() MorpherOption {
 // branch per hook either way.
 func WithTracer(t *trace.Tracer) MorpherOption {
 	return func(m *Morpher) { m.tracer = t }
+}
+
+// TransformSource supplies out-of-band transformation meta-data for an
+// incoming format no local transform chains off: given the format's
+// fingerprint, it returns any transforms known elsewhere (the format
+// registry) whose chains might reach a registered format, or nil. It is
+// consulted on the cold decision path only — once per unknown fingerprint,
+// before Algorithm 2 line 18 rejects the message — so it may block on I/O;
+// the outcome (including the reject) is cached like any other decision.
+type TransformSource func(fp uint64) []*Xform
+
+// WithTransformSource attaches an out-of-band transform source (a registry
+// client): when MaxMatch finds no acceptable pair among locally known
+// formats, the source's transforms for the incoming fingerprint are merged
+// into the graph and the match is retried before rejecting. A nil source is
+// valid and leaves the engine purely local.
+func WithTransformSource(src TransformSource) MorpherOption {
+	return func(m *Morpher) { m.xsource = src }
 }
 
 // NewMorpher returns a Morpher with the given thresholds. Use
@@ -357,6 +379,29 @@ func (m *Morpher) AddTransform(x *Xform) error {
 	m.xforms[key] = append(m.xforms[key], x)
 	m.invalidateLocked()
 	return nil
+}
+
+// importTransformsLocked merges externally sourced transforms into the
+// graph (AddTransform's dedup, without re-locking), returning how many were
+// new or refreshed. Malformed entries are skipped: registry contents must
+// not be able to poison the local graph.
+func (m *Morpher) importTransformsLocked(xs []*Xform) int {
+	added := 0
+next:
+	for _, x := range xs {
+		if x == nil || x.From == nil || x.To == nil {
+			continue
+		}
+		key := x.From.Fingerprint()
+		for _, existing := range m.xforms[key] {
+			if existing.To.Fingerprint() == x.To.Fingerprint() {
+				continue next
+			}
+		}
+		m.xforms[key] = append(m.xforms[key], x)
+		added++
+	}
+	return added
 }
 
 // invalidateLocked drops cached decisions; new registrations or transforms
@@ -706,6 +751,20 @@ func (m *Morpher) buildDecisionLocked(fm *pbio.Format) (*decision, obs.Decision,
 	}
 	tr.Candidates = len(ft)
 	match, ok := m.matchLocked(ft, fr)
+	if !ok && m.xsource != nil {
+		// Line 16, extended: before rejecting, pull transform meta-data the
+		// registry holds for this fingerprint — chains a peer published that
+		// never crossed this connection — and retry the match.
+		if m.importTransformsLocked(m.xsource(fm.Fingerprint())) > 0 {
+			chains = m.reachableLocked(fm)
+			ft = make([]*pbio.Format, len(chains))
+			for i, ch := range chains {
+				ft[i] = ch.format
+			}
+			tr.Candidates = len(ft)
+			match, ok = m.matchLocked(ft, fr)
+		}
+	}
 	if !ok {
 		tr.Rejected = true
 		tr.Reason = "no candidate pair within thresholds"

@@ -208,8 +208,8 @@ func TestSpliceLaneRejectsCorruptPayload(t *testing.T) {
 
 	t.Run("splice", func(t *testing.T) {
 		for _, corrupt := range [][]byte{
-			data[:len(data)-3],            // truncated payload
-			data[:pbio.EnvelopeSize],      // envelope only
+			data[:len(data)-3],                         // truncated payload
+			data[:pbio.EnvelopeSize],                   // envelope only
 			append(append([]byte(nil), data...), 0xEE), // trailing byte
 		} {
 			got, _, err := deliverOnce(t, dst, corrupt, src)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/pbio"
+	"repro/internal/registry"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -54,6 +55,19 @@ type Options struct {
 	// disables tracing (the zero-cost default).
 	Tracer *trace.Tracer
 
+	// Registry attaches a format-registry client (cmd/formatd). The
+	// subscriber then declares wants_registry in its open request, publishes
+	// the formats it emits to the registry instead of (only) announcing them
+	// in-band, suppresses in-band format frames the registry already holds,
+	// resolves unknown incoming fingerprints out-of-band, and lets its
+	// morphing engine pull transformation meta-data from the registry when a
+	// local decision fails. Configuring a registry implies the event domain
+	// is registry-enabled too (the deployment shares one formatd); if the
+	// registry is down or an entry is missing, the connection degrades to
+	// classic in-band format frames automatically. Ignored for V1Compat
+	// subscribers. Nil disables the registry path.
+	Registry *registry.Client
+
 	// HandshakeTimeout bounds the open handshake; defaults to 10 seconds.
 	HandshakeTimeout time.Duration
 }
@@ -63,10 +77,11 @@ type Options struct {
 // opened as a sink). Every subscriber owns a core.Morpher, so both protocol
 // messages and event payloads benefit from morphing.
 type Subscriber struct {
-	conn    *wire.Conn
-	morpher *core.Morpher
-	tracer  *trace.Tracer
-	channel string
+	conn     *wire.Conn
+	morpher  *core.Morpher
+	tracer   *trace.Tracer
+	channel  string
+	registry *registry.Client // nil unless Options.Registry was set
 
 	mu      sync.Mutex
 	members []Member
@@ -94,13 +109,33 @@ func open(nc net.Conn, channelID string, opts Options) (*Subscriber, error) {
 		timeout = 10 * time.Second
 	}
 
-	s := &Subscriber{
-		morpher: core.NewMorpher(th, core.WithObs(opts.Obs), core.WithTracer(opts.Tracer)),
-		tracer:  opts.Tracer,
-		channel: channelID,
+	rc := opts.Registry
+	if opts.V1Compat {
+		// An un-upgraded binary predates the registry entirely.
+		rc = nil
 	}
-	s.conn = wire.NewConn(nc, wire.WithMorpher(s.morpher), wire.WithObs(opts.Obs),
-		wire.WithTracer(opts.Tracer))
+	mopts := []core.MorpherOption{core.WithObs(opts.Obs), core.WithTracer(opts.Tracer)}
+	if rc != nil {
+		// When a local morph decision finds no route, ask the registry for
+		// transformation meta-data before giving up (once per fingerprint;
+		// the decision cache remembers the outcome either way).
+		mopts = append(mopts, core.WithTransformSource(rc.TransformsFor))
+	}
+	s := &Subscriber{
+		morpher:  core.NewMorpher(th, mopts...),
+		tracer:   opts.Tracer,
+		channel:  channelID,
+		registry: rc,
+	}
+	copts := []wire.Option{wire.WithMorpher(s.morpher), wire.WithObs(opts.Obs),
+		wire.WithTracer(opts.Tracer)}
+	if rc != nil {
+		copts = append(copts,
+			wire.WithResolver(rc),
+			wire.WithFormatSuppressor(rc.Holds),
+		)
+	}
+	s.conn = wire.NewConn(nc, copts...)
 
 	// Register the ChannelOpenResponse format this client understands.
 	// A v1-compat client knows nothing about v2.0; morphing bridges the gap.
@@ -131,6 +166,13 @@ func open(nc net.Conn, channelID string, opts Options) (*Subscriber, error) {
 	if contact == "" {
 		contact = nc.LocalAddr().String()
 	}
+	if rc != nil {
+		// Publish the open-request format so even the handshake can ride the
+		// registry: when it succeeds the suppressor elides the very first
+		// format frame of the connection. Best-effort, like every
+		// registration — a failure only means the frame goes in-band.
+		_ = rc.Register(RequestV3Format)
+	}
 	deadline := time.Now().Add(timeout)
 	_ = nc.SetDeadline(deadline)
 	if err := s.conn.WriteRecord(encodeRequest(openRequest{
@@ -139,6 +181,7 @@ func open(nc net.Conn, channelID string, opts Options) (*Subscriber, error) {
 		IsSource:  opts.Source,
 		IsSink:    opts.Sink,
 		Filter:    opts.Filter,
+		Registry:  rc != nil,
 	}, opts.V1Compat)); err != nil {
 		_ = nc.Close()
 		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
@@ -195,6 +238,12 @@ func (s *Subscriber) HandleDefault(h core.Handler) {
 // of Figure 7: conversion code travels with the data, the receiver pays the
 // conversion cost).
 func (s *Subscriber) Declare(f *pbio.Format, xforms ...*core.Xform) {
+	if s.registry != nil {
+		// Publish the meta-data out-of-band first, so the in-band format
+		// frame can be suppressed from the very first event. Best-effort:
+		// on failure Holds stays false and the frame goes in-band as ever.
+		_ = s.registry.Register(f, xforms...)
+	}
 	s.conn.Declare(f, xforms...)
 }
 
@@ -214,6 +263,11 @@ func (s *Subscriber) Publish(rec *pbio.Record) error {
 // Morpher exposes the subscriber's morphing engine (for stats and
 // diagnostics).
 func (s *Subscriber) Morpher() *core.Morpher { return s.morpher }
+
+// WireStats exposes the subscriber connection's frame counters (for tests
+// and diagnostics — e.g. confirming that format frames were suppressed on a
+// registry-enabled channel).
+func (s *Subscriber) WireStats() wire.Stats { return s.conn.Stats() }
 
 // Run receives events and dispatches them through the subscriber's
 // handlers until the connection closes. It returns nil on clean shutdown.

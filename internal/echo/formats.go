@@ -66,6 +66,22 @@ var (
 		{Name: "is_Sink", Kind: pbio.Boolean},
 		{Name: "filter", Kind: pbio.String},
 	})
+
+	// RequestV3Format evolves the request again with a registry-capability
+	// flag: wants_registry declares that this member resolves format
+	// fingerprints out-of-band (internal/registry), so the event domain may
+	// suppress in-band format frames toward it. Like the filter before it,
+	// the new field reaches old servers as a format evolution — name-wise
+	// morphing drops it, and the missing flag defaults to false, which is
+	// exactly "never suppress".
+	RequestV3Format = pbio.MustFormat("ChannelOpenRequest", []pbio.Field{
+		{Name: "channel_id", Kind: pbio.String},
+		{Name: "contact", Kind: pbio.String},
+		{Name: "is_Source", Kind: pbio.Boolean},
+		{Name: "is_Sink", Kind: pbio.Boolean},
+		{Name: "filter", Kind: pbio.String},
+		{Name: "wants_registry", Kind: pbio.Boolean},
+	})
 )
 
 // Figure5Transform is the paper's Figure 5: the ecode that converts a
@@ -100,18 +116,20 @@ type Member struct {
 	IsSink   bool
 }
 
-// openRequest mirrors RequestV2Format for internal use.
+// openRequest mirrors RequestV3Format for internal use.
 type openRequest struct {
 	ChannelID string
 	Contact   string
 	IsSource  bool
 	IsSink    bool
 	Filter    string
+	Registry  bool
 }
 
 // encodeRequest produces the request record. Old-protocol clients
 // (legacy=true) emit the original format, exactly as an un-upgraded binary
-// would; new clients emit v2 with the filter field.
+// would; registry-capable clients emit v3 with the wants_registry flag;
+// everyone else emits v2.
 func encodeRequest(r openRequest, legacy bool) *pbio.Record {
 	if legacy {
 		return pbio.NewRecord(RequestFormat).
@@ -119,6 +137,15 @@ func encodeRequest(r openRequest, legacy bool) *pbio.Record {
 			MustSet("contact", pbio.Str(r.Contact)).
 			MustSet("is_Source", pbio.Bool(r.IsSource)).
 			MustSet("is_Sink", pbio.Bool(r.IsSink))
+	}
+	if r.Registry {
+		return pbio.NewRecord(RequestV3Format).
+			MustSet("channel_id", pbio.Str(r.ChannelID)).
+			MustSet("contact", pbio.Str(r.Contact)).
+			MustSet("is_Source", pbio.Bool(r.IsSource)).
+			MustSet("is_Sink", pbio.Bool(r.IsSink)).
+			MustSet("filter", pbio.Str(r.Filter)).
+			MustSet("wants_registry", pbio.Bool(true))
 	}
 	return pbio.NewRecord(RequestV2Format).
 		MustSet("channel_id", pbio.Str(r.ChannelID)).
@@ -136,6 +163,7 @@ func decodeRequest(rec *pbio.Record) openRequest {
 		IsSource:  get("is_Source").Bool(),
 		IsSink:    get("is_Sink").Bool(),
 		Filter:    get("filter").Strval(),
+		Registry:  get("wants_registry").Bool(),
 	}
 }
 

@@ -1,0 +1,360 @@
+package echo
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pbio"
+	"repro/internal/registry"
+)
+
+// startFormatd runs a format-registry daemon on a loopback listener.
+func startFormatd(t *testing.T) (*registry.Server, string) {
+	t.Helper()
+	fsrv, err := registry.NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = fsrv.Serve(ln) }()
+	t.Cleanup(func() { _ = fsrv.Close() })
+	return fsrv, ln.Addr().String()
+}
+
+// startDomain runs an echo Server (with options) on a loopback listener.
+func startDomain(t *testing.T, opts ...ServerOption) (*Server, string) {
+	t.Helper()
+	srv := NewServer(opts...)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+var (
+	regQuoteV1 = pbio.MustFormat("Quote", []pbio.Field{
+		{Name: "symbol", Kind: pbio.String},
+		{Name: "cents", Kind: pbio.Integer},
+	})
+	regQuoteV2 = pbio.MustFormat("Quote", []pbio.Field{
+		{Name: "symbol", Kind: pbio.String},
+		{Name: "dollars", Kind: pbio.Float},
+		{Name: "volume", Kind: pbio.Integer},
+	})
+	regQuoteXform = &core.Xform{
+		From: regQuoteV2,
+		To:   regQuoteV1,
+		Code: `old.symbol = new.symbol; old.cents = new.dollars * 100.0;`,
+	}
+)
+
+// TestRegistryOnlyInterop is the tentpole scenario: two subscribers with
+// disjoint format knowledge (the publisher emits Quote v2, the sink only
+// understands Quote v1) interoperate with every piece of format meta-data —
+// the open request, the open response, and the event format with its
+// transformation — flowing through formatd. Not one in-band format frame
+// crosses either connection.
+func TestRegistryOnlyInterop(t *testing.T) {
+	fsrv, faddr := startFormatd(t)
+
+	serverRC := registry.NewClient(faddr)
+	t.Cleanup(func() { _ = serverRC.Close() })
+	_, addr := startDomain(t, WithRegistry(serverRC))
+	// The domain publishes its response format asynchronously at Serve;
+	// wait for the acknowledgment so suppression is in force from the
+	// first member on.
+	waitFor(t, "response format registration", func() bool {
+		return serverRC.Holds(ResponseV2Format)
+	})
+
+	sinkRC := registry.NewClient(faddr)
+	t.Cleanup(func() { _ = sinkRC.Close() })
+	sink, err := Open(addr, "q", Options{Sink: true, Registry: sinkRC, Thresholds: &core.Thresholds{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	received := make(chan *pbio.Record, 1)
+	if err := sink.Handle(regQuoteV1, func(r *pbio.Record) error {
+		received <- r
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = sink.Run() }()
+
+	pubRC := registry.NewClient(faddr)
+	t.Cleanup(func() { _ = pubRC.Close() })
+	pub, err := Open(addr, "q", Options{Source: true, Registry: pubRC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	pub.Declare(regQuoteV2, regQuoteXform)
+	ev := pbio.NewRecord(regQuoteV2).
+		MustSet("symbol", pbio.Str("XYZ")).
+		MustSet("dollars", pbio.Float64(3.5)).
+		MustSet("volume", pbio.Int(900))
+	if err := pub.Publish(ev); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case got := <-received:
+		if !got.Format().SameStructure(regQuoteV1) {
+			t.Fatalf("delivered format %q, want Quote v1", got.Format().Name())
+		}
+		if v, _ := got.Get("cents"); v.Int64() != 350 {
+			t.Errorf("cents = %d, want 350", v.Int64())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event not delivered")
+	}
+
+	// The wire carried no format frame in either direction on either
+	// member connection: requests and the event format were suppressed
+	// toward the domain, responses and the relayed event format toward the
+	// members.
+	ps := pub.WireStats()
+	if ps.FormatFramesSent != 0 || ps.FormatFramesRecv != 0 {
+		t.Errorf("publisher saw in-band format frames: sent=%d recv=%d", ps.FormatFramesSent, ps.FormatFramesRecv)
+	}
+	if ps.FormatsSuppressed < 2 { // open request + Quote v2
+		t.Errorf("publisher suppressed %d format frames, want >= 2", ps.FormatsSuppressed)
+	}
+	ss := sink.WireStats()
+	if ss.FormatFramesSent != 0 || ss.FormatFramesRecv != 0 {
+		t.Errorf("sink saw in-band format frames: sent=%d recv=%d", ss.FormatFramesSent, ss.FormatFramesRecv)
+	}
+	if ss.FormatsResolved < 2 { // open response + Quote v2
+		t.Errorf("sink resolved %d formats out-of-band, want >= 2", ss.FormatsResolved)
+	}
+	// And the daemon holds everything the channel used: request, response,
+	// and the event format.
+	if n := fsrv.Len(); n < 3 {
+		t.Errorf("formatd table has %d entries, want >= 3", n)
+	}
+}
+
+// runQuoteScenario drives one publisher → sink delivery and returns the
+// encoded bytes of the record the sink's handler received.
+func runQuoteScenario(t *testing.T, addr string, pubOpts, sinkOpts Options) []byte {
+	t.Helper()
+	sink, err := Open(addr, "q", sinkOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	received := make(chan *pbio.Record, 1)
+	if err := sink.Handle(regQuoteV1, func(r *pbio.Record) error {
+		received <- r
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = sink.Run() }()
+
+	pub, err := Open(addr, "q", pubOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	pub.Declare(regQuoteV2, regQuoteXform)
+	ev := pbio.NewRecord(regQuoteV2).
+		MustSet("symbol", pbio.Str("XYZ")).
+		MustSet("dollars", pbio.Float64(3.5)).
+		MustSet("volume", pbio.Int(900))
+	if err := pub.Publish(ev); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-received:
+		return pbio.EncodeRecord(got)
+	case <-time.After(5 * time.Second):
+		t.Fatal("event not delivered")
+		return nil
+	}
+}
+
+// TestRegistryDownFallback proves graceful degradation: with every registry
+// client pointed at an address where no daemon listens, a registry-enabled
+// deployment behaves exactly like a classic in-band one — same handshake,
+// same delivery, byte-identical received events — just without suppression.
+func TestRegistryDownFallback(t *testing.T) {
+	// Baseline: no registry anywhere.
+	_, plainAddr := startDomain(t)
+	baseline := runQuoteScenario(t, plainAddr, Options{Source: true}, Options{Sink: true, Thresholds: &core.Thresholds{}})
+
+	// Registry-enabled everywhere, but the daemon does not exist.
+	const dead = "127.0.0.1:1"
+	mk := func() *registry.Client {
+		rc := registry.NewClient(dead, registry.WithTimeout(200*time.Millisecond), registry.WithBackoff(time.Hour))
+		t.Cleanup(func() { _ = rc.Close() })
+		return rc
+	}
+	_, addr := startDomain(t, WithRegistry(mk()))
+	got := runQuoteScenario(t, addr,
+		Options{Source: true, Registry: mk()},
+		Options{Sink: true, Registry: mk(), Thresholds: &core.Thresholds{}})
+
+	if !bytes.Equal(got, baseline) {
+		t.Fatalf("registry-down delivery differs from in-band baseline:\n got %x\nwant %x", got, baseline)
+	}
+}
+
+// TestFormatdDeathMidRun kills the registry daemon while a channel is live
+// and keeps publishing: established suppressed formats keep flowing (the
+// receivers already adopted them), new formats fall back to in-band frames,
+// and a member that joins after the death recovers suppressed frames through
+// the frameFormatReq re-announcement protocol. Zero messages are lost.
+func TestFormatdDeathMidRun(t *testing.T) {
+	fsrv, faddr := startFormatd(t)
+
+	// Short server-side backoff: after the daemon dies, the domain's client
+	// leaves its down state quickly and (wrongly, but by design) suppresses
+	// again — forcing the park/NACK/re-announce recovery path for the
+	// late-joining sink below.
+	serverRC := registry.NewClient(faddr, registry.WithBackoff(10*time.Millisecond))
+	t.Cleanup(func() { _ = serverRC.Close() })
+	_, addr := startDomain(t, WithRegistry(serverRC))
+	waitFor(t, "response format registration", func() bool {
+		return serverRC.Holds(ResponseV2Format)
+	})
+
+	newSink := func(rc *registry.Client) (*Subscriber, chan *pbio.Record) {
+		t.Helper()
+		opts := Options{Sink: true, Registry: rc, Thresholds: &core.Thresholds{}}
+		sink, err := Open(addr, "q", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = sink.Close() })
+		received := make(chan *pbio.Record, 64)
+		h := func(r *pbio.Record) error {
+			received <- r
+			return nil
+		}
+		if err := sink.Handle(regQuoteV1, h); err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = sink.Run() }()
+		return sink, received
+	}
+
+	sinkRC := registry.NewClient(faddr, registry.WithBackoff(time.Hour))
+	t.Cleanup(func() { _ = sinkRC.Close() })
+	_, received := newSink(sinkRC)
+
+	pubRC := registry.NewClient(faddr, registry.WithBackoff(time.Hour))
+	t.Cleanup(func() { _ = pubRC.Close() })
+	pub, err := Open(addr, "q", Options{Source: true, Registry: pubRC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	pub.Declare(regQuoteV2, regQuoteXform)
+
+	publish := func(cents int64) {
+		t.Helper()
+		ev := pbio.NewRecord(regQuoteV2).
+			MustSet("symbol", pbio.Str("XYZ")).
+			MustSet("dollars", pbio.Float64(float64(cents)/100)).
+			MustSet("volume", pbio.Int(1))
+		if err := pub.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expect := func(ch chan *pbio.Record, cents ...int64) {
+		t.Helper()
+		for _, want := range cents {
+			select {
+			case got := <-ch:
+				if v, _ := got.Get("cents"); v.Int64() != want {
+					t.Fatalf("cents = %d, want %d", v.Int64(), want)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("event %d not delivered", want)
+			}
+		}
+	}
+
+	// Phase 1: the registry is alive; deliveries ride the suppressed path.
+	publish(100)
+	expect(received, 100)
+	if ps := pub.WireStats(); ps.FormatFramesSent != 0 {
+		t.Fatalf("phase 1 sent %d in-band format frames, want 0", ps.FormatFramesSent)
+	}
+
+	// Kill formatd. Established connections drop, so every client notices.
+	_ = fsrv.Close()
+
+	// Phase 2: the already-adopted format keeps flowing — no meta-data is
+	// needed for it anymore.
+	publish(200)
+	publish(300)
+	expect(received, 200, 300)
+
+	// A brand-new format now goes in-band: Register fails, Holds stays
+	// false, the classic format frame is emitted.
+	quoteV3 := pbio.MustFormat("Quote", []pbio.Field{
+		{Name: "symbol", Kind: pbio.String},
+		{Name: "dollars", Kind: pbio.Float},
+		{Name: "volume", Kind: pbio.Integer},
+		{Name: "venue", Kind: pbio.String},
+	})
+	pub.Declare(quoteV3, &core.Xform{
+		From: quoteV3,
+		To:   regQuoteV1,
+		Code: `old.symbol = new.symbol; old.cents = new.dollars * 100.0;`,
+	})
+	ev := pbio.NewRecord(quoteV3).
+		MustSet("symbol", pbio.Str("XYZ")).
+		MustSet("dollars", pbio.Float64(4)).
+		MustSet("volume", pbio.Int(1)).
+		MustSet("venue", pbio.Str("NY"))
+	if err := pub.Publish(ev); err != nil {
+		t.Fatal(err)
+	}
+	expect(received, 400)
+	if ps := pub.WireStats(); ps.FormatFramesSent == 0 {
+		t.Fatal("new format after registry death did not fall back to in-band")
+	}
+
+	// Phase 3: wait out the domain's backoff so its client claims (stale)
+	// registry health again, then join a new registry-enabled sink whose own
+	// client is firmly down. The domain suppresses toward it; the sink
+	// cannot resolve; the frameFormatReq protocol repairs the split with an
+	// in-band re-announcement — the handshake and deliveries still succeed.
+	time.Sleep(30 * time.Millisecond)
+	lateRC := registry.NewClient("127.0.0.1:1", registry.WithTimeout(200*time.Millisecond), registry.WithBackoff(time.Hour))
+	t.Cleanup(func() { _ = lateRC.Close() })
+	lateSink, lateReceived := newSink(lateRC)
+
+	publish(500)
+	expect(received, 500)
+	expect(lateReceived, 500)
+	if ls := lateSink.WireStats(); ls.FormatReqsSent == 0 {
+		t.Error("late sink never exercised the re-announcement protocol (FormatReqsSent = 0)")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/ecode"
 	"repro/internal/obs"
 	"repro/internal/pbio"
+	"repro/internal/registry"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -40,6 +41,13 @@ type Server struct {
 	morphzAddr string
 	morphz     *obs.Server
 	pprof      bool
+
+	// registry, when set, is the event domain's connection to formatd:
+	// event-format meta-data is published there as it is first seen, member
+	// connections resolve suppressed fingerprints through it, and format
+	// frames toward registry-capable members (wants_registry in their open
+	// request) are suppressed entirely.
+	registry *registry.Client
 }
 
 // echoObs holds the server's instrument handles, fetched once at
@@ -84,6 +92,18 @@ func WithTracer(t *trace.Tracer) ServerOption {
 	return func(s *Server) { s.tracer = t }
 }
 
+// WithRegistry attaches a format-registry client (cmd/formatd). The event
+// domain then publishes every event format (and its transformation
+// meta-data) to the registry as it is first seen, suppresses in-band format
+// frames toward members that declared wants_registry in their open request,
+// and resolves fingerprints it has never seen in-band by asking the
+// registry. A nil client is valid and leaves the registry path disabled.
+// Degradation is automatic: while the registry is unreachable, Holds reports
+// false and the connection falls back to classic in-band format frames.
+func WithRegistry(rc *registry.Client) ServerOption {
+	return func(s *Server) { s.registry = rc }
+}
+
 // WithDebugPprof additionally mounts net/http/pprof's profiling handlers
 // under /debug/pprof/ on the WithMorphzAddr debug server. Off by default:
 // profiling endpoints expose more than metrics do (full goroutine dumps,
@@ -119,6 +139,7 @@ type channel struct {
 	om           *echoObs
 	perDelivered *obs.Counter
 	tracer       *trace.Tracer
+	reg          *registry.Client
 
 	mu      sync.Mutex
 	nextID  int32
@@ -202,7 +223,7 @@ func (s *Server) channelFor(id string) *channel {
 	defer s.mu.Unlock()
 	ch, ok := s.channels[id]
 	if !ok {
-		ch = &channel{id: id, om: &s.om, tracer: s.tracer, members: make(map[*memberConn]Member)}
+		ch = &channel{id: id, om: &s.om, tracer: s.tracer, reg: s.registry, members: make(map[*memberConn]Member)}
 		if s.obs != nil {
 			ch.perDelivered = s.obs.Counter("echo.channel." + id + ".delivered")
 		}
@@ -271,6 +292,20 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		s.morphz = ms
 		s.mu.Unlock()
+	}
+
+	// Publish the protocol's own evolution meta-data to the registry, so
+	// registry-capable members can resolve the handshake response without
+	// ever seeing its format frame. Best-effort: a down registry only means
+	// the in-band path carries the meta-data, as it always has.
+	if s.registry != nil {
+		go func() {
+			_ = s.registry.Register(ResponseV2Format, &core.Xform{
+				From: ResponseV2Format,
+				To:   ResponseV1Format,
+				Code: Figure5Transform,
+			})
+		}()
 	}
 
 	for {
@@ -353,29 +388,50 @@ func (s *Server) handleConn(nc net.Conn) {
 	var (
 		ch *channel
 		mc *memberConn
+		// peerRegistry is set during the handshake, before the member joins
+		// the channel (the ch.mu hand-off publishes it to fanout goroutines):
+		// it gates format-frame suppression on the peer having declared
+		// wants_registry, so old members always get classic in-band frames.
+		peerRegistry bool
 	)
-	conn := wire.NewConn(nc, wire.WithObs(s.obs), wire.WithTracer(s.tracer), wire.WithFormatHook(func(f *pbio.Format, xforms []*core.Xform) {
+	opts := []wire.Option{wire.WithObs(s.obs), wire.WithTracer(s.tracer), wire.WithFormatHook(func(f *pbio.Format, xforms []*core.Xform) {
 		// Remember payload formats and their evolution meta-data so they
 		// can be re-declared toward every sink (existing and future).
-		if ch == nil || f.SameStructure(RequestFormat) || f.SameStructure(RequestV2Format) {
+		if ch == nil || f.Name() == "ChannelOpenRequest" {
 			return
 		}
 		ch.recordEventMeta(f, xforms)
-	}))
+	})}
+	if s.registry != nil {
+		opts = append(opts,
+			// Registry-capable publishers suppress their format frames; the
+			// server resolves the fingerprints out-of-band.
+			wire.WithResolver(s.registry),
+			// And symmetrically, suppress toward members that asked for it —
+			// but only while the registry actually holds the format
+			// (Holds is false while the registry is down or the format
+			// unpublished, which falls back to in-band frames).
+			wire.WithFormatSuppressor(func(f *pbio.Format) bool {
+				return peerRegistry && s.registry.Holds(f)
+			}),
+		)
+	}
+	conn := wire.NewConn(nc, opts...)
 	defer func() { _ = conn.Close() }()
 
-	// Handshake: the first record must be a ChannelOpenRequest — either
-	// revision. Old-format requests are morphed name-wise into v2, with the
-	// missing filter defaulting to "deliver everything"; the server has no
-	// per-version code path.
+	// Handshake: the first record must be a ChannelOpenRequest — any
+	// revision. Old-format requests are morphed name-wise into v3, with the
+	// missing filter defaulting to "deliver everything" and the missing
+	// wants_registry flag to "never suppress"; the server has no per-version
+	// code path.
 	rec, err := conn.ReadRecord()
 	if err != nil {
 		return
 	}
 	switch {
-	case rec.Format().SameStructure(RequestV2Format):
-	case rec.Format().SameStructure(RequestFormat):
-		if rec, err = core.ConvertByName(rec, RequestV2Format); err != nil {
+	case rec.Format().SameStructure(RequestV3Format):
+	case rec.Format().Name() == "ChannelOpenRequest":
+		if rec, err = core.ConvertByName(rec, RequestV3Format); err != nil {
 			return
 		}
 	default:
@@ -385,6 +441,7 @@ func (s *Server) handleConn(nc net.Conn) {
 	if req.ChannelID == "" {
 		return
 	}
+	peerRegistry = req.Registry && s.registry != nil
 	ch = s.channelFor(req.ChannelID)
 
 	contact := req.Contact
@@ -446,14 +503,21 @@ func (s *Server) handleConn(nc net.Conn) {
 
 func (ch *channel) recordEventMeta(f *pbio.Format, xforms []*core.Xform) {
 	ch.mu.Lock()
-	defer ch.mu.Unlock()
 	for i := range ch.eventMeta {
 		if ch.eventMeta[i].format.SameStructure(f) {
 			ch.eventMeta[i].xforms = xforms
+			ch.mu.Unlock()
 			return
 		}
 	}
 	ch.eventMeta = append(ch.eventMeta, eventMeta{format: f, xforms: xforms})
+	ch.mu.Unlock()
+	// Publish newly seen event meta-data to the format registry, off the
+	// fanout path (registry RPCs may block on the network). Best-effort:
+	// failure just leaves the format on the in-band path.
+	if ch.reg != nil {
+		go func() { _ = ch.reg.Register(f, xforms...) }()
+	}
 }
 
 func (ch *channel) remove(mc *memberConn) {

@@ -1,0 +1,523 @@
+package registry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pbio"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Client defaults.
+const (
+	DefaultTimeout   = 2 * time.Second // per-RPC deadline
+	DefaultNegTTL    = 5 * time.Second // unknown-fingerprint memory
+	DefaultBackoff   = 2 * time.Second // down-state duration after a transport failure
+	DefaultCacheSize = 1024            // resolved-entry LRU capacity
+)
+
+// Client is the in-process side of the format registry: a cached,
+// deduplicated resolver plugging into all three integration points —
+// wire.WithResolver (it implements wire.FormatResolver), the
+// wire.WithFormatSuppressor predicate (Holds), and core.WithTransformSource
+// (TransformsFor).
+//
+// The client dials lazily and fails softly. Any transport failure (dial,
+// write, timeout, connection drop) flips it into a "down" state for a
+// backoff period during which Holds reports false — so senders resume
+// in-band format frames — and Resolve fails fast with ErrDown — so
+// receivers park and NACK instead of stalling on a dead daemon. Cached
+// entries keep serving throughout: a registry outage only costs the
+// fingerprints nobody has seen yet.
+type Client struct {
+	addr     string
+	timeout  time.Duration
+	negTTL   time.Duration
+	backoff  time.Duration
+	cacheCap int
+
+	tracer *trace.Tracer
+
+	hits    *obs.Counter   // registry.hits: resolutions served from the LRU
+	misses  *obs.Counter   // registry.misses: cold fetches that went to the daemon
+	negHits *obs.Counter   // registry.negative_hits: unknown-fingerprint cache hits
+	errs    *obs.Counter   // registry.errors: transport-level RPC failures
+	downs   *obs.Counter   // registry.downs: transitions into the down state
+	fetchNS *obs.Histogram // registry.fetch_ns: cold resolution round-trip latency
+
+	// Connection layer: one wire.Conn to the daemon, redialed on demand,
+	// with in-flight RPCs matched to responses by request id.
+	mu        sync.Mutex
+	closed    bool
+	conn      *wire.Conn
+	nextID    uint64
+	pending   map[uint64]chan rpcResp
+	downUntil time.Time
+	published map[uint64]bool // fingerprints the daemon acknowledged (Holds)
+
+	// Cache layer: positive LRU + negative TTL map + singleflight table.
+	cmu    sync.Mutex
+	lru    map[uint64]*cacheEntry
+	head   *cacheEntry // most recent
+	tail   *cacheEntry // least recent
+	neg    map[uint64]time.Time
+	flight map[uint64]*flightCall
+}
+
+// rpcResp is one matched RPC response (payload is a private copy).
+type rpcResp struct {
+	status  byte
+	payload []byte
+	err     error
+}
+
+// cacheEntry is one resolved format in the intrusive LRU list.
+type cacheEntry struct {
+	fp         uint64
+	format     *pbio.Format
+	xforms     []*core.Xform
+	prev, next *cacheEntry
+}
+
+// flightCall deduplicates concurrent misses on one fingerprint: followers
+// wait on done and share the leader's outcome.
+type flightCall struct {
+	done   chan struct{}
+	format *pbio.Format
+	xforms []*core.Xform
+	err    error
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithClientObs attaches an observability registry; the client mirrors its
+// cache and RPC activity into "registry.*" instruments.
+func WithClientObs(reg *obs.Registry) ClientOption {
+	return func(c *Client) {
+		c.hits = reg.Counter("registry.hits")
+		c.misses = reg.Counter("registry.misses")
+		c.negHits = reg.Counter("registry.negative_hits")
+		c.errs = reg.Counter("registry.errors")
+		c.downs = reg.Counter("registry.downs")
+		c.fetchNS = reg.Histogram("registry.fetch_ns")
+	}
+}
+
+// WithClientTracer attaches a tracer: each daemon round-trip records a
+// registry_fetch span (head-sampled like any root).
+func WithClientTracer(t *trace.Tracer) ClientOption {
+	return func(c *Client) { c.tracer = t }
+}
+
+// WithTimeout overrides the per-RPC deadline.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// WithNegTTL overrides how long an unknown-fingerprint answer is remembered.
+func WithNegTTL(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.negTTL = d
+		}
+	}
+}
+
+// WithBackoff overrides the down-state duration after a transport failure.
+func WithBackoff(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.backoff = d
+		}
+	}
+}
+
+// WithCacheSize overrides the resolved-entry LRU capacity.
+func WithCacheSize(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.cacheCap = n
+		}
+	}
+}
+
+// NewClient returns a client for the daemon at addr. No connection is made
+// until the first RPC, so constructing a client against a daemon that is
+// not running (yet) is valid — everything degrades to in-band exchange.
+func NewClient(addr string, opts ...ClientOption) *Client {
+	c := &Client{
+		addr:      addr,
+		timeout:   DefaultTimeout,
+		negTTL:    DefaultNegTTL,
+		backoff:   DefaultBackoff,
+		cacheCap:  DefaultCacheSize,
+		pending:   make(map[uint64]chan rpcResp),
+		published: make(map[uint64]bool),
+		lru:       make(map[uint64]*cacheEntry),
+		neg:       make(map[uint64]time.Time),
+		flight:    make(map[uint64]*flightCall),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Close tears down the connection and fails all in-flight RPCs.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.failPendingLocked(ErrClosed)
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// Register publishes a format (and the transforms declared with it) to the
+// daemon. On acknowledgment the fingerprint is remembered so Holds — and
+// through it the wire-layer format suppressor — reports it resolvable.
+func (c *Client) Register(f *pbio.Format, xforms ...*core.Xform) error {
+	if f == nil {
+		return fmt.Errorf("registry: nil format")
+	}
+	resp, err := c.rpc(opPut, encodeEntry(f, xforms))
+	if err != nil {
+		return err
+	}
+	switch resp.status {
+	case statusOK:
+		c.mu.Lock()
+		c.published[f.Fingerprint()] = true
+		c.mu.Unlock()
+		return nil
+	default:
+		return fmt.Errorf("registry: put %q rejected: %s", f.Name(), resp.payload)
+	}
+}
+
+// Holds reports whether the daemon is known to hold f's entry and the
+// client is currently healthy. It is the wire.WithFormatSuppressor
+// predicate: true means the peer can resolve the fingerprint out-of-band,
+// so the in-band format frame may be skipped. An entry counts as held when
+// this client published it (acknowledged Register) or resolved it from the
+// daemon (LRU) — an intermediary that learned a format out-of-band can
+// immediately suppress it downstream. While down it reports false — new
+// connections re-announce in-band — and connections that already suppressed
+// recover through the frameFormatReq protocol.
+func (c *Client) Holds(f *pbio.Format) bool {
+	fp := f.Fingerprint()
+	c.mu.Lock()
+	down := c.closed || time.Now().Before(c.downUntil)
+	published := c.published[fp]
+	c.mu.Unlock()
+	if down {
+		return false
+	}
+	if published {
+		return true
+	}
+	c.cmu.Lock()
+	_, cached := c.lru[fp]
+	c.cmu.Unlock()
+	return cached
+}
+
+// Down reports whether the client is in its backed-off down state.
+func (c *Client) Down() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Now().Before(c.downUntil)
+}
+
+// ResolveFormat resolves a fingerprint to its format description and
+// transform meta-data: LRU hit (allocation-free), negative-cache hit
+// (ErrUnknownFingerprint), or a singleflight-deduplicated daemon round-trip.
+// It implements wire.FormatResolver.
+func (c *Client) ResolveFormat(fp uint64) (*pbio.Format, []*core.Xform, error) {
+	c.cmu.Lock()
+	if e := c.lru[fp]; e != nil {
+		c.moveFrontLocked(e)
+		c.cmu.Unlock()
+		c.hits.Inc()
+		return e.format, e.xforms, nil
+	}
+	if exp, ok := c.neg[fp]; ok {
+		if time.Now().Before(exp) {
+			c.cmu.Unlock()
+			c.negHits.Inc()
+			return nil, nil, fmt.Errorf("%w: %016x (cached)", ErrUnknownFingerprint, fp)
+		}
+		delete(c.neg, fp)
+	}
+	if fc := c.flight[fp]; fc != nil {
+		c.cmu.Unlock()
+		<-fc.done
+		return fc.format, fc.xforms, fc.err
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	c.flight[fp] = fc
+	c.cmu.Unlock()
+
+	fc.format, fc.xforms, fc.err = c.fetch(fp)
+
+	c.cmu.Lock()
+	delete(c.flight, fp)
+	if fc.err == nil {
+		c.insertLocked(fp, fc.format, fc.xforms)
+	}
+	c.cmu.Unlock()
+	close(fc.done)
+	return fc.format, fc.xforms, fc.err
+}
+
+// TransformsFor returns the transform meta-data registered for a
+// fingerprint, or nil when it cannot be resolved. It is the
+// core.WithTransformSource hook: consulted on the Morpher's cold decision
+// path before a message is rejected.
+func (c *Client) TransformsFor(fp uint64) []*core.Xform {
+	_, xforms, err := c.ResolveFormat(fp)
+	if err != nil {
+		return nil
+	}
+	return xforms
+}
+
+// fetch performs one cold resolution round-trip.
+func (c *Client) fetch(fp uint64) (*pbio.Format, []*core.Xform, error) {
+	span := c.tracer.StartTrace(trace.StageRegistryFetch)
+	span.FP = fp
+	var t0 time.Time
+	if c.fetchNS != nil {
+		t0 = time.Now()
+	}
+	var key [8]byte
+	binary.LittleEndian.PutUint64(key[:], fp)
+	resp, err := c.rpc(opGet, key[:])
+	if c.fetchNS != nil {
+		c.fetchNS.ObserveNS(time.Since(t0).Nanoseconds())
+	}
+	if err != nil {
+		span.EndErr(err)
+		return nil, nil, err
+	}
+	c.misses.Inc()
+	switch resp.status {
+	case statusOK:
+		e, derr := decodeEntry(resp.payload)
+		if derr != nil {
+			span.EndErr(derr)
+			return nil, nil, derr
+		}
+		if got := e.Format.Fingerprint(); got != fp {
+			err := fmt.Errorf("registry: daemon answered %016x with entry %016x", fp, got)
+			span.EndErr(err)
+			return nil, nil, err
+		}
+		span.N = int64(len(resp.payload))
+		span.End()
+		return e.Format, e.Xforms, nil
+	case statusUnknown:
+		c.cmu.Lock()
+		c.neg[fp] = time.Now().Add(c.negTTL)
+		c.cmu.Unlock()
+		span.Err = true
+		span.End()
+		return nil, nil, fmt.Errorf("%w: %016x", ErrUnknownFingerprint, fp)
+	default:
+		err := fmt.Errorf("registry: get %016x: %s", fp, resp.payload)
+		span.EndErr(err)
+		return nil, nil, err
+	}
+}
+
+// rpc sends one request and waits for its matched response or the deadline.
+func (c *Client) rpc(op byte, payload []byte) (rpcResp, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return rpcResp{}, ErrClosed
+	}
+	if time.Now().Before(c.downUntil) {
+		c.mu.Unlock()
+		return rpcResp{}, fmt.Errorf("%w until %s", ErrDown, c.downUntil.Format(time.RFC3339))
+	}
+	if c.conn == nil {
+		if err := c.dialLocked(); err != nil {
+			c.markDownLocked()
+			c.mu.Unlock()
+			c.errs.Inc()
+			return rpcResp{}, err
+		}
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan rpcResp, 1)
+	c.pending[id] = ch
+	conn := c.conn
+	c.mu.Unlock()
+
+	if err := conn.WriteControl(wire.FrameRegistry, appendRequest(nil, op, id, payload)); err != nil {
+		c.connFailed(conn, err)
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		c.errs.Inc()
+		return rpcResp{}, fmt.Errorf("registry: rpc write: %w", err)
+	}
+
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		if resp.err != nil {
+			c.errs.Inc()
+			return rpcResp{}, resp.err
+		}
+		return resp, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.markDownLocked()
+		c.mu.Unlock()
+		c.errs.Inc()
+		return rpcResp{}, fmt.Errorf("registry: rpc timeout after %s", c.timeout)
+	}
+}
+
+// dialLocked connects to the daemon and starts the response pump.
+func (c *Client) dialLocked() error {
+	nc, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return fmt.Errorf("registry: dial %s: %w", c.addr, err)
+	}
+	var conn *wire.Conn
+	conn = wire.NewConn(nc, wire.WithControlHook(wire.FrameRegistry, func(body []byte) error {
+		c.onResponse(body)
+		return nil
+	}))
+	c.conn = conn
+	go c.pump(conn)
+	return nil
+}
+
+// pump drives the connection's read loop; registry responses arrive through
+// the control hook, so ReadEncoded only ever returns on connection failure.
+func (c *Client) pump(conn *wire.Conn) {
+	for {
+		if _, _, err := conn.ReadEncoded(); err != nil {
+			c.connFailed(conn, fmt.Errorf("registry: connection lost: %w", err))
+			return
+		}
+	}
+}
+
+// onResponse matches one response frame to its waiting RPC. The payload is
+// copied: the frame body aliases a pooled buffer owned by the pump's conn.
+func (c *Client) onResponse(body []byte) {
+	op, reqID, rest, err := parseHeader(body)
+	if err != nil || len(rest) < 1 || (op != opGetResp && op != opPutResp) {
+		return // not a response we understand; ignore rather than kill the conn
+	}
+	resp := rpcResp{status: rest[0], payload: append([]byte(nil), rest[1:]...)}
+	c.mu.Lock()
+	ch := c.pending[reqID]
+	delete(c.pending, reqID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- resp
+	}
+}
+
+// connFailed reacts to a dead connection: drop it (if still current), fail
+// every in-flight RPC, and enter the down state.
+func (c *Client) connFailed(conn *wire.Conn, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != conn {
+		return // already superseded
+	}
+	_ = c.conn.Close()
+	c.conn = nil
+	c.failPendingLocked(err)
+	if !c.closed {
+		c.markDownLocked()
+	}
+}
+
+func (c *Client) failPendingLocked(err error) {
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- rpcResp{err: err}
+	}
+}
+
+func (c *Client) markDownLocked() {
+	c.downUntil = time.Now().Add(c.backoff)
+	c.downs.Inc()
+}
+
+// insertLocked adds a resolved entry at the LRU front, evicting the tail
+// past capacity.
+func (c *Client) insertLocked(fp uint64, f *pbio.Format, xforms []*core.Xform) {
+	if e := c.lru[fp]; e != nil {
+		e.format, e.xforms = f, xforms
+		c.moveFrontLocked(e)
+		return
+	}
+	e := &cacheEntry{fp: fp, format: f, xforms: xforms}
+	c.lru[fp] = e
+	c.pushFrontLocked(e)
+	if len(c.lru) > c.cacheCap && c.tail != nil {
+		evict := c.tail
+		c.unlinkLocked(evict)
+		delete(c.lru, evict.fp)
+	}
+}
+
+func (c *Client) pushFrontLocked(e *cacheEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Client) unlinkLocked(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Client) moveFrontLocked(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlinkLocked(e)
+	c.pushFrontLocked(e)
+}

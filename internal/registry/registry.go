@@ -1,0 +1,174 @@
+// Package registry is the reproduction of PBIO's third-party *format
+// server* (PAPER §2): a shared service that stores format descriptions and
+// their associated transformation meta-data keyed by the 8-byte fingerprint
+// that rides every data frame. With a registry in reach, peers stop pushing
+// format control frames in-band on every connection — the sender registers
+// its formats once at startup, suppresses the per-connection announcements,
+// and each receiver resolves a fingerprint it has never seen with one cached
+// round-trip. Components "separated in space and/or time" (§1) can name each
+// other's formats without ever sharing a live link.
+//
+// The subsystem is two halves over one protocol:
+//
+//   - Server (cmd/formatd): an in-memory fingerprint → entry table served
+//     over the existing wire framing — registry RPCs ride a dedicated
+//     control-frame kind (wire.FrameRegistry), so the daemon speaks the same
+//     transport as every other component. /debug/registryz exposes the
+//     table; an optional spool snapshot makes restarts lossless.
+//
+//   - Client: an LRU-cached, singleflight-deduplicated resolver implementing
+//     wire.FormatResolver (read side), the wire.WithFormatSuppressor
+//     predicate (send side), and core.TransformSource (morph side).
+//
+// Degradation is the design center, not an afterthought: every client
+// failure path (daemon down, timeout, unknown fingerprint) reports cleanly,
+// flips the client into a backed-off "down" state in which the suppressor
+// stops suppressing, and the wire layer's re-announcement protocol
+// (frameFormatReq) recovers any message already in flight — a dead registry
+// degrades to exactly the in-band exchange the system used before it
+// existed.
+package registry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pbio"
+)
+
+// RPC protocol, carried in wire.FrameRegistry control frames:
+//
+//	request:  op(1) | uvarint reqID | payload
+//	response: op(1) | uvarint reqID | status(1) | payload
+//
+// opGet's payload is an 8-byte little-endian fingerprint; opPut's payload
+// and opGetResp's statusOK payload are an entry blob (encodeEntry). Unknown
+// ops in requests are answered with statusError so old daemons stay
+// interrogable by newer clients.
+const (
+	opGet     byte = 1 // resolve fingerprint → entry
+	opPut     byte = 2 // publish entry
+	opGetResp byte = 3
+	opPutResp byte = 4
+)
+
+// Response status codes.
+const (
+	statusOK      byte = 0
+	statusUnknown byte = 1 // fingerprint not in the table
+	statusError   byte = 2 // payload: error text
+)
+
+// Registry errors.
+var (
+	// ErrUnknownFingerprint is returned by Resolve for fingerprints the
+	// daemon does not hold (including negative-cache hits).
+	ErrUnknownFingerprint = errors.New("registry: unknown fingerprint")
+
+	// ErrDown is returned while the client is in its backed-off down state:
+	// the daemon was unreachable recently and the backoff has not expired.
+	ErrDown = errors.New("registry: down")
+
+	// ErrClosed is returned by operations on a closed client.
+	ErrClosed = errors.New("registry: client closed")
+
+	// errBadEntry wraps malformed entry blobs.
+	errBadEntry = errors.New("registry: malformed entry")
+)
+
+// Entry is one registry record: a format description plus the transforms
+// declared with it (transforms whose chains lead *from* this format, exactly
+// what a format control frame would have carried in-band).
+type Entry struct {
+	Format *pbio.Format
+	Xforms []*core.Xform
+}
+
+// encodeEntry serializes an entry with the same layout as a format control
+// frame body — uvarint-framed format blob, transform count, uvarint-framed
+// transform blobs — so the two representations stay trivially convertible.
+func encodeEntry(f *pbio.Format, xforms []*core.Xform) []byte {
+	blob := pbio.EncodeFormat(f)
+	out := binary.AppendUvarint(nil, uint64(len(blob)))
+	out = append(out, blob...)
+	out = binary.AppendUvarint(out, uint64(len(xforms)))
+	for _, x := range xforms {
+		xb := core.EncodeXform(x)
+		out = binary.AppendUvarint(out, uint64(len(xb)))
+		out = append(out, xb...)
+	}
+	return out
+}
+
+// decodeEntry parses an entry blob.
+func decodeEntry(body []byte) (Entry, error) {
+	rest := body
+	next := func() ([]byte, error) {
+		n, used := binary.Uvarint(rest)
+		if used <= 0 || n > uint64(len(rest)-used) {
+			return nil, fmt.Errorf("%w: chunk framing", errBadEntry)
+		}
+		chunk := rest[used : used+int(n)]
+		rest = rest[used+int(n):]
+		return chunk, nil
+	}
+	blob, err := next()
+	if err != nil {
+		return Entry{}, err
+	}
+	f, err := pbio.DecodeFormat(blob)
+	if err != nil {
+		return Entry{}, fmt.Errorf("%w: format: %v", errBadEntry, err)
+	}
+	nx, used := binary.Uvarint(rest)
+	if used <= 0 {
+		return Entry{}, fmt.Errorf("%w: transform count", errBadEntry)
+	}
+	rest = rest[used:]
+	e := Entry{Format: f}
+	for i := uint64(0); i < nx; i++ {
+		xb, err := next()
+		if err != nil {
+			return Entry{}, err
+		}
+		x, err := core.DecodeXform(xb)
+		if err != nil {
+			return Entry{}, fmt.Errorf("%w: transform %d: %v", errBadEntry, i, err)
+		}
+		e.Xforms = append(e.Xforms, x)
+	}
+	if len(rest) != 0 {
+		return Entry{}, fmt.Errorf("%w: %d trailing bytes", errBadEntry, len(rest))
+	}
+	return e, nil
+}
+
+// appendRequest frames one RPC request body.
+func appendRequest(dst []byte, op byte, reqID uint64, payload []byte) []byte {
+	dst = append(dst, op)
+	dst = binary.AppendUvarint(dst, reqID)
+	return append(dst, payload...)
+}
+
+// appendResponse frames one RPC response body.
+func appendResponse(dst []byte, op byte, reqID uint64, status byte, payload []byte) []byte {
+	dst = append(dst, op)
+	dst = binary.AppendUvarint(dst, reqID)
+	dst = append(dst, status)
+	return append(dst, payload...)
+}
+
+// parseHeader splits op and reqID off an RPC frame body, returning the rest.
+func parseHeader(body []byte) (op byte, reqID uint64, rest []byte, err error) {
+	if len(body) < 2 {
+		return 0, 0, nil, fmt.Errorf("registry: short RPC frame (%d bytes)", len(body))
+	}
+	op = body[0]
+	id, used := binary.Uvarint(body[1:])
+	if used <= 0 {
+		return 0, 0, nil, errors.New("registry: bad RPC request id")
+	}
+	return op, id, body[1+used:], nil
+}

@@ -1,0 +1,435 @@
+package registry
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pbio"
+	"repro/internal/spool"
+	"repro/internal/wire"
+)
+
+// RegistryzPath is the debug endpoint path serving the table.
+const RegistryzPath = "/debug/registryz"
+
+// tableEntry is one stored format: the encoded entry blob (returned verbatim
+// to resolvers — the server never re-encodes) plus inspection metadata.
+type tableEntry struct {
+	blob    []byte
+	name    string
+	fields  int
+	xforms  int
+	addedAt time.Time
+	hits    atomic.Uint64
+}
+
+// Server is the format-registry daemon core: a fingerprint-keyed table of
+// format + transform meta-data served over wire framing. cmd/formatd wraps
+// it with flags, signals and the debug HTTP server; tests embed it directly.
+type Server struct {
+	mu    sync.RWMutex
+	table map[uint64]*tableEntry
+
+	// Connection bookkeeping, so Close can tear down a live daemon (tests
+	// kill formatd mid-run to prove clients degrade to in-band exchange).
+	connMu sync.Mutex
+	lns    []net.Listener
+	active map[net.Conn]struct{}
+	closed bool
+
+	snapshotPath string // "" = snapshots disabled
+
+	reg   *obs.Registry
+	gets  *obs.Counter
+	puts  *obs.Counter
+	unk   *obs.Counter
+	rerrs *obs.Counter
+	conns *obs.Gauge
+	size  *obs.Gauge
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerObs attaches an observability registry; the daemon mirrors its
+// activity into "formatd.*" instruments.
+func WithServerObs(reg *obs.Registry) ServerOption {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithSnapshotPath enables table persistence: the table is loaded from path
+// at construction (a missing file is an empty table) and rewritten, via the
+// self-describing spool framing, after every mutation.
+func WithSnapshotPath(path string) ServerOption {
+	return func(s *Server) { s.snapshotPath = path }
+}
+
+// NewServer returns a registry server, loading the snapshot when one is
+// configured and present. A corrupt snapshot is an error — silently serving
+// a partial table would defeat the suppression protocol — except for a torn
+// final frame, which is the expected shape of a crash mid-snapshot and
+// drops only the entry being written.
+func NewServer(opts ...ServerOption) (*Server, error) {
+	s := &Server{table: make(map[uint64]*tableEntry)}
+	for _, o := range opts {
+		o(s)
+	}
+	s.gets = s.reg.Counter("formatd.gets")
+	s.puts = s.reg.Counter("formatd.puts")
+	s.unk = s.reg.Counter("formatd.unknown")
+	s.rerrs = s.reg.Counter("formatd.rpc_errors")
+	s.conns = s.reg.Gauge("formatd.conns")
+	s.size = s.reg.Gauge("formatd.entries")
+	if s.snapshotPath != "" {
+		if err := s.loadSnapshot(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Put stores an entry, replacing any previous one for the same fingerprint,
+// and persists the table when snapshots are enabled. It is the direct-API
+// form of an opPut RPC (tests and preloading use it).
+func (s *Server) Put(f *pbio.Format, xforms ...*core.Xform) error {
+	if f == nil {
+		return errors.New("registry: nil format")
+	}
+	return s.putBlob(f.Fingerprint(), encodeEntry(f, xforms))
+}
+
+// putBlob validates and stores one encoded entry under fp.
+func (s *Server) putBlob(fp uint64, blob []byte) error {
+	return s.put(fp, blob, true)
+}
+
+func (s *Server) put(fp uint64, blob []byte, persist bool) error {
+	e, err := decodeEntry(blob)
+	if err != nil {
+		return err
+	}
+	if got := e.Format.Fingerprint(); got != fp {
+		return fmt.Errorf("registry: entry fingerprint %016x does not match key %016x", got, fp)
+	}
+	te := &tableEntry{
+		blob:    blob,
+		name:    e.Format.Name(),
+		fields:  e.Format.NumFields(),
+		xforms:  len(e.Xforms),
+		addedAt: time.Now(),
+	}
+	s.mu.Lock()
+	s.table[fp] = te
+	s.size.Set(int64(len(s.table)))
+	if persist {
+		err = s.saveSnapshotLocked()
+	}
+	s.mu.Unlock()
+	s.puts.Inc()
+	return err
+}
+
+// getBlob returns the encoded entry for fp, or nil.
+func (s *Server) getBlob(fp uint64) []byte {
+	s.mu.RLock()
+	te := s.table[fp]
+	s.mu.RUnlock()
+	if te == nil {
+		s.unk.Inc()
+		return nil
+	}
+	te.hits.Add(1)
+	s.gets.Inc()
+	return te.blob
+}
+
+// Resolve returns the stored entry for fp — the direct-API form of an opGet
+// RPC (ErrUnknownFingerprint when absent).
+func (s *Server) Resolve(fp uint64) (Entry, error) {
+	blob := s.getBlob(fp)
+	if blob == nil {
+		return Entry{}, fmt.Errorf("%w: %016x", ErrUnknownFingerprint, fp)
+	}
+	return decodeEntry(blob)
+}
+
+// Len returns the number of stored entries.
+func (s *Server) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.table)
+}
+
+// Serve accepts registry connections on ln until the listener closes.
+// Each connection is one wire.Conn whose FrameRegistry control frames carry
+// the RPCs; everything else on the connection follows normal wire rules
+// (unknown control kinds skip, data frames are an error since the daemon
+// registers no formats).
+func (s *Server) Serve(ln net.Listener) error {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		_ = ln.Close()
+		return errors.New("registry: server closed")
+	}
+	s.lns = append(s.lns, ln)
+	s.connMu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.connMu.Lock()
+		if s.closed {
+			s.connMu.Unlock()
+			_ = nc.Close()
+			return nil
+		}
+		if s.active == nil {
+			s.active = make(map[net.Conn]struct{})
+		}
+		s.active[nc] = struct{}{}
+		s.connMu.Unlock()
+		go s.handle(nc)
+	}
+}
+
+// Close stops serving: listeners close, and every established registry
+// connection is torn down, so clients observe the daemon's death promptly
+// rather than on their next RPC timeout.
+func (s *Server) Close() error {
+	s.connMu.Lock()
+	s.closed = true
+	lns := s.lns
+	s.lns = nil
+	conns := make([]net.Conn, 0, len(s.active))
+	for nc := range s.active {
+		conns = append(conns, nc)
+	}
+	s.connMu.Unlock()
+	var err error
+	for _, ln := range lns {
+		if cerr := ln.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	for _, nc := range conns {
+		_ = nc.Close()
+	}
+	return err
+}
+
+// handle runs one connection's read loop; RPC dispatch happens in the
+// control hook, responses are written back on the same connection.
+func (s *Server) handle(nc net.Conn) {
+	s.conns.Add(1)
+	defer func() {
+		s.conns.Add(-1)
+		s.connMu.Lock()
+		delete(s.active, nc)
+		s.connMu.Unlock()
+	}()
+	var conn *wire.Conn
+	conn = wire.NewConn(nc, wire.WithControlHook(wire.FrameRegistry, func(body []byte) error {
+		return s.dispatch(conn, body)
+	}))
+	defer conn.Close()
+	for {
+		if _, _, err := conn.ReadEncoded(); err != nil {
+			return // EOF, peer reset, or a protocol violation: drop the conn
+		}
+	}
+}
+
+// dispatch executes one RPC request and writes its response. Malformed
+// frames are fatal to the connection (returning the error tears it down);
+// well-formed requests the daemon cannot serve get an error response, so a
+// client bug never wedges the transport.
+func (s *Server) dispatch(conn *wire.Conn, body []byte) error {
+	op, reqID, payload, err := parseHeader(body)
+	if err != nil {
+		s.rerrs.Inc()
+		return err
+	}
+	switch op {
+	case opGet:
+		if len(payload) != 8 {
+			s.rerrs.Inc()
+			return fmt.Errorf("registry: opGet payload %d bytes, want 8", len(payload))
+		}
+		fp := binary.LittleEndian.Uint64(payload)
+		if blob := s.getBlob(fp); blob != nil {
+			return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opGetResp, reqID, statusOK, blob))
+		}
+		return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opGetResp, reqID, statusUnknown, nil))
+	case opPut:
+		e, derr := decodeEntry(payload)
+		if derr != nil {
+			s.rerrs.Inc()
+			return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusError, []byte(derr.Error())))
+		}
+		if perr := s.putBlob(e.Format.Fingerprint(), append([]byte(nil), payload...)); perr != nil {
+			s.rerrs.Inc()
+			return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusError, []byte(perr.Error())))
+		}
+		return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusOK, nil))
+	default:
+		s.rerrs.Inc()
+		return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opGetResp, reqID, statusError, []byte("unknown op")))
+	}
+}
+
+// snapshotFormat is the self-describing spool schema for table persistence:
+// one record per entry, the fingerprint plus the entry blob (byte-safe in a
+// String field). Being an ordinary pbio format in an ordinary spool file,
+// the snapshot is readable by any tool in this repo — including a future
+// daemon whose entry layout evolved, via the usual morphing machinery.
+var snapshotFormat = func() *pbio.Format {
+	f, err := pbio.NewFormat("registry.entry", []pbio.Field{
+		{Name: "fp", Kind: pbio.Unsigned, Size: 8},
+		{Name: "blob", Kind: pbio.String},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return f
+}()
+
+// saveSnapshotLocked rewrites the snapshot file (write-temp-then-rename, so
+// a crash leaves either the old table or the new one, never a mix — a torn
+// tail in the temp file is discarded with it).
+func (s *Server) saveSnapshotLocked() error {
+	if s.snapshotPath == "" {
+		return nil
+	}
+	tmp := s.snapshotPath + ".tmp"
+	w, err := spool.Create(tmp)
+	if err != nil {
+		return err
+	}
+	fps := make([]uint64, 0, len(s.table))
+	for fp := range s.table {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+	for _, fp := range fps {
+		rec := pbio.NewRecord(snapshotFormat).
+			MustSet("fp", pbio.Uint(fp)).
+			MustSet("blob", pbio.Str(string(s.table[fp].blob)))
+		if err := w.Append(rec); err != nil {
+			_ = w.Close()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.snapshotPath)
+}
+
+// loadSnapshot populates the table from the snapshot file, if present.
+func (s *Server) loadSnapshot() error {
+	r, err := spool.Open(s.snapshotPath)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	defer r.Close()
+	for {
+		rec, err := r.Next()
+		if err == io.EOF || errors.Is(err, spool.ErrTruncated) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("registry: snapshot %s: %w", s.snapshotPath, err)
+		}
+		fpv, _ := rec.Get("fp")
+		blobv, _ := rec.Get("blob")
+		if err := s.put(fpv.Uint64(), []byte(blobv.Strval()), false); err != nil {
+			return fmt.Errorf("registry: snapshot %s: %w", s.snapshotPath, err)
+		}
+	}
+}
+
+// registryzEntry is one table row in the /debug/registryz JSON.
+type registryzEntry struct {
+	Fingerprint string    `json:"fingerprint"`
+	Format      string    `json:"format"`
+	Fields      int       `json:"fields"`
+	Xforms      int       `json:"xforms"`
+	Hits        uint64    `json:"hits"`
+	AddedAt     time.Time `json:"added_at"`
+}
+
+// registryzSnapshot is the /debug/registryz JSON document.
+type registryzSnapshot struct {
+	Entries []registryzEntry `json:"entries"`
+	Count   int              `json:"count"`
+	Gets    uint64           `json:"gets"`
+	Puts    uint64           `json:"puts"`
+	Unknown uint64           `json:"unknown"`
+}
+
+// Handler returns the /debug/registryz HTTP handler: the full table as JSON
+// (?format=text for a line-per-entry dump), sorted by fingerprint so two
+// snapshots of a quiescent daemon are identical.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := registryzSnapshot{
+			Gets:    s.gets.Load(),
+			Puts:    s.puts.Load(),
+			Unknown: s.unk.Load(),
+		}
+		s.mu.RLock()
+		fps := make([]uint64, 0, len(s.table))
+		for fp := range s.table {
+			fps = append(fps, fp)
+		}
+		sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+		for _, fp := range fps {
+			te := s.table[fp]
+			snap.Entries = append(snap.Entries, registryzEntry{
+				Fingerprint: fmt.Sprintf("%016x", fp),
+				Format:      te.name,
+				Fields:      te.fields,
+				Xforms:      te.xforms,
+				Hits:        te.hits.Load(),
+				AddedAt:     te.addedAt,
+			})
+		}
+		s.mu.RUnlock()
+		snap.Count = len(snap.Entries)
+
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "# formatd table: %d entries (gets=%d puts=%d unknown=%d)\n",
+				snap.Count, snap.Gets, snap.Puts, snap.Unknown)
+			for _, e := range snap.Entries {
+				fmt.Fprintf(w, "%s %-20s fields=%d xforms=%d hits=%d\n",
+					e.Fingerprint, e.Format, e.Fields, e.Xforms, e.Hits)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+}

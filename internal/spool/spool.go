@@ -12,6 +12,7 @@
 package spool
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -20,6 +21,14 @@ import (
 	"repro/internal/pbio"
 	"repro/internal/wire"
 )
+
+// ErrTruncated is returned by Next when the file ends in the middle of a
+// frame: the signature of a torn write — the spooling process was killed
+// mid-Append — rather than corruption. Every record before the torn tail is
+// intact and has already been returned, so callers can treat it as end of
+// stream (Replay does); it stays distinguishable from both a clean io.EOF
+// and a generic decode failure for callers that must report data loss.
+var ErrTruncated = errors.New("spool: truncated final frame")
 
 // Writer appends records to a spool file.
 type Writer struct {
@@ -58,8 +67,9 @@ func (w *Writer) Close() error {
 
 // Reader replays a spool file.
 type Reader struct {
-	f    *os.File
-	conn *wire.Conn
+	f         *os.File
+	conn      *wire.Conn
+	truncated bool
 }
 
 // Open opens a spool file for replay. Options (such as wire.WithMorpher)
@@ -72,18 +82,42 @@ func Open(path string, opts ...wire.Option) (*Reader, error) {
 	return &Reader{f: f, conn: wire.NewStreamConn(f, opts...)}, nil
 }
 
-// Next returns the next spooled record in its recorded wire format, or
-// io.EOF at the end of the file.
+// Next returns the next spooled record in its recorded wire format, io.EOF
+// at a clean end of the file, or ErrTruncated when the file ends inside the
+// final frame (a torn write).
 func (r *Reader) Next() (*pbio.Record, error) {
-	return r.conn.ReadRecord()
+	rec, err := r.conn.ReadRecord()
+	if err != nil && isTornTail(err) {
+		r.truncated = true
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return rec, err
 }
 
+// isTornTail reports whether a replay error means the file ended mid-frame.
+// On a file, a short read can only happen at the end of the file, so any
+// EOF-flavored frame error — EOF after the frame-type byte, mid-length-varint,
+// or mid-body — identifies a torn final frame. Frame errors that are not
+// EOF-rooted (bad varints with trailing data, size-limit violations,
+// malformed bodies) stay what they are: corruption.
+func isTornTail(err error) bool {
+	if !errors.Is(err, wire.ErrBadFrame) {
+		return false
+	}
+	return errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)
+}
+
+// Truncated reports whether Next (or Replay) hit a torn final frame.
+func (r *Reader) Truncated() bool { return r.truncated }
+
 // Replay delivers every remaining record through the morpher attached at
-// Open (wire.WithMorpher), stopping at end of file.
+// Open (wire.WithMorpher), stopping at end of file. A torn final frame is
+// treated as a clean end of stream — every complete record was delivered —
+// and is reported via Truncated.
 func (r *Reader) Replay() error {
 	for {
 		rec, err := r.Next()
-		if err == io.EOF {
+		if err == io.EOF || errors.Is(err, ErrTruncated) {
 			return nil
 		}
 		if err != nil {

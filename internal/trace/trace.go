@@ -122,6 +122,12 @@ const (
 	StageXformStep         // one transformation-chain step (N = step index)
 	StageConvert           // name-wise fill/drop conversion
 	StageDeliver           // handler invocation
+
+	// StageRegistryFetch times one format-registry RPC (internal/registry):
+	// a cold fingerprint resolution or format publication round-trip. New
+	// stages are appended here — the numbering is observable in span dumps
+	// and must stay stable.
+	StageRegistryFetch // registry client Get/Put round-trip
 )
 
 var stageNames = [...]string{
@@ -137,6 +143,8 @@ var stageNames = [...]string{
 	StageXformStep:   "xform_step",
 	StageConvert:     "convert",
 	StageDeliver:     "deliver",
+
+	StageRegistryFetch: "registry_fetch",
 }
 
 // String returns the stage's snake_case name ("unknown" for out-of-range

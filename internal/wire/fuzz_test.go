@@ -43,15 +43,20 @@ func fuzzSeedStream(tb testing.TB) []byte {
 func FuzzConnReadFrames(f *testing.F) {
 	valid := fuzzSeedStream(f)
 	f.Add(valid)
-	f.Add(valid[:len(valid)/2])                                // truncated mid-stream
-	f.Add(rawFrame(3, make([]byte, trace.ContextWireSize)))    // all-zero trace context
-	f.Add(append(rawFrame(9, []byte("future")), valid...))     // unknown kind, then valid
-	f.Add(rawFrame(0, nil))                                    // zero kind
-	f.Add(rawFrame(2, []byte{1, 2, 3}))                        // short data envelope
-	f.Add([]byte{2, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // oversized length header
-	f.Add([]byte{1, 0x80})                                     // truncated varint
-	f.Add(append(rawFrame(3, []byte("tiny")), valid...))       // corrupt trace frame
-	f.Add(append(append([]byte{}, valid...), valid...))        // duplicate format frame
+	f.Add(valid[:len(valid)/2])                                                  // truncated mid-stream
+	f.Add(rawFrame(3, make([]byte, trace.ContextWireSize)))                      // all-zero trace context
+	f.Add(append(rawFrame(9, []byte("future")), valid...))                       // unknown kind, then valid
+	f.Add(rawFrame(0, nil))                                                      // zero kind
+	f.Add(rawFrame(2, []byte{1, 2, 3}))                                          // short data envelope
+	f.Add([]byte{2, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})                   // oversized length header
+	f.Add([]byte{1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})                   // oversized format frame length
+	f.Add([]byte{2, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // 10-byte varint (overflow territory)
+	f.Add([]byte{1, 0x80})                                                       // truncated varint
+	f.Add(append(rawFrame(3, []byte("tiny")), valid...))                         // corrupt trace frame
+	f.Add(append(append([]byte{}, valid...), valid...))                          // duplicate format frame
+	f.Add(append(rawFrame(4, []byte{1, 2, 3, 4, 5, 6, 7, 8}), valid...))         // format request for unknown fp
+	f.Add(rawFrame(4, []byte("odd")))                                            // malformed format request
+	f.Add(append(rawFrame(5, []byte{1, 0, 9}), valid...))                        // registry RPC kind with no hook
 
 	f.Fuzz(func(t *testing.T, stream []byte) {
 		pipe := newBufferPipe()

@@ -35,9 +35,19 @@ import (
 // them as UnknownFrames), so new out-of-band meta-data — like the trace
 // context introduced as kind 3 — never breaks older peers.
 const (
-	frameFormat byte = 1 // body: format blob + associated transform blobs
-	frameData   byte = 2 // body: enveloped record (fingerprint + payload)
-	frameTrace  byte = 3 // body: 25-byte trace context for the next data frame
+	frameFormat    byte = 1 // body: format blob + associated transform blobs
+	frameData      byte = 2 // body: enveloped record (fingerprint + payload)
+	frameTrace     byte = 3 // body: 25-byte trace context for the next data frame
+	frameFormatReq byte = 4 // body: 8-byte fingerprint — "re-announce this format in-band"
+)
+
+// FrameRegistry is the control-frame kind carrying format-registry RPCs
+// (internal/registry). Kinds below MinCustomFrame are reserved by the wire
+// layer itself; subsystems layering their own out-of-band protocols on this
+// framing use WriteControl/WithControlHook with kinds from MinCustomFrame up.
+const (
+	MinCustomFrame byte = 5
+	FrameRegistry  byte = 5
 )
 
 // DefaultMaxFrame bounds incoming frame bodies; a peer cannot force an
@@ -56,7 +66,23 @@ var (
 
 	// ErrBadFrame is wrapped by malformed-frame errors.
 	ErrBadFrame = errors.New("wire: malformed frame")
+
+	// ErrReservedFrame is returned by WriteControl for frame kinds the wire
+	// layer reserves for itself.
+	ErrReservedFrame = errors.New("wire: reserved control frame kind")
 )
+
+// FormatResolver resolves a fingerprint to its full format description and
+// associated transformation meta-data from an out-of-band source (the format
+// registry of internal/registry). A resolver is consulted when a data frame
+// references a fingerprint no format control frame has announced — the
+// paper's third-party format-server role. Resolution failures are not fatal:
+// the connection falls back to requesting an in-band re-announcement from
+// the peer (frameFormatReq), so a down registry degrades to today's in-band
+// exchange.
+type FormatResolver interface {
+	ResolveFormat(fp uint64) (*pbio.Format, []*core.Xform, error)
+}
 
 // Stream is the byte transport a Conn runs over: a net.Conn, one end of a
 // net.Pipe, or any file-like duplex (the spool package frames messages into
@@ -76,16 +102,27 @@ type Conn struct {
 	morpher    *core.Morpher
 	formatHook func(*pbio.Format, []*core.Xform)
 	tracer     *trace.Tracer
+	resolver   FormatResolver
+	suppress   func(*pbio.Format) bool
+	hooks      map[byte]func(body []byte) error
 
-	wmu      sync.Mutex
-	bw       *bufio.Writer
-	whdr     [binary.MaxVarintLen64 + 1]byte // frame header scratch; avoids a per-frame escape
-	sent     map[uint64]bool
-	declared map[uint64][]*core.Xform
+	wmu       sync.Mutex
+	bw        *bufio.Writer
+	whdr      [binary.MaxVarintLen64 + 1]byte // frame header scratch; avoids a per-frame escape
+	sent      map[uint64]bool
+	declared  map[uint64][]*core.Xform
+	announced map[uint64]*pbio.Format // formats sent (or suppressed) on this conn, for re-announcement
 
 	br          *bufio.Reader
 	recvFormats map[uint64]*pbio.Format
 	held        *[]byte // pooled frame body in flight; recycled on the next read
+
+	// Parked data frames (read side, single goroutine): frames whose
+	// fingerprint neither the format cache nor the resolver could name, held
+	// until the peer answers our frameFormatReq with an in-band format frame.
+	parked      []parkedFrame
+	parkedBytes int
+	requested   map[uint64]bool // fingerprints we have asked the peer to re-announce
 
 	// Read-side trace state (single-goroutine, like br): pending is the
 	// context announced by the most recent frameTrace frame, waiting for
@@ -97,14 +134,19 @@ type Conn struct {
 	rspan   trace.Span
 
 	stats struct {
-		dataSent, dataRecv     atomic.Uint64 // data frames
-		formatSent, formatRecv atomic.Uint64 // format control frames
-		traceSent, traceRecv   atomic.Uint64 // trace context control frames
-		bytesSent, bytesRecv   atomic.Uint64 // frame bodies incl. headers
-		formatErrors           atomic.Uint64 // malformed format control frames
-		corruptFrames          atomic.Uint64 // malformed frame headers/bodies
-		oversizedFrames        atomic.Uint64 // frames over the size limit
-		unknownFrames          atomic.Uint64 // well-formed control frames of unknown kind, skipped
+		dataSent, dataRecv       atomic.Uint64 // data frames
+		formatSent, formatRecv   atomic.Uint64 // format control frames
+		traceSent, traceRecv     atomic.Uint64 // trace context control frames
+		ctrlSent, ctrlRecv       atomic.Uint64 // custom control frames (WriteControl / hooked kinds)
+		bytesSent, bytesRecv     atomic.Uint64 // frame bodies incl. headers
+		formatErrors             atomic.Uint64 // malformed format control frames
+		corruptFrames            atomic.Uint64 // malformed frame headers/bodies
+		oversizedFrames          atomic.Uint64 // frames over the size limit
+		unknownFrames            atomic.Uint64 // well-formed control frames of unknown kind, skipped
+		formatsSuppressed        atomic.Uint64 // format frames skipped because the registry resolves them
+		formatsResolved          atomic.Uint64 // unknown fingerprints resolved out-of-band by the resolver
+		formatReqSent, reqRecv   atomic.Uint64 // frameFormatReq frames sent / received
+		parkedFrames, parkedLost atomic.Uint64 // data frames parked awaiting re-announcement / dropped at close
 	}
 
 	// obs instruments are nil unless WithObs attached a registry; unlike
@@ -115,13 +157,27 @@ type Conn struct {
 		dataSent, dataRecv     *obs.Counter
 		formatSent, formatRecv *obs.Counter
 		traceSent, traceRecv   *obs.Counter
+		ctrlSent, ctrlRecv     *obs.Counter
 		bytesSent, bytesRecv   *obs.Counter
 		formatErrors           *obs.Counter
 		corruptFrames          *obs.Counter
 		oversizedFrames        *obs.Counter
 		unknownFrames          *obs.Counter
+		formatsSuppressed      *obs.Counter
+		formatsResolved        *obs.Counter
+		formatReqSent          *obs.Counter
+		formatReqRecv          *obs.Counter
 		formatNS               *obs.Histogram // format control frame handling time
 	}
+}
+
+// parkedFrame is a data frame held back because its format is not yet known:
+// the body is a private copy (the pooled frame buffer cannot outlive the next
+// read), tctx is the trace context that was announced for it.
+type parkedFrame struct {
+	fp   uint64
+	body []byte
+	tctx trace.Context
 }
 
 // Stats is a snapshot of a connection's frame counters. The format counters
@@ -131,35 +187,49 @@ type Conn struct {
 // frame headers/bodies (CorruptFrames), and frames rejected by the size
 // limit (OversizedFrames).
 type Stats struct {
-	DataFramesSent   uint64
-	DataFramesRecv   uint64
-	FormatFramesSent uint64
-	FormatFramesRecv uint64
-	TraceFramesSent  uint64
-	TraceFramesRecv  uint64
-	BytesSent        uint64
-	BytesRecv        uint64
-	FormatErrors     uint64
-	CorruptFrames    uint64
-	OversizedFrames  uint64
-	UnknownFrames    uint64 // well-formed control frames of unknown kind, skipped
+	DataFramesSent    uint64
+	DataFramesRecv    uint64
+	FormatFramesSent  uint64
+	FormatFramesRecv  uint64
+	TraceFramesSent   uint64
+	TraceFramesRecv   uint64
+	ControlFramesSent uint64 // custom control frames (WriteControl)
+	ControlFramesRecv uint64 // custom control frames dispatched to a hook
+	BytesSent         uint64
+	BytesRecv         uint64
+	FormatErrors      uint64
+	CorruptFrames     uint64
+	OversizedFrames   uint64
+	UnknownFrames     uint64 // well-formed control frames of unknown kind, skipped
+	FormatsSuppressed uint64 // format frames skipped: the peer resolves them from the registry
+	FormatsResolved   uint64 // unknown fingerprints resolved via the attached FormatResolver
+	FormatReqsSent    uint64 // re-announcement requests sent after a resolver miss
+	FormatReqsRecv    uint64 // re-announcement requests answered with an in-band format frame
+	ParkedFrames      uint64 // data frames parked while awaiting re-announcement
 }
 
 // Stats returns the connection's counters.
 func (c *Conn) Stats() Stats {
 	return Stats{
-		DataFramesSent:   c.stats.dataSent.Load(),
-		DataFramesRecv:   c.stats.dataRecv.Load(),
-		FormatFramesSent: c.stats.formatSent.Load(),
-		FormatFramesRecv: c.stats.formatRecv.Load(),
-		TraceFramesSent:  c.stats.traceSent.Load(),
-		TraceFramesRecv:  c.stats.traceRecv.Load(),
-		BytesSent:        c.stats.bytesSent.Load(),
-		BytesRecv:        c.stats.bytesRecv.Load(),
-		FormatErrors:     c.stats.formatErrors.Load(),
-		CorruptFrames:    c.stats.corruptFrames.Load(),
-		OversizedFrames:  c.stats.oversizedFrames.Load(),
-		UnknownFrames:    c.stats.unknownFrames.Load(),
+		DataFramesSent:    c.stats.dataSent.Load(),
+		DataFramesRecv:    c.stats.dataRecv.Load(),
+		FormatFramesSent:  c.stats.formatSent.Load(),
+		FormatFramesRecv:  c.stats.formatRecv.Load(),
+		TraceFramesSent:   c.stats.traceSent.Load(),
+		TraceFramesRecv:   c.stats.traceRecv.Load(),
+		ControlFramesSent: c.stats.ctrlSent.Load(),
+		ControlFramesRecv: c.stats.ctrlRecv.Load(),
+		BytesSent:         c.stats.bytesSent.Load(),
+		BytesRecv:         c.stats.bytesRecv.Load(),
+		FormatErrors:      c.stats.formatErrors.Load(),
+		CorruptFrames:     c.stats.corruptFrames.Load(),
+		OversizedFrames:   c.stats.oversizedFrames.Load(),
+		UnknownFrames:     c.stats.unknownFrames.Load(),
+		FormatsSuppressed: c.stats.formatsSuppressed.Load(),
+		FormatsResolved:   c.stats.formatsResolved.Load(),
+		FormatReqsSent:    c.stats.formatReqSent.Load(),
+		FormatReqsRecv:    c.stats.reqRecv.Load(),
+		ParkedFrames:      c.stats.parkedFrames.Load(),
 	}
 }
 
@@ -184,9 +254,54 @@ func WithMorpher(m *core.Morpher) Option {
 	return func(c *Conn) { c.morpher = m }
 }
 
-// WithMaxFrame overrides the incoming frame size limit.
+// WithMaxFrame overrides the incoming frame size limit. Non-positive values
+// fall back to DefaultMaxFrame: the limit is a safety boundary against forged
+// length headers, so it can be tightened but never accidentally disabled.
 func WithMaxFrame(n int) Option {
-	return func(c *Conn) { c.maxFrame = n }
+	return func(c *Conn) {
+		if n <= 0 {
+			n = DefaultMaxFrame
+		}
+		c.maxFrame = n
+	}
+}
+
+// WithResolver attaches an out-of-band format resolver (a registry client):
+// data frames whose fingerprint no format frame announced are resolved
+// through it before the connection gives up. On resolver failure the frame is
+// parked and the peer is asked (frameFormatReq) to re-announce the format
+// in-band — the graceful-degradation path that keeps a dead registry from
+// losing messages. A nil resolver is valid and leaves resolution disabled.
+func WithResolver(r FormatResolver) Option {
+	return func(c *Conn) { c.resolver = r }
+}
+
+// WithFormatSuppressor installs the send-side half of registry-backed format
+// distribution: when the predicate reports that the peer can resolve a
+// format's fingerprint out-of-band (because this process registered it with
+// the shared registry), the in-band format control frame is skipped and only
+// the 8-byte fingerprint ever crosses the wire. The format is still
+// remembered so a peer whose resolution fails can demand an in-band
+// re-announcement. A nil predicate is valid and suppresses nothing.
+func WithFormatSuppressor(fn func(*pbio.Format) bool) Option {
+	return func(c *Conn) { c.suppress = fn }
+}
+
+// WithControlHook routes incoming control frames of a custom kind
+// (MinCustomFrame or above) to hook instead of the unknown-frame skip path.
+// The body aliases a pooled frame buffer valid only for the duration of the
+// call. A hook error tears the connection down, like any frame error. The
+// registry subsystem layers its RPC protocol on this.
+func WithControlHook(kind byte, hook func(body []byte) error) Option {
+	return func(c *Conn) {
+		if kind < MinCustomFrame || hook == nil {
+			return
+		}
+		if c.hooks == nil {
+			c.hooks = make(map[byte]func([]byte) error)
+		}
+		c.hooks[kind] = hook
+	}
 }
 
 // WithObs attaches an observability registry: the connection mirrors its
@@ -230,6 +345,7 @@ func NewStreamConn(nc Stream, opts ...Option) *Conn {
 		br:          bufio.NewReader(nc),
 		sent:        make(map[uint64]bool),
 		declared:    make(map[uint64][]*core.Xform),
+		announced:   make(map[uint64]*pbio.Format),
 		recvFormats: make(map[uint64]*pbio.Format),
 	}
 	for _, o := range opts {
@@ -242,7 +358,13 @@ func NewStreamConn(nc Stream, opts ...Option) *Conn {
 		c.om.formatRecv = c.obs.Counter("wire.format_frames_recv")
 		c.om.traceSent = c.obs.Counter("wire.trace_frames_sent")
 		c.om.traceRecv = c.obs.Counter("wire.trace_frames_recv")
+		c.om.ctrlSent = c.obs.Counter("wire.control_frames_sent")
+		c.om.ctrlRecv = c.obs.Counter("wire.control_frames_recv")
 		c.om.unknownFrames = c.obs.Counter("wire.unknown_frames")
+		c.om.formatsSuppressed = c.obs.Counter("wire.formats_suppressed")
+		c.om.formatsResolved = c.obs.Counter("wire.formats_resolved")
+		c.om.formatReqSent = c.obs.Counter("wire.format_reqs_sent")
+		c.om.formatReqRecv = c.obs.Counter("wire.format_reqs_recv")
 		c.om.bytesSent = c.obs.Counter("wire.bytes_sent")
 		c.om.bytesRecv = c.obs.Counter("wire.bytes_recv")
 		c.om.formatErrors = c.obs.Counter("wire.format_errors")
@@ -286,11 +408,8 @@ func (c *Conn) WriteRecordCtx(rec *pbio.Record, tctx trace.Context) error {
 
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if !c.sent[fp] {
-		if err := c.writeFormatLocked(f, c.declared[fp]); err != nil {
-			return err
-		}
-		c.sent[fp] = true
+	if err := c.ensureFormatLocked(f, fp); err != nil {
+		return err
 	}
 	traced := c.tracer.Enabled() && tctx.Sampled
 	// Encode into a pooled scratch buffer: the frame write copies the bytes
@@ -336,13 +455,50 @@ func (c *Conn) WriteEncodedCtx(f *pbio.Format, data []byte, tctx trace.Context) 
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if !c.sent[fp] {
-		if err := c.writeFormatLocked(f, c.declared[fp]); err != nil {
-			return err
-		}
-		c.sent[fp] = true
+	if err := c.ensureFormatLocked(f, fp); err != nil {
+		return err
 	}
 	return c.writeDataLocked(data, fp, tctx)
+}
+
+// ensureFormatLocked makes the peer able to name fp before its first data
+// frame: normally by writing the format control frame, or — when the
+// suppressor confirms the shared registry holds the format — by skipping it
+// entirely, leaving resolution to the peer's registry client. Either way the
+// format is remembered for later frameFormatReq re-announcements.
+func (c *Conn) ensureFormatLocked(f *pbio.Format, fp uint64) error {
+	if c.sent[fp] {
+		return nil
+	}
+	c.announced[fp] = f
+	if c.suppress != nil && c.suppress(f) {
+		c.stats.formatsSuppressed.Add(1)
+		c.om.formatsSuppressed.Inc()
+		c.sent[fp] = true
+		return nil
+	}
+	if err := c.writeFormatLocked(f, c.declared[fp]); err != nil {
+		return err
+	}
+	c.sent[fp] = true
+	return nil
+}
+
+// WriteControl sends one custom control frame (kind MinCustomFrame or above)
+// and flushes. Receivers that attached a matching WithControlHook dispatch
+// the body to it; others skip the frame, counting it under UnknownFrames —
+// the forward-evolution discipline that lets new out-of-band protocols ride
+// existing connections.
+func (c *Conn) WriteControl(kind byte, body []byte) error {
+	if kind < MinCustomFrame {
+		return fmt.Errorf("%w: %d (custom kinds start at %d)", ErrReservedFrame, kind, MinCustomFrame)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.writeFrameLocked(kind, body); err != nil {
+		return err
+	}
+	return c.bw.Flush()
 }
 
 // writeDataLocked writes the trace announcement (when tctx is sampled), the
@@ -403,9 +559,15 @@ func (c *Conn) writeFrameLocked(typ byte, body []byte) error {
 	case frameTrace:
 		c.stats.traceSent.Add(1)
 		c.om.traceSent.Inc()
-	default:
+	case frameFormat:
 		c.stats.formatSent.Add(1)
 		c.om.formatSent.Inc()
+	case frameFormatReq:
+		c.stats.formatReqSent.Add(1)
+		c.om.formatReqSent.Inc()
+	default:
+		c.stats.ctrlSent.Add(1)
+		c.om.ctrlSent.Inc()
 	}
 	return nil
 }
@@ -434,6 +596,12 @@ func (c *Conn) ReadRecord() (*pbio.Record, error) {
 // pbio.DecodeRecord.
 func (c *Conn) ReadEncoded() ([]byte, *pbio.Format, error) {
 	for {
+		// Parked frames whose format has since been announced replay first,
+		// in arrival order, before any new frame is read.
+		if body, f, tctx, ok := c.unparkReady(); ok {
+			c.rctx = tctx
+			return body, f, nil
+		}
 		typ, body, err := c.readFrame()
 		if err != nil {
 			return nil, nil, err
@@ -471,10 +639,6 @@ func (c *Conn) ReadEncoded() ([]byte, *pbio.Format, error) {
 				c.om.corruptFrames.Inc()
 				return nil, nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
 			}
-			f, ok := c.recvFormats[fp]
-			if !ok {
-				return nil, nil, fmt.Errorf("%w: %016x", ErrUnknownFormat, fp)
-			}
 			// Consume the out-of-band context announced for this frame. When
 			// this side traces, downstream spans parent under its frame_read
 			// span; otherwise the announced context relays through untouched.
@@ -487,22 +651,140 @@ func (c *Conn) ReadEncoded() ([]byte, *pbio.Format, error) {
 				tctx = c.rspan.Context()
 				c.rspan = trace.Span{}
 			}
+			f, ok := c.recvFormats[fp]
+			if !ok && c.resolver != nil {
+				// The fingerprint was never announced in-band: the peer is
+				// relying on the shared registry. Resolve lazily, once — the
+				// format cache makes every later message of this format free.
+				if rf, xforms, rerr := c.resolver.ResolveFormat(fp); rerr == nil && rf != nil && rf.Fingerprint() == fp {
+					if err := c.adoptFormat(rf, xforms, true); err != nil {
+						return nil, nil, err
+					}
+					c.stats.formatsResolved.Add(1)
+					c.om.formatsResolved.Inc()
+					f, ok = rf, true
+				}
+			}
+			if !ok {
+				// Registry miss (down, unknown, or no resolver configured in a
+				// registry deployment): park the frame and ask the peer to
+				// re-announce the format in-band. Without a resolver this is
+				// the legacy hard failure.
+				if c.resolver == nil {
+					return nil, nil, fmt.Errorf("%w: %016x", ErrUnknownFormat, fp)
+				}
+				if err := c.parkFrame(fp, body, tctx); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
 			c.rctx = tctx
 			return body, f, nil
+		case frameFormatReq:
+			if len(body) != 8 {
+				c.stats.corruptFrames.Add(1)
+				c.om.corruptFrames.Inc()
+				return nil, nil, fmt.Errorf("%w: format request body %d bytes, want 8", ErrBadFrame, len(body))
+			}
+			c.stats.reqRecv.Add(1)
+			c.om.formatReqRecv.Inc()
+			if err := c.reannounce(binary.LittleEndian.Uint64(body)); err != nil {
+				return nil, nil, err
+			}
 		default:
 			// A frame type of zero means the stream is desynchronized or the
-			// peer is hostile: fail loudly. Any other kind is a well-formed
-			// control frame from a newer peer — skip it so out-of-band
-			// meta-data can evolve without breaking older receivers.
+			// peer is hostile: fail loudly. A kind claimed by a control hook
+			// is dispatched to it; any other kind is a well-formed control
+			// frame from a newer peer — skip it so out-of-band meta-data can
+			// evolve without breaking older receivers.
 			if typ == 0 {
 				c.stats.corruptFrames.Add(1)
 				c.om.corruptFrames.Inc()
 				return nil, nil, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, typ)
 			}
+			if hook := c.hooks[typ]; hook != nil {
+				c.stats.ctrlRecv.Add(1)
+				c.om.ctrlRecv.Inc()
+				if err := hook(body); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
 			c.stats.unknownFrames.Add(1)
 			c.om.unknownFrames.Inc()
 		}
 	}
+}
+
+// parkedFrameLimit and parkedByteLimit bound how much a peer that never
+// answers re-announcement requests can make us buffer.
+const (
+	parkedFrameLimit = 64
+	parkedByteLimit  = 1 << 20
+)
+
+// parkFrame copies a data frame whose format is still unknown aside and
+// (once per fingerprint) asks the peer to re-announce the format in-band.
+func (c *Conn) parkFrame(fp uint64, body []byte, tctx trace.Context) error {
+	if len(c.parked) >= parkedFrameLimit || c.parkedBytes+len(body) > parkedByteLimit {
+		return fmt.Errorf("%w: %016x (re-announcement backlog full: %d frames, %d bytes)",
+			ErrUnknownFormat, fp, len(c.parked), c.parkedBytes)
+	}
+	cp := make([]byte, len(body))
+	copy(cp, body)
+	c.parked = append(c.parked, parkedFrame{fp: fp, body: cp, tctx: tctx})
+	c.parkedBytes += len(cp)
+	c.stats.parkedFrames.Add(1)
+	if c.requested == nil {
+		c.requested = make(map[uint64]bool)
+	}
+	if !c.requested[fp] {
+		c.requested[fp] = true
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], fp)
+		c.wmu.Lock()
+		err := c.writeFrameLocked(frameFormatReq, b[:])
+		if err == nil {
+			err = c.bw.Flush()
+		}
+		c.wmu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unparkReady returns the oldest parked frame whose format has been announced
+// since it was parked, if any.
+func (c *Conn) unparkReady() ([]byte, *pbio.Format, trace.Context, bool) {
+	for i := range c.parked {
+		f, ok := c.recvFormats[c.parked[i].fp]
+		if !ok {
+			continue
+		}
+		pf := c.parked[i]
+		c.parked = append(c.parked[:i], c.parked[i+1:]...)
+		c.parkedBytes -= len(pf.body)
+		return pf.body, f, pf.tctx, true
+	}
+	return nil, nil, trace.Context{}, false
+}
+
+// reannounce answers a peer's frameFormatReq: if this connection has sent (or
+// suppressed) the format, its control frame is emitted again, in-band,
+// regardless of suppression — the peer just told us its registry path failed.
+func (c *Conn) reannounce(fp uint64) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	f, ok := c.announced[fp]
+	if !ok {
+		return nil // never ours to announce; ignore
+	}
+	if err := c.writeFormatLocked(f, c.declared[fp]); err != nil {
+		return err
+	}
+	return c.bw.Flush()
 }
 
 // readFrame returns the next frame. The body aliases a pooled buffer that
@@ -522,7 +804,9 @@ func (c *Conn) readFrame() (byte, []byte, error) {
 	if err != nil {
 		c.stats.corruptFrames.Add(1)
 		c.om.corruptFrames.Inc()
-		return 0, nil, fmt.Errorf("%w: bad length: %v", ErrBadFrame, err)
+		// The cause is wrapped (not just rendered) so stream-over-file readers
+		// (spool) can tell a torn tail — EOF mid-frame — from corruption.
+		return 0, nil, fmt.Errorf("%w: bad length: %w", ErrBadFrame, err)
 	}
 	if size > uint64(c.maxFrame) {
 		c.stats.oversizedFrames.Add(1)
@@ -534,7 +818,7 @@ func (c *Conn) readFrame() (byte, []byte, error) {
 	if _, err := io.ReadFull(c.br, body); err != nil {
 		c.stats.corruptFrames.Add(1)
 		c.om.corruptFrames.Inc()
-		return 0, nil, fmt.Errorf("%w: truncated body: %v", ErrBadFrame, err)
+		return 0, nil, fmt.Errorf("%w: truncated body: %w", ErrBadFrame, err)
 	}
 	c.stats.bytesRecv.Add(1 + uint64(uvarintLen(size)) + size)
 	c.om.bytesRecv.Add(1 + uint64(uvarintLen(size)) + size)
@@ -580,7 +864,6 @@ func (c *Conn) handleFormatFrame(body []byte) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
-	c.recvFormats[f.Fingerprint()] = f
 
 	nx, used := binary.Uvarint(rest)
 	if used <= 0 {
@@ -605,16 +888,35 @@ func (c *Conn) handleFormatFrame(body []byte) error {
 				return fmt.Errorf("%w: transform %d: %v", ErrBadFrame, i, err)
 			}
 		}
-		if c.morpher != nil {
-			if err := c.morpher.AddTransform(x); err != nil {
-				return err
-			}
-		}
 		xforms = append(xforms, x)
 	}
 	if len(rest) != 0 {
 		return fmt.Errorf("%w: %d trailing bytes in format frame", ErrBadFrame, len(rest))
 	}
+	return c.adoptFormat(f, xforms, false)
+}
+
+// adoptFormat installs a format (and its transformation meta-data) into the
+// read-side cache, whether it arrived in-band (format frame) or out-of-band
+// (registry resolution). validate re-checks transform code for the registry
+// path, where the format-frame handler's eager validation did not run.
+func (c *Conn) adoptFormat(f *pbio.Format, xforms []*core.Xform, validate bool) error {
+	if validate && (c.morpher != nil || c.formatHook != nil) {
+		for i, x := range xforms {
+			if err := x.Validate(); err != nil {
+				return fmt.Errorf("%w: registry transform %d: %v", ErrBadFrame, i, err)
+			}
+		}
+	}
+	if c.morpher != nil {
+		for _, x := range xforms {
+			if err := c.morpher.AddTransform(x); err != nil {
+				return err
+			}
+		}
+	}
+	c.recvFormats[f.Fingerprint()] = f
+	delete(c.requested, f.Fingerprint())
 	if c.formatHook != nil {
 		c.formatHook(f, xforms)
 	}

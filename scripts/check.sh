@@ -17,6 +17,26 @@ echo "== morphbench pipeline (writes BENCH_pipeline.json)"
 go run ./cmd/morphbench -exp pipeline -quick
 echo "== morphbench trace (writes BENCH_trace.json)"
 go run ./cmd/morphbench -exp trace -quick
+echo "== morphbench registry (writes BENCH_registry.json)"
+go run ./cmd/morphbench -exp registry -quick
+echo "== formatd smoke (random ports, e2e interop, registryz JSON)"
+tmpdir=$(mktemp -d)
+trap 'kill "$formatd_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/formatd" ./cmd/formatd
+"$tmpdir/formatd" -addr 127.0.0.1:0 -debug 127.0.0.1:0 \
+    -snapshot "$tmpdir/table.spool" >"$tmpdir/formatd.log" 2>&1 &
+formatd_pid=$!
+for _ in $(seq 1 50); do
+    grep -q "debug endpoints on" "$tmpdir/formatd.log" && break
+    sleep 0.1
+done
+debug_url=$(sed -n 's/.*debug endpoints on \(http:[^ ]*\).*/\1/p' "$tmpdir/formatd.log")
+[ -n "$debug_url" ] || { echo "formatd never became ready:"; cat "$tmpdir/formatd.log"; exit 1; }
+go test -run 'TestRegistryOnlyInterop|TestRegistryDownFallback|TestFormatdDeathMidRun' \
+    -count=1 ./internal/echo/
+curl -sf "$debug_url" | jq -e '.count >= 0' >/dev/null \
+    || { echo "registryz did not serve valid JSON"; exit 1; }
+kill "$formatd_pid"
 echo "== fuzz smoke (wire frame parser, 10s)"
 go test -run xxx -fuzz FuzzConnReadFrames -fuzztime 10s ./internal/wire/
 echo "ok"
