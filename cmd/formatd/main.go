@@ -7,10 +7,17 @@
 //
 //	formatd -addr :7500 -debug :7501 -snapshot /var/lib/formatd/table.spool
 //
-// The debug listener serves /debug/registryz (the live table) and
-// /debug/morphz (the daemon's own obs instruments). With -snapshot, the
-// table is persisted through the self-describing spool framing and reloaded
-// on restart, so a bounce loses nothing.
+// The debug listener serves /debug/registryz (the live table, the event
+// seqno, and every live watch subscription) and /debug/morphz (the daemon's
+// own obs instruments). With -snapshot, the table is persisted through the
+// self-describing spool framing and reloaded on restart, so a bounce loses
+// nothing.
+//
+// The daemon advertises the watch capability in its hello: subscribed
+// clients receive every table mutation as a pushed invalidation event and
+// resume across reconnects by replaying their last-applied event seqno.
+// Clients that predate the watch protocol are unaffected — they never say
+// hello and keep resolving poll-on-miss.
 package main
 
 import (
@@ -63,7 +70,7 @@ func run(addr, debug, snapshot string, ready chan<- string) error {
 	}
 	defer srv.Close()
 	defer ln.Close()
-	log.Printf("format registry listening on %s", ln.Addr())
+	log.Printf("format registry listening on %s (watch streams enabled, event seq %d)", ln.Addr(), srv.WatchSeq())
 
 	if debug != "" {
 		dbg, err := obs.Serve(debug, reg, obs.Mount{

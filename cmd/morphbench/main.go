@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	morphbench [-exp all|table1|fig8|fig9|fig10|pipeline|trace|registry|ablations] [-quick] [-csv dir] [-obs]
+//	morphbench [-exp all|table1|fig8|fig9|fig10|pipeline|trace|registry|watch|ablations] [-quick] [-csv dir] [-obs]
 package main
 
 import (
@@ -32,13 +32,14 @@ func main() {
 func run(stdout io.Writer, args []string) error {
 	fs := flag.NewFlagSet("morphbench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, pipeline, trace, registry, ablations")
+		exp       = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, pipeline, trace, registry, watch, ablations")
 		quick     = fs.Bool("quick", false, "shorter measuring windows and smaller max size (for CI)")
 		csvDir    = fs.String("csv", "", "also write CSV files into this directory")
 		withObs   = fs.Bool("obs", false, "attach an observability registry and print its final snapshot as JSON")
 		pipeJSON  = fs.String("pipelinejson", "BENCH_pipeline.json", "file the pipeline experiment writes its results to (empty disables)")
 		traceJSON = fs.String("tracejson", "BENCH_trace.json", "file the trace experiment writes its results to (empty disables)")
 		regJSON   = fs.String("registryjson", "BENCH_registry.json", "file the registry experiment writes its results to (empty disables)")
+		watchJSON = fs.String("watchjson", "BENCH_watch.json", "file the watch experiment writes its results to (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -173,6 +174,16 @@ func run(stdout io.Writer, args []string) error {
 		}
 		bench.PrintRegistry(stdout, result)
 		if err := writeJSON(*regJSON, result); err != nil {
+			return err
+		}
+	}
+	if want("watch") {
+		result, err := h.WatchSweep(opts.MinTotal)
+		if err != nil {
+			return err
+		}
+		bench.PrintWatch(stdout, result)
+		if err := writeJSON(*watchJSON, result); err != nil {
 			return err
 		}
 	}

@@ -95,8 +95,10 @@ func (h *Harness) RegistrySweep(minTotal time.Duration) (RegistryResult, error) 
 	}
 
 	// Cold resolutions: a fresh client fetches every fingerprint once, each
-	// round-trip timed individually.
-	resolver := registry.NewClient(addr)
+	// round-trip timed individually. Watch stays off — the auto-subscription
+	// would pre-warm the LRU and turn every "cold" fetch into a hit (that
+	// win is priced by the watch experiment; this one prices the RPC).
+	resolver := registry.NewClient(addr, registry.WithWatchDisabled())
 	defer resolver.Close()
 	colds := make([]time.Duration, 0, len(formats))
 	for _, f := range formats {

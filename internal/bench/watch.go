@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/registry"
+)
+
+// The watch experiment prices the registry's invalidation stream: how long
+// after one peer's Register does a *watching* peer hold the format, with no
+// resolution round-trip of its own? That propagation latency is the
+// staleness window the stream leaves — the interval during which the
+// watcher would still serve a cached negative answer — and the number the
+// tentpole replaces the negative TTL (seconds) with.
+
+// WatchResult is the experiment's JSON document (BENCH_watch.json).
+type WatchResult struct {
+	Formats int `json:"formats"`
+
+	// Registration→visibility propagation latency: Register acknowledged on
+	// one client → Holds flips on another, event-driven only.
+	P50NS int64 `json:"propagation_p50_ns"`
+	P95NS int64 `json:"propagation_p95_ns"`
+	MaxNS int64 `json:"propagation_max_ns"`
+
+	Events       uint64 `json:"watch_events"`
+	Resubscribes uint64 `json:"watch_resubscribes"`
+}
+
+// WatchSweep runs the experiment against an in-process daemon on a loopback
+// TCP listener: one subscribed watcher, one publisher, per-format latency
+// from Register call to event-driven visibility on the watcher.
+func (h *Harness) WatchSweep(minTotal time.Duration) (WatchResult, error) {
+	var res WatchResult
+
+	srv, err := registry.NewServer()
+	if err != nil {
+		return res, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	// The watcher subscribes before anything is registered, with an
+	// hour-long negative TTL: any visibility it gains below is the event
+	// stream's doing, never a poll.
+	reg := obs.NewRegistry("bench")
+	watcher := registry.NewClient(addr, registry.WithClientObs(reg), registry.WithNegTTL(time.Hour))
+	defer watcher.Close()
+	if err := watcher.Watch(); err != nil {
+		return res, fmt.Errorf("watch: %w", err)
+	}
+
+	formats, err := registryBenchFormats(64)
+	if err != nil {
+		return res, err
+	}
+	pub := registry.NewClient(addr)
+	defer pub.Close()
+
+	lats := make([]time.Duration, 0, len(formats))
+	for _, f := range formats {
+		start := time.Now()
+		if err := pub.Register(f); err != nil {
+			return res, err
+		}
+		for !watcher.Holds(f) {
+			if time.Since(start) > 5*time.Second {
+				return res, fmt.Errorf("event for %q not delivered within 5s", f.Name())
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+		lats = append(lats, time.Since(start))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.Formats = len(lats)
+	res.P50NS = lats[len(lats)/2].Nanoseconds()
+	res.P95NS = lats[len(lats)*95/100].Nanoseconds()
+	res.MaxNS = lats[len(lats)-1].Nanoseconds()
+	res.Events = reg.Counter("registry.watch_events").Load()
+	res.Resubscribes = reg.Counter("registry.watch_resubscribes").Load()
+	return res, nil
+}
+
+// PrintWatch renders the experiment as the paper-style text block.
+func PrintWatch(w io.Writer, r WatchResult) {
+	fmt.Fprintln(w, "Watch. Registration→visibility propagation over the invalidation stream")
+	fmt.Fprintf(w, "  propagation:      p50 %s  p95 %s  max %s  (%d formats)\n",
+		time.Duration(r.P50NS), time.Duration(r.P95NS), time.Duration(r.MaxNS), r.Formats)
+	fmt.Fprintf(w, "  events applied:   %d  (resubscribes: %d)\n", r.Events, r.Resubscribes)
+	fmt.Fprintln(w)
+}

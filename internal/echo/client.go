@@ -172,6 +172,11 @@ func open(nc net.Conn, channelID string, opts Options) (*Subscriber, error) {
 		// format frame of the connection. Best-effort, like every
 		// registration — a failure only means the frame goes in-band.
 		_ = rc.Register(RequestV3Format)
+		// Subscribe to the invalidation stream off the handshake path: the
+		// daemon pre-warms this member's cache with every format its peers
+		// register, so later fingerprints resolve without a round-trip and
+		// stale negative entries clear ahead of their TTL.
+		go func() { _ = rc.Watch() }()
 	}
 	deadline := time.Now().Add(timeout)
 	_ = nc.SetDeadline(deadline)

@@ -157,6 +157,58 @@ func TestRegistryOnlyInterop(t *testing.T) {
 	}
 }
 
+// TestRegistryWatchPrewarm: a member's registry client subscribes to the
+// daemon's invalidation stream at open, so formats registered by *other*
+// members land in its cache without it ever resolving them — including
+// formats it had already cached as negative misses, which the event purges
+// ahead of the negative TTL.
+func TestRegistryWatchPrewarm(t *testing.T) {
+	_, faddr := startFormatd(t)
+
+	serverRC := registry.NewClient(faddr)
+	t.Cleanup(func() { _ = serverRC.Close() })
+	_, addr := startDomain(t, WithRegistry(serverRC))
+
+	// A sink with an hour-long negative TTL: without the watch stream, a
+	// cached miss would outlive the whole test run.
+	sinkRC := registry.NewClient(faddr, registry.WithNegTTL(time.Hour))
+	t.Cleanup(func() { _ = sinkRC.Close() })
+	sink, err := Open(addr, "q", Options{Sink: true, Registry: sinkRC, Thresholds: &core.Thresholds{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	waitFor(t, "sink watch subscription", func() bool {
+		return sinkRC.Holds(ResponseV2Format) // pre-warmed from the domain's registration
+	})
+
+	// Poison the sink's cache with a negative resolution for the event
+	// format no one has registered yet.
+	if _, _, err := sinkRC.ResolveFormat(regQuoteV2.Fingerprint()); err == nil {
+		t.Fatal("Quote v2 resolvable before anyone registered it")
+	}
+
+	// The publisher declares Quote v2, registering it with formatd. The
+	// daemon pushes the registration at the sink.
+	pubRC := registry.NewClient(faddr)
+	t.Cleanup(func() { _ = pubRC.Close() })
+	pub, err := Open(addr, "q", Options{Source: true, Registry: pubRC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	pub.Declare(regQuoteV2, regQuoteXform)
+
+	waitFor(t, "event-driven pre-warm of Quote v2", func() bool {
+		return sinkRC.Holds(regQuoteV2)
+	})
+	// The cached miss is gone too: resolution succeeds from the LRU, an
+	// hour before the negative TTL would have expired.
+	if _, _, err := sinkRC.ResolveFormat(regQuoteV2.Fingerprint()); err != nil {
+		t.Fatalf("negative entry survived the invalidation event: %v", err)
+	}
+}
+
 // runQuoteScenario drives one publisher → sink delivery and returns the
 // encoded bytes of the record the sink's handler received.
 func runQuoteScenario(t *testing.T, addr string, pubOpts, sinkOpts Options) []byte {

@@ -305,6 +305,13 @@ func (s *Server) Serve(ln net.Listener) error {
 				To:   ResponseV1Format,
 				Code: Figure5Transform,
 			})
+			// Subscribe to the daemon's invalidation stream: formats other
+			// members register from here on land in the cache before any
+			// subscriber connects with them, and cached negative resolutions
+			// clear as soon as the missing format appears. Best-effort — an
+			// old daemon answers ErrWatchUnsupported and the client stays on
+			// poll-on-miss.
+			_ = s.registry.Watch()
 		}()
 	}
 

@@ -2,7 +2,9 @@ package registry
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -44,12 +46,15 @@ type Client struct {
 
 	tracer *trace.Tracer
 
-	hits    *obs.Counter   // registry.hits: resolutions served from the LRU
-	misses  *obs.Counter   // registry.misses: cold fetches that went to the daemon
-	negHits *obs.Counter   // registry.negative_hits: unknown-fingerprint cache hits
-	errs    *obs.Counter   // registry.errors: transport-level RPC failures
-	downs   *obs.Counter   // registry.downs: transitions into the down state
-	fetchNS *obs.Histogram // registry.fetch_ns: cold resolution round-trip latency
+	hits       *obs.Counter   // registry.hits: resolutions served from the LRU
+	misses     *obs.Counter   // registry.misses: cold fetches the daemon answered with an entry
+	negHits    *obs.Counter   // registry.negative_hits: unknown-fingerprint cache hits
+	unknowns   *obs.Counter   // registry.unknowns: daemon round-trips answered "unknown fingerprint"
+	errs       *obs.Counter   // registry.errors: transport-level RPC failures
+	downs      *obs.Counter   // registry.downs: transitions into the down state
+	watchEvs   *obs.Counter   // registry.watch_events: invalidation events applied
+	watchResub *obs.Counter   // registry.watch_resubscribes: watch re-established after a failure
+	fetchNS    *obs.Histogram // registry.fetch_ns: cold resolution round-trip latency
 
 	// Connection layer: one wire.Conn to the daemon, redialed on demand,
 	// with in-flight RPCs matched to responses by request id.
@@ -61,13 +66,25 @@ type Client struct {
 	downUntil time.Time
 	published map[uint64]bool // fingerprints the daemon acknowledged (Holds)
 
+	// Watch state (guarded by mu except watchSeq, which lives under cmu
+	// with the caches it orders). everWatched arms automatic resubscription
+	// after connection failures; watchPending coalesces concurrent
+	// subscription attempts; watchInst is the daemon instance the seqno
+	// belongs to, so a restarted daemon resets the replay cursor.
+	watchDisabled bool
+	watchPending  bool
+	everWatched   bool
+	watchInst     uint64
+	resubTimer    *time.Timer
+
 	// Cache layer: positive LRU + negative TTL map + singleflight table.
-	cmu    sync.Mutex
-	lru    map[uint64]*cacheEntry
-	head   *cacheEntry // most recent
-	tail   *cacheEntry // least recent
-	neg    map[uint64]time.Time
-	flight map[uint64]*flightCall
+	cmu      sync.Mutex
+	lru      map[uint64]*cacheEntry
+	head     *cacheEntry // most recent
+	tail     *cacheEntry // least recent
+	neg      map[uint64]time.Time
+	flight   map[uint64]*flightCall
+	watchSeq uint64 // last event seqno applied to the caches
 }
 
 // rpcResp is one matched RPC response (payload is a private copy).
@@ -104,10 +121,22 @@ func WithClientObs(reg *obs.Registry) ClientOption {
 		c.hits = reg.Counter("registry.hits")
 		c.misses = reg.Counter("registry.misses")
 		c.negHits = reg.Counter("registry.negative_hits")
+		c.unknowns = reg.Counter("registry.unknowns")
 		c.errs = reg.Counter("registry.errors")
 		c.downs = reg.Counter("registry.downs")
+		c.watchEvs = reg.Counter("registry.watch_events")
+		c.watchResub = reg.Counter("registry.watch_resubscribes")
 		c.fetchNS = reg.Histogram("registry.fetch_ns")
 	}
+}
+
+// WithWatchDisabled turns off the watch/invalidation stream: the client
+// never subscribes (not even automatically after its first dial) and relies
+// purely on poll-on-miss resolution with negative TTLs, as before watch
+// support existed. Useful to isolate cache behavior in tests and to pin the
+// PR 4 wire profile.
+func WithWatchDisabled() ClientOption {
+	return func(c *Client) { c.watchDisabled = true }
 }
 
 // WithClientTracer attaches a tracer: each daemon round-trip records a
@@ -179,6 +208,10 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
+	if c.resubTimer != nil {
+		c.resubTimer.Stop()
+		c.resubTimer = nil
+	}
 	c.failPendingLocked(ErrClosed)
 	if c.conn != nil {
 		err := c.conn.Close()
@@ -190,7 +223,11 @@ func (c *Client) Close() error {
 
 // Register publishes a format (and the transforms declared with it) to the
 // daemon. On acknowledgment the fingerprint is remembered so Holds — and
-// through it the wire-layer format suppressor — reports it resolvable.
+// through it the wire-layer format suppressor — reports it resolvable, any
+// negative-cache entry for the fingerprint is purged, and the entry is
+// inserted into the LRU — a client that had resolved the fingerprint to
+// ErrUnknownFingerprint must not keep serving the stale miss for the rest
+// of the negative TTL after it registered that very format itself.
 func (c *Client) Register(f *pbio.Format, xforms ...*core.Xform) error {
 	if f == nil {
 		return fmt.Errorf("registry: nil format")
@@ -201,9 +238,14 @@ func (c *Client) Register(f *pbio.Format, xforms ...*core.Xform) error {
 	}
 	switch resp.status {
 	case statusOK:
+		fp := f.Fingerprint()
 		c.mu.Lock()
-		c.published[f.Fingerprint()] = true
+		c.published[fp] = true
 		c.mu.Unlock()
+		c.cmu.Lock()
+		delete(c.neg, fp)
+		c.insertLocked(fp, f, xforms)
+		c.cmu.Unlock()
 		return nil
 	default:
 		return fmt.Errorf("registry: put %q rejected: %s", f.Name(), resp.payload)
@@ -237,11 +279,14 @@ func (c *Client) Holds(f *pbio.Format) bool {
 	return cached
 }
 
-// Down reports whether the client is in its backed-off down state.
+// Down reports whether the client cannot currently reach the daemon: it is
+// in its backed-off down state, or it has been closed. Closed counts as
+// down for the same reason it does in Holds — every RPC on a closed client
+// fails with ErrClosed, so reporting "not down" would be a lie.
 func (c *Client) Down() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return time.Now().Before(c.downUntil)
+	return c.closed || time.Now().Before(c.downUntil)
 }
 
 // ResolveFormat resolves a fingerprint to its format description and
@@ -285,6 +330,170 @@ func (c *Client) ResolveFormat(fp uint64) (*pbio.Format, []*core.Xform, error) {
 	return fc.format, fc.xforms, fc.err
 }
 
+// Watch subscribes the client to the daemon's invalidation stream: from the
+// acknowledgment on, every table mutation is pushed as an event that purges
+// any matching negative-TTL entry and inserts (or refreshes) the LRU entry —
+// so a format registered elsewhere becomes resolvable here within the
+// propagation latency of one push, instead of after the negative TTL
+// expires. Subscribing also replays the daemon's current table (the seqno
+// handshake degrades to a full resync for a fresh subscription), pre-warming
+// the cache the way a long-lived intermediary wants.
+//
+// Watch is called automatically after every successful dial, so most users
+// never need it; call it directly to subscribe eagerly (before any RPC
+// traffic) or to learn whether the daemon supports watch at all
+// (ErrWatchUnsupported means it predates the protocol — the client then
+// stays on poll-on-miss, exactly the pre-watch behavior).
+//
+// After a connection failure the client resubscribes on its own with
+// jittered backoff, resuming from the last event seqno it applied; the
+// daemon replays anything missed in between (or resyncs the full table when
+// it cannot prove continuity — e.g. it restarted), so no invalidation is
+// lost across a reconnect.
+func (c *Client) Watch() error { return c.watch(false) }
+
+// watch coalesces concurrent subscription attempts; probe marks background
+// resubscribe attempts, whose dial failures must not refresh the down state.
+func (c *Client) watch(probe bool) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.watchDisabled {
+		c.mu.Unlock()
+		return fmt.Errorf("%w (disabled by option)", ErrWatchUnsupported)
+	}
+	if c.watchPending {
+		c.mu.Unlock()
+		return nil // an attempt is already in flight; coalesce
+	}
+	c.watchPending = true
+	c.mu.Unlock()
+	err := c.watchOnce(probe)
+	c.mu.Lock()
+	c.watchPending = false
+	c.mu.Unlock()
+	return err
+}
+
+// watchOnce performs one hello + subscribe round-trip pair.
+func (c *Client) watchOnce(probe bool) error {
+	span := c.tracer.StartTrace(trace.StageRegistryWatch)
+	resp, err := c.rpcMaybeProbe(opHello, nil, probe)
+	if err != nil {
+		span.EndErr(err)
+		return err
+	}
+	if resp.status != statusOK {
+		// A pre-watch daemon answers unknown ops with statusError: degrade
+		// to poll-on-miss without arming resubscription.
+		span.EndErr(ErrWatchUnsupported)
+		return ErrWatchUnsupported
+	}
+	caps, inst, _, perr := parseHello(resp.payload)
+	if perr != nil || caps&capWatch == 0 {
+		span.EndErr(ErrWatchUnsupported)
+		return ErrWatchUnsupported
+	}
+
+	// A different instance ID means this is not the daemon our seqno came
+	// from (restart, failover): resume from zero so the daemon resyncs the
+	// full table rather than trusting seqnos across incarnations.
+	c.mu.Lock()
+	instChanged := inst != c.watchInst
+	c.watchInst = inst
+	c.mu.Unlock()
+	c.cmu.Lock()
+	if instChanged {
+		c.watchSeq = 0
+	}
+	after := c.watchSeq
+	c.cmu.Unlock()
+
+	wresp, err := c.rpcMaybeProbe(opWatch, binary.AppendUvarint(nil, after), probe)
+	if err != nil {
+		span.EndErr(err)
+		return err
+	}
+	if wresp.status != statusOK {
+		span.EndErr(ErrWatchUnsupported)
+		return ErrWatchUnsupported
+	}
+	if seq, used := binary.Uvarint(wresp.payload); used > 0 {
+		span.N = int64(seq)
+	}
+	c.mu.Lock()
+	resumed := c.everWatched
+	c.everWatched = true
+	c.mu.Unlock()
+	if resumed {
+		c.watchResub.Inc()
+	}
+	span.End()
+	return nil
+}
+
+// onEvent applies one pushed table mutation to the caches: the negative
+// entry (if any) is purged and the entry inserted into the LRU, so the
+// staleness window of a cached miss collapses from the negative TTL to the
+// push propagation latency.
+func (c *Client) onEvent(seq uint64, rest []byte) {
+	fp, blob, err := parseEvent(rest)
+	if err != nil {
+		return
+	}
+	// Copy before decoding: the frame body aliases the pump conn's pooled
+	// read buffer, while the decoded entry outlives this call in the LRU.
+	e, derr := decodeEntry(append([]byte(nil), blob...))
+	if derr != nil || e.Format.Fingerprint() != fp {
+		return // a malformed push must not poison the cache
+	}
+	span := c.tracer.StartTrace(trace.StageRegistryWatch)
+	span.FP = fp
+	span.N = int64(seq)
+	c.cmu.Lock()
+	delete(c.neg, fp)
+	c.insertLocked(fp, e.Format, e.Xforms)
+	if seq > c.watchSeq {
+		c.watchSeq = seq
+	}
+	c.cmu.Unlock()
+	c.watchEvs.Inc()
+	span.End()
+}
+
+// scheduleResubLocked (mu held) arms one jittered resubscription attempt
+// after the backoff, if the client ever had a live subscription to resume.
+func (c *Client) scheduleResubLocked() {
+	if c.closed || c.watchDisabled || !c.everWatched || c.resubTimer != nil {
+		return
+	}
+	delay := c.backoff + time.Duration(rand.Int63n(int64(c.backoff)/2+1))
+	c.resubTimer = time.AfterFunc(delay, c.resubscribe)
+}
+
+// resubscribe is the resubTimer callback: one Watch attempt, rescheduled on
+// transient failure.
+func (c *Client) resubscribe() {
+	c.mu.Lock()
+	c.resubTimer = nil
+	if c.closed || c.conn != nil {
+		// Closed, or a foreground RPC already redialed — and every
+		// successful dial re-subscribes on its own.
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	err := c.watch(true)
+	if err == nil || errors.Is(err, ErrWatchUnsupported) || errors.Is(err, ErrClosed) {
+		return
+	}
+	c.mu.Lock()
+	c.scheduleResubLocked()
+	c.mu.Unlock()
+}
+
 // TransformsFor returns the transform meta-data registered for a
 // fingerprint, or nil when it cannot be resolved. It is the
 // core.WithTransformSource hook: consulted on the Morpher's cold decision
@@ -315,9 +524,13 @@ func (c *Client) fetch(fp uint64) (*pbio.Format, []*core.Xform, error) {
 		span.EndErr(err)
 		return nil, nil, err
 	}
-	c.misses.Inc()
+	// Counted per status below: misses are round-trips the daemon answered
+	// with an entry, unknowns the ones it answered "unknown fingerprint" —
+	// previously both inflated misses AND the repeats then counted as
+	// negative_hits, double-billing every unknown.
 	switch resp.status {
 	case statusOK:
+		c.misses.Inc()
 		e, derr := decodeEntry(resp.payload)
 		if derr != nil {
 			span.EndErr(derr)
@@ -332,6 +545,7 @@ func (c *Client) fetch(fp uint64) (*pbio.Format, []*core.Xform, error) {
 		span.End()
 		return e.Format, e.Xforms, nil
 	case statusUnknown:
+		c.unknowns.Inc()
 		c.cmu.Lock()
 		c.neg[fp] = time.Now().Add(c.negTTL)
 		c.cmu.Unlock()
@@ -347,6 +561,17 @@ func (c *Client) fetch(fp uint64) (*pbio.Format, []*core.Xform, error) {
 
 // rpc sends one request and waits for its matched response or the deadline.
 func (c *Client) rpc(op byte, payload []byte) (rpcResp, error) {
+	return c.rpcMaybeProbe(op, payload, false)
+}
+
+// rpcMaybeProbe is rpc with one twist for background watch probes: a failed
+// dial does not refresh the down state. The client already entered it when
+// the connection died, and the probe repeats every ~backoff — letting it
+// re-mark down each time would pin the client down forever, and the
+// suppressor would never re-enter the optimistic post-backoff mode the wire
+// layer's park/NACK/re-announce recovery is designed around. A probe that
+// got as far as a live connection reports failures normally.
+func (c *Client) rpcMaybeProbe(op byte, payload []byte, probe bool) (rpcResp, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -358,7 +583,10 @@ func (c *Client) rpc(op byte, payload []byte) (rpcResp, error) {
 	}
 	if c.conn == nil {
 		if err := c.dialLocked(); err != nil {
-			c.markDownLocked()
+			if !probe {
+				c.markDownLocked()
+				c.scheduleResubLocked()
+			}
 			c.mu.Unlock()
 			c.errs.Inc()
 			return rpcResp{}, err
@@ -412,6 +640,13 @@ func (c *Client) dialLocked() error {
 	}))
 	c.conn = conn
 	go c.pump(conn)
+	// Every fresh connection (re)subscribes to the invalidation stream,
+	// unless a Watch call is the very reason we are dialing. Best-effort and
+	// asynchronous: a daemon that predates watch answers with an error and
+	// the client silently stays on poll-on-miss.
+	if !c.watchDisabled && !c.watchPending {
+		go func() { _ = c.Watch() }()
+	}
 	return nil
 }
 
@@ -426,12 +661,26 @@ func (c *Client) pump(conn *wire.Conn) {
 	}
 }
 
-// onResponse matches one response frame to its waiting RPC. The payload is
-// copied: the frame body aliases a pooled buffer owned by the pump's conn.
+// onResponse matches one response frame to its waiting RPC, and dispatches
+// watch-event pushes (which have no waiting RPC — the reqID slot carries the
+// event seqno). The payload is copied: the frame body aliases a pooled
+// buffer owned by the pump's conn.
 func (c *Client) onResponse(body []byte) {
 	op, reqID, rest, err := parseHeader(body)
-	if err != nil || len(rest) < 1 || (op != opGetResp && op != opPutResp) {
-		return // not a response we understand; ignore rather than kill the conn
+	if err != nil {
+		return // not a frame we understand; ignore rather than kill the conn
+	}
+	if op == opEvent {
+		c.onEvent(reqID, rest)
+		return
+	}
+	switch op {
+	case opGetResp, opPutResp, opHelloResp, opWatchResp, opUnwatchResp:
+	default:
+		return
+	}
+	if len(rest) < 1 {
+		return
 	}
 	resp := rpcResp{status: rest[0], payload: append([]byte(nil), rest[1:]...)}
 	c.mu.Lock()
@@ -456,6 +705,10 @@ func (c *Client) connFailed(conn *wire.Conn, err error) {
 	c.failPendingLocked(err)
 	if !c.closed {
 		c.markDownLocked()
+		// The subscription died with the connection; arm a jittered
+		// background resubscribe so invalidations resume even if no
+		// foreground RPC ever redials.
+		c.scheduleResubLocked()
 	}
 }
 

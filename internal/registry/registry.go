@@ -42,16 +42,42 @@ import (
 //
 //	request:  op(1) | uvarint reqID | payload
 //	response: op(1) | uvarint reqID | status(1) | payload
+//	event:    op(1) | uvarint seq   | fp(8, LE) | entry blob
 //
 // opGet's payload is an 8-byte little-endian fingerprint; opPut's payload
 // and opGetResp's statusOK payload are an entry blob (encodeEntry). Unknown
 // ops in requests are answered with statusError so old daemons stay
 // interrogable by newer clients.
+//
+// The watch/invalidation stream rides the same frame kind. opHello's
+// statusOK response carries capability(1) | instance(8, LE) | uvarint seq —
+// a capability bitmask (capWatch), the daemon's random instance ID (so a
+// client can tell a restarted daemon from a reconnect and discard its seqno
+// bookkeeping), and the daemon's current event seqno. opWatch's payload is
+// uvarint afterSeq, the last event seqno the client has applied (0 = none);
+// the statusOK response echoes the daemon's current seqno, and from then on
+// the daemon pushes one opEvent per table mutation with seq > afterSeq —
+// replayed from a bounded ring, or as a full-table resync when the ring no
+// longer reaches back far enough (or the client's seqno belongs to another
+// instance). opEvent reuses the reqID varint slot as the event seqno and is
+// never answered. opUnwatch cancels the subscription.
 const (
-	opGet     byte = 1 // resolve fingerprint → entry
-	opPut     byte = 2 // publish entry
-	opGetResp byte = 3
-	opPutResp byte = 4
+	opGet         byte = 1 // resolve fingerprint → entry
+	opPut         byte = 2 // publish entry
+	opGetResp     byte = 3
+	opPutResp     byte = 4
+	opHello       byte = 5 // capability/instance/seqno probe
+	opHelloResp   byte = 6
+	opWatch       byte = 7 // subscribe to table mutations after a seqno
+	opWatchResp   byte = 8
+	opEvent       byte = 9 // daemon push: one new/changed entry
+	opUnwatch     byte = 10
+	opUnwatchResp byte = 11
+)
+
+// Capability bits advertised in the opHello response.
+const (
+	capWatch byte = 1 << 0 // daemon supports opWatch/opEvent/opUnwatch
 )
 
 // Response status codes.
@@ -73,6 +99,12 @@ var (
 
 	// ErrClosed is returned by operations on a closed client.
 	ErrClosed = errors.New("registry: client closed")
+
+	// ErrWatchUnsupported is returned by Watch when the daemon predates the
+	// watch protocol (its hello does not advertise capWatch, or it answers
+	// opHello with an error as pre-watch daemons do). The client then stays
+	// on poll-on-miss resolution — the PR 4 behavior — without retrying.
+	ErrWatchUnsupported = errors.New("registry: daemon does not support watch")
 
 	// errBadEntry wraps malformed entry blobs.
 	errBadEntry = errors.New("registry: malformed entry")
@@ -158,6 +190,50 @@ func appendResponse(dst []byte, op byte, reqID uint64, status byte, payload []by
 	dst = binary.AppendUvarint(dst, reqID)
 	dst = append(dst, status)
 	return append(dst, payload...)
+}
+
+// appendEvent frames one watch-event push: the reqID varint slot carries the
+// event seqno, the payload is the fingerprint plus the entry blob.
+func appendEvent(dst []byte, seq, fp uint64, blob []byte) []byte {
+	dst = append(dst, opEvent)
+	dst = binary.AppendUvarint(dst, seq)
+	var key [8]byte
+	binary.LittleEndian.PutUint64(key[:], fp)
+	dst = append(dst, key[:]...)
+	return append(dst, blob...)
+}
+
+// parseEvent splits an opEvent payload (everything after the seqno varint)
+// into fingerprint and entry blob.
+func parseEvent(rest []byte) (fp uint64, blob []byte, err error) {
+	if len(rest) < 8 {
+		return 0, nil, fmt.Errorf("registry: short watch event (%d bytes)", len(rest))
+	}
+	return binary.LittleEndian.Uint64(rest[:8]), rest[8:], nil
+}
+
+// appendHello frames the opHello statusOK response payload: capability
+// bitmask, daemon instance ID, current event seqno.
+func appendHello(dst []byte, caps byte, instance, seq uint64) []byte {
+	dst = append(dst, caps)
+	var inst [8]byte
+	binary.LittleEndian.PutUint64(inst[:], instance)
+	dst = append(dst, inst[:]...)
+	return binary.AppendUvarint(dst, seq)
+}
+
+// parseHello decodes an opHello statusOK response payload.
+func parseHello(b []byte) (caps byte, instance, seq uint64, err error) {
+	if len(b) < 9 {
+		return 0, 0, 0, fmt.Errorf("registry: short hello response (%d bytes)", len(b))
+	}
+	caps = b[0]
+	instance = binary.LittleEndian.Uint64(b[1:9])
+	seq, used := binary.Uvarint(b[9:])
+	if used <= 0 {
+		return 0, 0, 0, errors.New("registry: bad hello seqno")
+	}
+	return caps, instance, seq, nil
 }
 
 // parseHeader splits op and reqID off an RPC frame body, returning the rest.

@@ -274,4 +274,41 @@ func TestRegistryzHandler(t *testing.T) {
 	if snap.Count != 1 || len(snap.Entries) != 1 || snap.Entries[0].Format != "zz" {
 		t.Fatalf("registryz = %+v", snap)
 	}
+	if snap.WatchSeq != 1 {
+		t.Fatalf("watch_seq = %d, want 1 (one Put = one event)", snap.WatchSeq)
+	}
+	if len(snap.Watchers) != 0 {
+		t.Fatalf("watchers = %+v, want none", snap.Watchers)
+	}
+}
+
+// TestRegistryzWatchers: live subscriptions show up in the debug snapshot
+// with their delivery progress.
+func TestRegistryzWatchers(t *testing.T) {
+	s, addr := startDaemon(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := NewClient(addr)
+	defer c.Close()
+	if err := c.Watch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(testFormat(t, "watched", 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "watcher visible in registryz", func() bool {
+		res, err := ts.Client().Get(ts.URL + RegistryzPath)
+		if err != nil {
+			return false
+		}
+		defer res.Body.Close()
+		var snap registryzSnapshot
+		if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+			return false
+		}
+		return len(snap.Watchers) == 1 && snap.Watchers[0].SentSeq >= 1 &&
+			snap.Watchers[0].Remote != "" && snap.WatchSeq >= 1
+	})
 }

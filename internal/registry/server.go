@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -35,6 +36,32 @@ type tableEntry struct {
 	hits    atomic.Uint64
 }
 
+// watchRingCap bounds the server's replay ring: a resubscribing client whose
+// last-applied seqno is still within the ring gets exactly the events it
+// missed; one that fell further behind gets a full-table resync instead.
+const watchRingCap = 256
+
+// watchEvent is one table mutation as retained for replay. The blob aliases
+// the stored tableEntry's (immutable) blob, so the ring costs headers only.
+type watchEvent struct {
+	seq  uint64
+	fp   uint64
+	blob []byte
+}
+
+// watcher is one live subscription: a per-connection cursor into the event
+// sequence. next/sent/stopped are guarded by the server's watchMu; its pump
+// goroutine is the only writer of event frames on the connection.
+type watcher struct {
+	conn    *wire.Conn
+	remote  string
+	since   time.Time
+	next    uint64 // next seqno to send
+	sent    uint64 // last seqno written (0 = none yet)
+	resyncs uint64 // full-table replays served to this subscription
+	stopped bool
+}
+
 // Server is the format-registry daemon core: a fingerprint-keyed table of
 // format + transform meta-data served over wire framing. cmd/formatd wraps
 // it with flags, signals and the debug HTTP server; tests embed it directly.
@@ -49,15 +76,27 @@ type Server struct {
 	active map[net.Conn]struct{}
 	closed bool
 
+	// Watch/invalidation stream state. Lock order: mu before watchMu (put
+	// appends events while holding mu; pumps never hold watchMu while taking
+	// mu). instance is fixed at construction so clients can detect restarts.
+	watchMu   sync.Mutex
+	watchCond *sync.Cond
+	watchers  map[*wire.Conn]*watcher
+	ring      []watchEvent
+	seq       uint64 // seqno of the latest event (0 = none)
+	instance  uint64
+
 	snapshotPath string // "" = snapshots disabled
 
-	reg   *obs.Registry
-	gets  *obs.Counter
-	puts  *obs.Counter
-	unk   *obs.Counter
-	rerrs *obs.Counter
-	conns *obs.Gauge
-	size  *obs.Gauge
+	reg      *obs.Registry
+	gets     *obs.Counter
+	puts     *obs.Counter
+	unk      *obs.Counter
+	rerrs    *obs.Counter
+	conns    *obs.Gauge
+	size     *obs.Gauge
+	watchEvs   *obs.Counter
+	watchGauge *obs.Gauge
 }
 
 // ServerOption configures a Server.
@@ -82,7 +121,12 @@ func WithSnapshotPath(path string) ServerOption {
 // final frame, which is the expected shape of a crash mid-snapshot and
 // drops only the entry being written.
 func NewServer(opts ...ServerOption) (*Server, error) {
-	s := &Server{table: make(map[uint64]*tableEntry)}
+	s := &Server{
+		table:    make(map[uint64]*tableEntry),
+		watchers: make(map[*wire.Conn]*watcher),
+		instance: uint64(time.Now().UnixNano()) ^ rand.Uint64(),
+	}
+	s.watchCond = sync.NewCond(&s.watchMu)
 	for _, o := range opts {
 		o(s)
 	}
@@ -92,6 +136,8 @@ func NewServer(opts ...ServerOption) (*Server, error) {
 	s.rerrs = s.reg.Counter("formatd.rpc_errors")
 	s.conns = s.reg.Gauge("formatd.conns")
 	s.size = s.reg.Gauge("formatd.entries")
+	s.watchEvs = s.reg.Counter("formatd.watch_events")
+	s.watchGauge = s.reg.Gauge("formatd.watchers")
 	if s.snapshotPath != "" {
 		if err := s.loadSnapshot(); err != nil {
 			return nil, err
@@ -133,12 +179,32 @@ func (s *Server) put(fp uint64, blob []byte, persist bool) error {
 	s.mu.Lock()
 	s.table[fp] = te
 	s.size.Set(int64(len(s.table)))
+	// Append the mutation to the watch stream while still holding mu, so
+	// event order matches table order (two racing puts on one fingerprint
+	// leave the table and the last event agreeing). Snapshot loads count
+	// too: they advance the seqno past the preloaded entries, so a fresh
+	// subscriber (afterSeq 0) replays the whole restored table.
+	s.appendEventLocked(fp, blob)
 	if persist {
 		err = s.saveSnapshotLocked()
 	}
 	s.mu.Unlock()
 	s.puts.Inc()
 	return err
+}
+
+// appendEventLocked (mu held) records one table mutation in the replay ring
+// and wakes every watcher pump.
+func (s *Server) appendEventLocked(fp uint64, blob []byte) {
+	s.watchMu.Lock()
+	s.seq++
+	if len(s.ring) >= watchRingCap {
+		copy(s.ring, s.ring[1:])
+		s.ring = s.ring[:len(s.ring)-1]
+	}
+	s.ring = append(s.ring, watchEvent{seq: s.seq, fp: fp, blob: blob})
+	s.watchCond.Broadcast()
+	s.watchMu.Unlock()
 }
 
 // getBlob returns the encoded entry for fp, or nil.
@@ -170,6 +236,14 @@ func (s *Server) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.table)
+}
+
+// WatchSeq returns the current event seqno: the number of table mutations
+// (including snapshot-restored entries) the watch stream has ever emitted.
+func (s *Server) WatchSeq() uint64 {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	return s.seq
 }
 
 // Serve accepts registry connections on ln until the listener closes.
@@ -222,6 +296,16 @@ func (s *Server) Close() error {
 		conns = append(conns, nc)
 	}
 	s.connMu.Unlock()
+	// Stop every watcher pump: the connections are about to die, but a pump
+	// parked in cond.Wait would otherwise leak.
+	s.watchMu.Lock()
+	for conn, w := range s.watchers {
+		w.stopped = true
+		delete(s.watchers, conn)
+		s.watchGauge.Add(-1)
+	}
+	s.watchCond.Broadcast()
+	s.watchMu.Unlock()
 	var err error
 	for _, ln := range lns {
 		if cerr := ln.Close(); cerr != nil && err == nil {
@@ -249,6 +333,7 @@ func (s *Server) handle(nc net.Conn) {
 		return s.dispatch(conn, body)
 	}))
 	defer conn.Close()
+	defer s.dropWatcher(conn)
 	for {
 		if _, _, err := conn.ReadEncoded(); err != nil {
 			return // EOF, peer reset, or a protocol violation: drop the conn
@@ -288,9 +373,120 @@ func (s *Server) dispatch(conn *wire.Conn, body []byte) error {
 			return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusError, []byte(perr.Error())))
 		}
 		return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusOK, nil))
+	case opHello:
+		s.watchMu.Lock()
+		seq := s.seq
+		s.watchMu.Unlock()
+		return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opHelloResp, reqID, statusOK,
+			appendHello(nil, capWatch, s.instance, seq)))
+	case opWatch:
+		afterSeq, used := binary.Uvarint(payload)
+		if used <= 0 {
+			s.rerrs.Inc()
+			return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opWatchResp, reqID, statusError, []byte("bad afterSeq")))
+		}
+		seq := s.subscribe(conn, afterSeq)
+		return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opWatchResp, reqID, statusOK,
+			binary.AppendUvarint(nil, seq)))
+	case opUnwatch:
+		s.dropWatcher(conn)
+		return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opUnwatchResp, reqID, statusOK, nil))
 	default:
 		s.rerrs.Inc()
 		return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opGetResp, reqID, statusError, []byte("unknown op")))
+	}
+}
+
+// subscribe registers (or rewinds) the connection's watcher so that every
+// event with seq > afterSeq reaches it, and returns the current seqno. The
+// first opWatch on a connection spawns its pump goroutine; a repeat opWatch
+// just moves the cursor, so a client that resubscribes over a live
+// connection is idempotent.
+func (s *Server) subscribe(conn *wire.Conn, afterSeq uint64) uint64 {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	w := s.watchers[conn]
+	if w == nil {
+		remote := ""
+		if ra := conn.RemoteAddr(); ra != nil {
+			remote = ra.String()
+		}
+		w = &watcher{conn: conn, remote: remote, since: time.Now()}
+		s.watchers[conn] = w
+		s.watchGauge.Add(1)
+		go s.watchPump(w)
+	}
+	w.next = afterSeq + 1
+	s.watchCond.Broadcast()
+	return s.seq
+}
+
+// dropWatcher cancels the connection's subscription (if any) and wakes its
+// pump so it can exit.
+func (s *Server) dropWatcher(conn *wire.Conn) {
+	s.watchMu.Lock()
+	if w := s.watchers[conn]; w != nil {
+		w.stopped = true
+		delete(s.watchers, conn)
+		s.watchGauge.Add(-1)
+		s.watchCond.Broadcast()
+	}
+	s.watchMu.Unlock()
+}
+
+// watchPump streams events to one watcher until it stops. It is the only
+// writer of opEvent frames on the connection (RPC responses interleave
+// safely through the wire layer's write lock). When the watcher's cursor
+// precedes the replay ring — it fell more than watchRingCap events behind,
+// or it resumed with a seqno from a previous daemon incarnation — the pump
+// degrades to a full-table resync: every current entry is pushed with the
+// current seqno, which over-delivers but never under-delivers (events are
+// idempotent upserts).
+func (s *Server) watchPump(w *watcher) {
+	for {
+		s.watchMu.Lock()
+		for !w.stopped && w.next == s.seq+1 {
+			s.watchCond.Wait()
+		}
+		if w.stopped {
+			s.watchMu.Unlock()
+			return
+		}
+		var evs []watchEvent
+		resync := false
+		target := s.seq
+		if w.next <= target && len(s.ring) > 0 && w.next >= s.ring[0].seq {
+			evs = append(evs, s.ring[w.next-s.ring[0].seq:]...)
+		} else {
+			resync = true
+			w.resyncs++
+		}
+		w.next = target + 1
+		s.watchMu.Unlock()
+
+		if resync {
+			// Outside watchMu (lock order: mu before watchMu). Entries put
+			// after target are both in this copy and replayed as events with
+			// higher seqnos — duplicates are harmless.
+			s.mu.RLock()
+			evs = make([]watchEvent, 0, len(s.table))
+			for fp, te := range s.table {
+				evs = append(evs, watchEvent{seq: target, fp: fp, blob: te.blob})
+			}
+			s.mu.RUnlock()
+		}
+		for _, ev := range evs {
+			if err := w.conn.WriteControl(wire.FrameRegistry, appendEvent(nil, ev.seq, ev.fp, ev.blob)); err != nil {
+				s.dropWatcher(w.conn)
+				return
+			}
+			s.watchEvs.Inc()
+		}
+		if len(evs) > 0 {
+			s.watchMu.Lock()
+			w.sent = evs[len(evs)-1].seq
+			s.watchMu.Unlock()
+		}
 	}
 }
 
@@ -378,13 +574,23 @@ type registryzEntry struct {
 	AddedAt     time.Time `json:"added_at"`
 }
 
+// registryzWatcher is one live subscription in the /debug/registryz JSON.
+type registryzWatcher struct {
+	Remote  string    `json:"remote"`
+	SentSeq uint64    `json:"sent_seq"`
+	Resyncs uint64    `json:"resyncs"`
+	Since   time.Time `json:"since"`
+}
+
 // registryzSnapshot is the /debug/registryz JSON document.
 type registryzSnapshot struct {
-	Entries []registryzEntry `json:"entries"`
-	Count   int              `json:"count"`
-	Gets    uint64           `json:"gets"`
-	Puts    uint64           `json:"puts"`
-	Unknown uint64           `json:"unknown"`
+	Entries  []registryzEntry   `json:"entries"`
+	Count    int                `json:"count"`
+	Gets     uint64             `json:"gets"`
+	Puts     uint64             `json:"puts"`
+	Unknown  uint64             `json:"unknown"`
+	WatchSeq uint64             `json:"watch_seq"`
+	Watchers []registryzWatcher `json:"watchers"`
 }
 
 // Handler returns the /debug/registryz HTTP handler: the full table as JSON
@@ -417,13 +623,31 @@ func (s *Server) Handler() http.Handler {
 		s.mu.RUnlock()
 		snap.Count = len(snap.Entries)
 
+		s.watchMu.Lock()
+		snap.WatchSeq = s.seq
+		snap.Watchers = make([]registryzWatcher, 0, len(s.watchers))
+		for _, wa := range s.watchers {
+			snap.Watchers = append(snap.Watchers, registryzWatcher{
+				Remote:  wa.remote,
+				SentSeq: wa.sent,
+				Resyncs: wa.resyncs,
+				Since:   wa.since,
+			})
+		}
+		s.watchMu.Unlock()
+		sort.Slice(snap.Watchers, func(i, j int) bool { return snap.Watchers[i].Remote < snap.Watchers[j].Remote })
+
 		if req.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprintf(w, "# formatd table: %d entries (gets=%d puts=%d unknown=%d)\n",
-				snap.Count, snap.Gets, snap.Puts, snap.Unknown)
+			fmt.Fprintf(w, "# formatd table: %d entries (gets=%d puts=%d unknown=%d seq=%d watchers=%d)\n",
+				snap.Count, snap.Gets, snap.Puts, snap.Unknown, snap.WatchSeq, len(snap.Watchers))
 			for _, e := range snap.Entries {
 				fmt.Fprintf(w, "%s %-20s fields=%d xforms=%d hits=%d\n",
 					e.Fingerprint, e.Format, e.Fields, e.Xforms, e.Hits)
+			}
+			for _, wa := range snap.Watchers {
+				fmt.Fprintf(w, "watch %-21s sent_seq=%d resyncs=%d since=%s\n",
+					wa.Remote, wa.SentSeq, wa.Resyncs, wa.Since.Format(time.RFC3339))
 			}
 			return
 		}

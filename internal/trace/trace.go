@@ -128,6 +128,11 @@ const (
 	// stages are appended here — the numbering is observable in span dumps
 	// and must stay stable.
 	StageRegistryFetch // registry client Get/Put round-trip
+
+	// StageRegistryWatch covers the registry watch stream: one span per
+	// subscription handshake (hello + watch, N = the daemon's seqno) and one
+	// per applied invalidation event (FP = the entry, N = its seqno).
+	StageRegistryWatch // registry watch subscribe / applied event
 )
 
 var stageNames = [...]string{
@@ -145,6 +150,7 @@ var stageNames = [...]string{
 	StageDeliver:     "deliver",
 
 	StageRegistryFetch: "registry_fetch",
+	StageRegistryWatch: "registry_watch",
 }
 
 // String returns the stage's snake_case name ("unknown" for out-of-range

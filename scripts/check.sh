@@ -19,6 +19,11 @@ echo "== morphbench trace (writes BENCH_trace.json)"
 go run ./cmd/morphbench -exp trace -quick
 echo "== morphbench registry (writes BENCH_registry.json)"
 go run ./cmd/morphbench -exp registry -quick
+echo "== morphbench watch (writes BENCH_watch.json)"
+go run ./cmd/morphbench -exp watch -quick
+echo "== registry watch/reconnect suite (race-enabled)"
+go test -race -count=1 -run 'TestWatch|TestRegisterPurgesNegativeCache|TestConcurrentResolveRegisterWatch' \
+    ./internal/registry/
 echo "== formatd smoke (random ports, e2e interop, registryz JSON)"
 tmpdir=$(mktemp -d)
 trap 'kill "$formatd_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
@@ -34,8 +39,8 @@ debug_url=$(sed -n 's/.*debug endpoints on \(http:[^ ]*\).*/\1/p' "$tmpdir/forma
 [ -n "$debug_url" ] || { echo "formatd never became ready:"; cat "$tmpdir/formatd.log"; exit 1; }
 go test -run 'TestRegistryOnlyInterop|TestRegistryDownFallback|TestFormatdDeathMidRun' \
     -count=1 ./internal/echo/
-curl -sf "$debug_url" | jq -e '.count >= 0' >/dev/null \
-    || { echo "registryz did not serve valid JSON"; exit 1; }
+curl -sf "$debug_url" | jq -e '.count >= 0 and .watch_seq >= 0 and (.watchers | type == "array")' >/dev/null \
+    || { echo "registryz did not serve valid JSON (count/watch_seq/watchers)"; exit 1; }
 kill "$formatd_pid"
 echo "== fuzz smoke (wire frame parser, 10s)"
 go test -run xxx -fuzz FuzzConnReadFrames -fuzztime 10s ./internal/wire/
