@@ -3,7 +3,7 @@
 // protocol generations. Run each role in its own terminal (or use -role all
 // for a single-process demonstration):
 //
-//	echodemo -role server  -addr :7400
+//	echodemo -role server  -addr :7400 [-debug :7401]
 //	echodemo -role oldsink -addr localhost:7400     (v1.0-only client)
 //	echodemo -role newsink -addr localhost:7400
 //	echodemo -role publish -addr localhost:7400 -n 5
@@ -23,7 +23,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/echo"
+	"repro/internal/obs"
 	"repro/internal/pbio"
+	"repro/internal/trace"
 )
 
 // Event payload formats: v2 adds a "volume" field and switches price to
@@ -48,6 +50,7 @@ func main() {
 		addr    = flag.String("addr", "localhost:7400", "event domain address")
 		channel = flag.String("channel", "quotes", "event channel to join")
 		n       = flag.Int("n", 3, "events to publish (publish role)")
+		debug   = flag.String("debug", "", "debug HTTP listen address for the server role (empty = disabled)")
 	)
 	flag.Parse()
 	log.SetFlags(log.Lmicroseconds)
@@ -55,7 +58,7 @@ func main() {
 	var err error
 	switch *role {
 	case "server":
-		err = runServer(*addr)
+		err = runServer(*addr, *debug)
 	case "publish":
 		err = runPublisher(*addr, *channel, *n)
 	case "oldsink":
@@ -73,10 +76,37 @@ func main() {
 	}
 }
 
-func runServer(addr string) error {
-	srv := echo.NewServer()
-	log.Printf("event domain (ECho v2.0) listening on %s", addr)
-	return srv.ListenAndServe(addr)
+// runServer hosts the event domain. With -debug, the full telemetry plane
+// (/debug/morphz, /debug/tracez, /metrics, /healthz, /readyz, /debug/) is
+// mounted on its own listener and the bound address is logged so scripts
+// can scrape it (scripts/check.sh parses the "debug endpoints on" line).
+func runServer(addr, debug string) error {
+	opts := []echo.ServerOption{}
+	if debug != "" {
+		opts = append(opts,
+			echo.WithObs(obs.NewRegistry("echodemo")),
+			echo.WithTracer(trace.New(trace.Config{Capacity: trace.DefaultCapacity})),
+			echo.WithMorphzAddr(debug),
+		)
+	}
+	srv := echo.NewServer(opts...)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("event domain (ECho v2.0) listening on %s", ln.Addr())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	if debug != "" {
+		deadline := time.Now().Add(5 * time.Second)
+		for srv.MorphzAddr() == nil && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if dbg := srv.MorphzAddr(); dbg != nil {
+			log.Printf("debug endpoints on http://%s%s", dbg, obs.DebugIndexPath)
+		}
+	}
+	return <-done
 }
 
 func runPublisher(addr, channel string, n int) error {

@@ -8,8 +8,11 @@
 //	formatd -addr :7500 -debug :7501 -snapshot /var/lib/formatd/table.spool
 //
 // The debug listener serves /debug/registryz (the live table, the event
-// seqno, and every live watch subscription) and /debug/morphz (the daemon's
-// own obs instruments). With -snapshot, the table is persisted through the
+// seqno, and every live watch subscription), /debug/morphz (the daemon's
+// own obs instruments), /metrics (the same instruments in Prometheus text
+// exposition), /healthz + /readyz (liveness and probed readiness: RPC
+// listener accepting, snapshot spool writable), and a /debug/ index listing
+// the whole surface. With -snapshot, the table is persisted through the
 // self-describing spool framing and reloaded on restart, so a bounce loses
 // nothing.
 //
@@ -28,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/registry"
@@ -73,10 +77,30 @@ func run(addr, debug, snapshot string, ready chan<- string) error {
 	log.Printf("format registry listening on %s (watch streams enabled, event seq %d)", ln.Addr(), srv.WatchSeq())
 
 	if debug != "" {
-		dbg, err := obs.Serve(debug, reg, obs.Mount{
-			Path:    registry.RegistryzPath,
-			Handler: srv.Handler(),
+		// Readiness probes: the RPC listener must be accepting (verified
+		// with a bounded self-dial) and, when persistence is on, the last
+		// snapshot write must have succeeded.
+		health := obs.NewHealth()
+		rpcAddr := ln.Addr().String()
+		health.Register("listener", func() error {
+			c, err := net.DialTimeout("tcp", rpcAddr, time.Second)
+			if err != nil {
+				return fmt.Errorf("rpc listener not accepting: %w", err)
+			}
+			_ = c.Close()
+			return nil
 		})
+		if snapshot != "" {
+			health.Register("spool", srv.SpoolHealthy)
+		}
+		dbg, err := obs.Serve(debug, reg,
+			obs.Mount{
+				Path:    registry.RegistryzPath,
+				Handler: srv.Handler(obs.DebugIndexPath, obs.MetricsPath, obs.MorphzPath),
+			},
+			obs.Mount{Path: obs.HealthzPath, Handler: health.HealthzHandler()},
+			obs.Mount{Path: obs.ReadyzPath, Handler: health.ReadyzHandler()},
+		)
 		if err != nil {
 			return err
 		}

@@ -3,13 +3,16 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pbio"
 	"repro/internal/registry"
 )
@@ -108,6 +111,37 @@ func TestRegistryzEndToEnd(t *testing.T) {
 	}
 	if doc.Count != 0 {
 		t.Fatalf("fresh daemon reports %d entries", doc.Count)
+	}
+
+	// The rest of the telemetry plane rides the same listener: Prometheus
+	// exposition, liveness, and probed readiness (listener self-dial; no
+	// spool probe without -snapshot).
+	get := func(path string) (int, string) {
+		t.Helper()
+		res, err := http.Get("http://" + dbg + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer res.Body.Close()
+		var buf strings.Builder
+		if _, err := io.Copy(&buf, res.Body); err != nil {
+			t.Fatal(err)
+		}
+		return res.StatusCode, buf.String()
+	}
+	if code, body := get(obs.MetricsPath); code != 200 ||
+		!strings.Contains(body, "# TYPE morph_formatd_entries gauge") {
+		t.Errorf("/metrics = %d, want formatd series:\n%s", code, body)
+	}
+	if code, body := get(obs.HealthzPath); code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(obs.ReadyzPath); code != 200 || !strings.Contains(body, `"listener"`) {
+		t.Errorf("/readyz = %d, want 200 with a listener probe: %s", code, body)
+	}
+	if code, body := get(obs.DebugIndexPath); code != 200 ||
+		!strings.Contains(body, registry.RegistryzPath) {
+		t.Errorf("/debug/ index = %d, want listing including registryz:\n%s", code, body)
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	morphbench [-exp all|table1|fig8|fig9|fig10|pipeline|trace|registry|watch|ablations] [-quick] [-csv dir] [-obs]
+//	morphbench [-exp all|table1|fig8|fig9|fig10|pipeline|trace|registry|watch|obsload|ablations] [-quick] [-csv dir] [-obs]
 package main
 
 import (
@@ -32,7 +32,7 @@ func main() {
 func run(stdout io.Writer, args []string) error {
 	fs := flag.NewFlagSet("morphbench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, pipeline, trace, registry, watch, ablations")
+		exp       = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, pipeline, trace, registry, watch, obsload, ablations")
 		quick     = fs.Bool("quick", false, "shorter measuring windows and smaller max size (for CI)")
 		csvDir    = fs.String("csv", "", "also write CSV files into this directory")
 		withObs   = fs.Bool("obs", false, "attach an observability registry and print its final snapshot as JSON")
@@ -40,6 +40,7 @@ func run(stdout io.Writer, args []string) error {
 		traceJSON = fs.String("tracejson", "BENCH_trace.json", "file the trace experiment writes its results to (empty disables)")
 		regJSON   = fs.String("registryjson", "BENCH_registry.json", "file the registry experiment writes its results to (empty disables)")
 		watchJSON = fs.String("watchjson", "BENCH_watch.json", "file the watch experiment writes its results to (empty disables)")
+		obsJSON   = fs.String("obsjson", "BENCH_obs.json", "file the obsload experiment writes its results to (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -184,6 +185,16 @@ func run(stdout io.Writer, args []string) error {
 		}
 		bench.PrintWatch(stdout, result)
 		if err := writeJSON(*watchJSON, result); err != nil {
+			return err
+		}
+	}
+	if want("obsload") {
+		results, err := h.ObsLoadSweep(opts.MinTotal)
+		if err != nil {
+			return err
+		}
+		bench.PrintObsLoad(stdout, results)
+		if err := writeJSON(*obsJSON, results); err != nil {
 			return err
 		}
 	}

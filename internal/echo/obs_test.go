@@ -139,9 +139,28 @@ func TestMorphzEndToEnd(t *testing.T) {
 	if snap.Counters["echo.delivered"] < events {
 		t.Errorf("echo.delivered = %d, want >= %d", snap.Counters["echo.delivered"], events)
 	}
-	if snap.Counters["echo.channel.q.delivered"] < events {
-		t.Errorf("echo.channel.q.delivered = %d, want >= %d",
-			snap.Counters["echo.channel.q.delivered"], events)
+	chDelivered := obs.LabeledName("echo.channel.delivered", "channel", "q")
+	if snap.Counters[chDelivered] < events {
+		t.Errorf("%s = %d, want >= %d", chDelivered, snap.Counters[chDelivered], events)
+	}
+	// Per-sink delivery accounting: the sink joined first, so it holds
+	// member ID 1. Lag must have one sample per delivery; the in-flight
+	// gauges must be back at zero between fan-outs.
+	sinkLag := obs.LabeledName("echo.sink.lag_ns", "channel", "q", "sink", "1")
+	if h := snap.Histograms[sinkLag]; h.Count < events || h.Sum == 0 {
+		t.Errorf("%s = %+v, want >= %d nonzero samples", sinkLag, h, events)
+	}
+	for _, g := range []string{
+		obs.LabeledName("echo.sink.queue_depth", "channel", "q", "sink", "1"),
+		obs.LabeledName("echo.sink.bytes_pending", "channel", "q", "sink", "1"),
+	} {
+		if v, ok := snap.Gauges[g]; !ok || v != 0 {
+			t.Errorf("%s = %d (present=%v), want 0 between fan-outs", g, v, ok)
+		}
+	}
+	chLag := obs.LabeledName("echo.channel.lag_ns", "channel", "q")
+	if h := snap.Histograms[chLag]; h.Count < events {
+		t.Errorf("%s count = %d, want >= %d", chLag, h.Count, events)
 	}
 	if snap.Gauges["echo.members"] != 2 {
 		t.Errorf("echo.members = %d, want 2", snap.Gauges["echo.members"])
@@ -195,6 +214,16 @@ func TestMembersGaugeDrops(t *testing.T) {
 		}
 	}
 	waitGauge(1)
+	// While the sink is joined its per-sink series exist...
+	lagName := obs.LabeledName("echo.sink.lag_ns", "channel", "g", "sink", "1")
+	if _, ok := reg.Snapshot().Histograms[lagName]; !ok {
+		t.Errorf("joined sink has no %s series", lagName)
+	}
 	_ = sub.Close()
 	waitGauge(0)
+	// ...and they are garbage-collected when it leaves, so per-sink series
+	// do not accumulate forever under subscriber churn.
+	if _, ok := reg.Snapshot().Histograms[lagName]; ok {
+		t.Errorf("%s series survived the sink leaving", lagName)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	httppprof "net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -133,11 +134,18 @@ func NewServer(opts ...ServerOption) *Server {
 type channel struct {
 	id string
 
-	// om points at the server's instrument handles; perDelivered counts
-	// this channel's deliveries alone ("echo.channel.<id>.delivered").
-	// Both are inert when observability is disabled, as is tracer.
+	// om points at the server's instrument handles; the per* instruments
+	// aggregate this channel's deliveries alone, as labeled series
+	// (`echo.channel.delivered{channel="<id>"}` and friends). obsReg is the
+	// owning registry, kept for per-sink series garbage collection when a
+	// subscriber leaves. Everything is inert when observability is
+	// disabled, as is tracer.
 	om           *echoObs
+	obsReg       *obs.Registry
 	perDelivered *obs.Counter
+	perLagNS     *obs.Histogram
+	perDrops     *obs.Counter
+	perSlow      *obs.Counter
 	tracer       *trace.Tracer
 	reg          *registry.Client
 
@@ -155,9 +163,61 @@ type eventMeta struct {
 	xforms []*core.Xform
 }
 
+// SlowDeliveryNS is the slow-consumer threshold: a delivery whose
+// publish-to-flush lag reaches it increments the sink's (and channel's)
+// slow counter. Healthy local deliveries run in the tens of microseconds;
+// a millisecond of lag means a consumer is not draining.
+const SlowDeliveryNS = int64(time.Millisecond)
+
+// sinkObs holds one sink subscriber's delivery-accounting instruments, all
+// labeled `{channel="...",sink="<member id>"}` so /metrics separates the
+// slow consumer from its well-behaved neighbors:
+//
+//	echo.sink.lag_ns        delivery lag (publish receipt → write flushed)
+//	echo.sink.queue_depth   deliveries currently in flight to this sink
+//	echo.sink.bytes_pending bytes of those in-flight deliveries
+//	echo.sink.dropped       deliveries aborted by a write failure
+//	echo.sink.slow          deliveries slower than SlowDeliveryNS
+//
+// With the current synchronous fan-out, queue_depth/bytes_pending bracket
+// the blocking write: a stuck consumer shows depth pinned at 1 with its
+// event's bytes pending, exactly the series the planned sharded fan-out
+// will widen. All fields are nil (no-op) when observability is disabled.
+type sinkObs struct {
+	lagNS   *obs.Histogram
+	depth   *obs.Gauge
+	pending *obs.Gauge
+	dropped *obs.Counter
+	slow    *obs.Counter
+	names   []string // registered series names, removed when the sink leaves
+}
+
+func newSinkObs(reg *obs.Registry, channel string, id int32) sinkObs {
+	sink := strconv.Itoa(int(id))
+	names := []string{
+		obs.LabeledName("echo.sink.lag_ns", "channel", channel, "sink", sink),
+		obs.LabeledName("echo.sink.queue_depth", "channel", channel, "sink", sink),
+		obs.LabeledName("echo.sink.bytes_pending", "channel", channel, "sink", sink),
+		obs.LabeledName("echo.sink.dropped", "channel", channel, "sink", sink),
+		obs.LabeledName("echo.sink.slow", "channel", channel, "sink", sink),
+	}
+	return sinkObs{
+		lagNS:   reg.Histogram(names[0]),
+		depth:   reg.Gauge(names[1]),
+		pending: reg.Gauge(names[2]),
+		dropped: reg.Counter(names[3]),
+		slow:    reg.Counter(names[4]),
+		names:   names,
+	}
+}
+
 type memberConn struct {
 	conn   *wire.Conn
 	member Member
+
+	// so carries the member's per-sink delivery accounting (zero-valued,
+	// all-nil when observability is off or the member is not a sink).
+	so sinkObs
 
 	// filter is the member's derived-channel predicate (E-Code over a
 	// record parameter named "event"); empty means "deliver everything".
@@ -225,7 +285,11 @@ func (s *Server) channelFor(id string) *channel {
 	if !ok {
 		ch = &channel{id: id, om: &s.om, tracer: s.tracer, reg: s.registry, members: make(map[*memberConn]Member)}
 		if s.obs != nil {
-			ch.perDelivered = s.obs.Counter("echo.channel." + id + ".delivered")
+			ch.obsReg = s.obs
+			ch.perDelivered = s.obs.Counter(obs.LabeledName("echo.channel.delivered", "channel", id))
+			ch.perLagNS = s.obs.Histogram(obs.LabeledName("echo.channel.lag_ns", "channel", id))
+			ch.perDrops = s.obs.Counter(obs.LabeledName("echo.channel.drops", "channel", id))
+			ch.perSlow = s.obs.Counter(obs.LabeledName("echo.channel.slow", "channel", id))
 		}
 		s.channels[id] = ch
 	}
@@ -275,7 +339,43 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Unlock()
 
 	if startMorphz {
-		mounts := []obs.Mount{{Path: trace.TracezPath, Handler: trace.Handler(s.tracer)}}
+		// Health endpoints: /healthz is pure liveness; /readyz probes the
+		// components a working event domain depends on.
+		health := obs.NewHealth()
+		health.Register("listener", func() error {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.closed {
+				return errors.New("server closed")
+			}
+			if s.ln == nil {
+				return errors.New("no listener bound")
+			}
+			return nil
+		})
+		if s.registry != nil {
+			health.Register("registry", func() error {
+				if s.registry.Down() {
+					return errors.New("format registry unreachable (down/backed off)")
+				}
+				return nil
+			})
+			// The watch probe reports the invalidation stream: Serve
+			// subscribes at startup, so readiness converges once the
+			// handshake lands; it degrades to failing (visible, not fatal to
+			// /healthz) against a daemon without watch support.
+			health.Register("registry_watch", func() error {
+				if !s.registry.WatchActive() {
+					return errors.New("registry watch subscription not live")
+				}
+				return nil
+			})
+		}
+		mounts := []obs.Mount{
+			{Path: trace.TracezPath, Handler: trace.Handler(s.tracer, obs.DebugIndexPath, obs.MetricsPath, obs.MorphzPath)},
+			{Path: obs.HealthzPath, Handler: health.HealthzHandler()},
+			{Path: obs.ReadyzPath, Handler: health.ReadyzHandler()},
+		}
 		if s.pprof {
 			mounts = append(mounts,
 				obs.Mount{Path: "/debug/pprof/", Handler: http.HandlerFunc(httppprof.Index)},
@@ -468,6 +568,13 @@ func (s *Server) handleConn(nc net.Conn) {
 	meta := append([]eventMeta(nil), ch.eventMeta...)
 	ch.mu.Unlock()
 
+	// Sink subscribers get per-sink delivery accounting, keyed by the member
+	// ID just assigned. Created outside ch.mu: the registry takes its own
+	// lock, and instrument creation is cold-path work.
+	if s.obs != nil && mc.member.IsSink {
+		mc.so = newSinkObs(s.obs, ch.id, mc.member.ID)
+	}
+
 	// Respond in v2.0, with the v2→v1 morphing code attached out-of-band.
 	conn.Declare(ResponseV2Format, &core.Xform{
 		From: ResponseV2Format,
@@ -533,9 +640,14 @@ func (ch *channel) remove(mc *memberConn) {
 	delete(ch.members, mc)
 	ch.mu.Unlock()
 	// remove can race between the read loop and fanout's dead-sink cleanup;
-	// only the call that actually removed the member moves the gauge.
+	// only the call that actually removed the member moves the gauge (and
+	// garbage-collects the member's per-sink series — channel aggregates
+	// outlive any one sink, per-sink series must not).
 	if present {
 		ch.om.members.Add(-1)
+		if len(mc.so.names) > 0 {
+			ch.obsReg.Remove(mc.so.names...)
+		}
 	}
 }
 
@@ -604,10 +716,44 @@ func (ch *channel) fanout(from *memberConn, f *pbio.Format, data []byte, tctx tr
 				mc.conn.Declare(em.format, em.xforms...)
 			}
 		}
-		if err := mc.conn.WriteEncodedCtx(f, data, tctx); err != nil {
+		// Per-sink delivery accounting brackets the write: while it blocks,
+		// the sink's queue depth and pending bytes stand at this event, so a
+		// consumer that stops draining is visible on /metrics mid-stall.
+		// Everything here is pre-fetched atomics — zero allocations on the
+		// delivery path, one branch when accounting is off.
+		accounted := mc.so.lagNS != nil
+		if accounted {
+			mc.so.depth.Add(1)
+			mc.so.pending.Add(int64(len(data)))
+		}
+		err := mc.conn.WriteEncodedCtx(f, data, tctx)
+		if accounted {
+			mc.so.depth.Add(-1)
+			mc.so.pending.Add(-int64(len(data)))
+		}
+		if err != nil {
+			mc.so.dropped.Inc()
+			ch.perDrops.Inc()
 			ch.remove(mc)
 			_ = mc.conn.Close()
 			continue
+		}
+		if accounted {
+			// Delivery lag: publish receipt (fan-out entry) → this sink's
+			// write flushed. The exemplar ties a top-bucket lag sample to the
+			// event's trace, so a p99 spike on /metrics resolves to a trace
+			// tree in /debug/tracez; unsampled events carry a zero trace ID
+			// and record plain.
+			lag := time.Since(t0).Nanoseconds()
+			if lag < 0 {
+				lag = 0
+			}
+			mc.so.lagNS.ObserveExemplar(uint64(lag), [16]byte(tctx.Trace))
+			ch.perLagNS.Observe(uint64(lag))
+			if lag >= SlowDeliveryNS {
+				mc.so.slow.Inc()
+				ch.perSlow.Inc()
+			}
 		}
 		ch.om.delivered.Inc()
 		ch.perDelivered.Inc()
@@ -617,6 +763,10 @@ func (ch *channel) fanout(from *memberConn, f *pbio.Format, data []byte, tctx tr
 		fs.End()
 	}
 	if timed {
-		ch.om.fanoutNS.ObserveNS(time.Since(t0).Nanoseconds())
+		ns := time.Since(t0).Nanoseconds()
+		if ns < 0 {
+			ns = 0
+		}
+		ch.om.fanoutNS.ObserveExemplar(uint64(ns), [16]byte(tctx.Trace))
 	}
 }

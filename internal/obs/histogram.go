@@ -1,9 +1,18 @@
 package obs
 
 import (
+	"encoding/binary"
+	"encoding/hex"
 	"math/bits"
 	"sync/atomic"
+	"time"
 )
+
+func leU64(b []byte) uint64      { return binary.LittleEndian.Uint64(b) }
+func putLeU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+
+// nowNS is time.Now().UnixNano(), indirected for tests.
+var nowNS = func() int64 { return time.Now().UnixNano() }
 
 // histBuckets is the fixed bucket count: bucket i holds values whose
 // bit-length is i, i.e. values in [2^(i-1), 2^i). Bucket 0 holds exactly 0.
@@ -16,11 +25,28 @@ const histBuckets = 65
 // by interpolating inside the matched bucket, which bounds the error of a
 // reported pN to a factor of 2 — plenty for "where does the time go".
 //
+// A histogram can additionally carry one trace exemplar: ObserveExemplar
+// captures the trace ID of samples landing in the top (highest-seen)
+// bucket, so a tail-latency spike visible in /metrics links directly to a
+// retrievable trace in /debug/tracez. The exemplar slot is a seqlock built
+// from atomics — capture and read are lock-free, allocation-free, and
+// race-detector clean.
+//
 // The zero value is ready to use; a nil *Histogram is a valid no-op.
 type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
 	buckets [histBuckets]atomic.Uint64
+
+	// Exemplar slot. maxBucket tracks the highest bucket index ever
+	// observed (the "top bucket"); exVer is the seqlock version (odd =
+	// write in progress), the ex* fields hold the published exemplar.
+	maxBucket atomic.Uint32
+	exVer     atomic.Uint64
+	exTraceLo atomic.Uint64
+	exTraceHi atomic.Uint64
+	exValue   atomic.Uint64
+	exNS      atomic.Int64
 }
 
 // Observe records one sample.
@@ -31,6 +57,80 @@ func (h *Histogram) Observe(v uint64) {
 	h.buckets[bits.Len64(v)].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+}
+
+// ObserveExemplar records one sample like Observe and, when the sample
+// lands in (or establishes a new) top bucket and traceID is nonzero,
+// captures it as the histogram's exemplar. The common case — a sample below
+// the top bucket, or a zero trace ID — costs one extra atomic load over
+// Observe and never allocates, so the call is safe on delivery hot paths.
+//
+// traceID is a raw 16-byte trace identifier (trace.TraceID converts for
+// free); obs deliberately does not import the trace package, keeping the
+// dependency one-way.
+func (h *Histogram) ObserveExemplar(v uint64, traceID [16]byte) {
+	if h == nil {
+		return
+	}
+	b := bits.Len64(v)
+	h.buckets[b].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	if traceID == ([16]byte{}) {
+		return
+	}
+	for {
+		max := h.maxBucket.Load()
+		if uint32(b) < max {
+			return // below the top bucket: not exemplar-worthy
+		}
+		if uint32(b) == max || h.maxBucket.CompareAndSwap(max, uint32(b)) {
+			break
+		}
+		// CAS lost: another sample raised the top bucket concurrently;
+		// re-check against the new maximum.
+	}
+	// Publish through the seqlock: claim the slot by CAS-ing the version to
+	// odd, write the fields, release to even. Losing the claim just drops
+	// this capture — exemplars are best-effort samples, and a loss means
+	// another top-bucket sample is being captured at this very moment.
+	ver := h.exVer.Load()
+	if ver%2 != 0 || !h.exVer.CompareAndSwap(ver, ver+1) {
+		return
+	}
+	h.exTraceLo.Store(leU64(traceID[:8]))
+	h.exTraceHi.Store(leU64(traceID[8:]))
+	h.exValue.Store(v)
+	h.exNS.Store(nowNS())
+	h.exVer.Store(ver + 2)
+}
+
+// Exemplar returns the captured top-bucket exemplar, if any. Under a
+// concurrent capture the read retries a few times and then reports no
+// exemplar rather than a torn one.
+func (h *Histogram) Exemplar() (traceID [16]byte, value uint64, unixNS int64, ok bool) {
+	if h == nil {
+		return
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		v1 := h.exVer.Load()
+		if v1 == 0 || v1%2 != 0 {
+			if v1 == 0 {
+				return // never captured
+			}
+			continue // write in progress
+		}
+		lo, hi := h.exTraceLo.Load(), h.exTraceHi.Load()
+		value = h.exValue.Load()
+		unixNS = h.exNS.Load()
+		if h.exVer.Load() != v1 {
+			continue // raced a writer: retry
+		}
+		putLeU64(traceID[:8], lo)
+		putLeU64(traceID[8:], hi)
+		return traceID, value, unixNS, true
+	}
+	return [16]byte{}, 0, 0, false
 }
 
 // ObserveNS is a convenience for latency samples measured as nanoseconds;
@@ -53,17 +153,38 @@ func (h *Histogram) Count() uint64 {
 	return h.count.Load()
 }
 
+// HistBucket is one non-empty bucket in a HistogramSnapshot: Le is the
+// bucket's inclusive upper bound, Count the samples that landed in it
+// (non-cumulative; the Prometheus renderer accumulates).
+type HistBucket struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistExemplar is a captured top-bucket exemplar: the hex trace ID of a
+// sample that landed in the histogram's highest bucket, with its value and
+// capture time. It is what links a p99 spike in /metrics to a trace tree in
+// /debug/tracez.
+type HistExemplar struct {
+	TraceID string    `json:"trace_id"`
+	Value   uint64    `json:"value"`
+	Time    time.Time `json:"time"`
+}
+
 // HistogramSnapshot summarizes a histogram at one instant. P50/P90/P99 are
 // bucket-interpolated estimates; Max is the upper bound of the highest
-// non-empty bucket.
+// non-empty bucket. Buckets lists the non-empty buckets (for /metrics
+// exposition); Exemplar is the captured top-bucket exemplar, when any.
 type HistogramSnapshot struct {
-	Count uint64  `json:"count"`
-	Sum   uint64  `json:"sum"`
-	Mean  float64 `json:"mean"`
-	P50   uint64  `json:"p50"`
-	P90   uint64  `json:"p90"`
-	P99   uint64  `json:"p99"`
-	Max   uint64  `json:"max"`
+	Count    uint64        `json:"count"`
+	Sum      uint64        `json:"sum"`
+	Mean     float64       `json:"mean"`
+	P50      uint64        `json:"p50"`
+	P90      uint64        `json:"p90"`
+	P99      uint64        `json:"p99"`
+	Max      uint64        `json:"max"`
+	Buckets  []HistBucket  `json:"buckets,omitempty"`
+	Exemplar *HistExemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot captures the histogram. Concurrent Observe calls may land
@@ -90,6 +211,18 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		if counts[i] > 0 {
 			s.Max = bucketHi(i)
 			break
+		}
+	}
+	for i := 0; i < histBuckets; i++ {
+		if counts[i] > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Le: bucketHi(i), Count: counts[i]})
+		}
+	}
+	if tid, v, ns, ok := h.Exemplar(); ok {
+		s.Exemplar = &HistExemplar{
+			TraceID: hex.EncodeToString(tid[:]),
+			Value:   v,
+			Time:    time.Unix(0, ns),
 		}
 	}
 	return s
@@ -134,7 +267,14 @@ func quantile(counts *[histBuckets]uint64, total uint64, q float64) uint64 {
 		if cum+counts[i] >= target {
 			lo, hi := bucketLo(i), bucketHi(i)
 			frac := float64(target-cum) / float64(counts[i])
-			return lo + uint64(frac*float64(hi-lo))
+			// Clamp the interpolated offset: float64 can't represent
+			// hi-lo exactly for the widest buckets, and rounding up past
+			// it would wrap lo+delta back to zero.
+			delta := uint64(frac * float64(hi-lo))
+			if delta > hi-lo {
+				delta = hi - lo
+			}
+			return lo + delta
 		}
 		cum += counts[i]
 	}

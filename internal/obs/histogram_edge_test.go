@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// Edge-case coverage for Histogram: the degenerate inputs (no samples, one
+// sample, the maximum representable sample) and the concurrent
+// Record-vs-Snapshot interleaving that the seqlock and atomic buckets must
+// survive under -race.
+
+func TestHistogramZeroSamples(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Mean != 0 {
+		t.Errorf("zero-sample snapshot = %+v", s)
+	}
+	if s.P50 != 0 || s.P90 != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Errorf("zero-sample quantiles = p50=%d p90=%d p99=%d max=%d, want all 0",
+			s.P50, s.P90, s.P99, s.Max)
+	}
+	if len(s.Buckets) != 0 || s.Exemplar != nil {
+		t.Errorf("zero-sample buckets/exemplar = %v %v", s.Buckets, s.Exemplar)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(100) // bucket [64,128), hi=127
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 100 || s.Mean != 100 {
+		t.Errorf("single-sample snapshot = %+v", s)
+	}
+	// Every quantile of a one-sample distribution must land in that
+	// sample's bucket [64, 127].
+	for _, q := range []uint64{s.P50, s.P90, s.P99, s.Max} {
+		if q < 64 || q > 127 {
+			t.Errorf("single-sample quantile %d outside bucket [64,127]", q)
+		}
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].Le != 127 || s.Buckets[0].Count != 1 {
+		t.Errorf("single-sample buckets = %v", s.Buckets)
+	}
+}
+
+func TestHistogramMaxBucketOverflow(t *testing.T) {
+	var h Histogram
+	h.Observe(^uint64(0)) // the largest possible sample: bucket 64
+	h.Observe(1 << 63)    // also bucket 64 (bit length 64)
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != ^uint64(0) {
+		t.Errorf("max = %d, want MaxUint64", s.Max)
+	}
+	if s.P99 < 1<<63 {
+		t.Errorf("p99 = %d, want inside the top bucket", s.P99)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].Le != ^uint64(0) || s.Buckets[0].Count != 2 {
+		t.Errorf("buckets = %v", s.Buckets)
+	}
+	// Sum wraps modulo 2^64 by construction; it must not corrupt counts.
+	if got := h.Count(); got != 2 {
+		t.Errorf("Count() = %d", got)
+	}
+}
+
+// TestHistogramConcurrentRecordSnapshot hammers Observe/ObserveExemplar from
+// many goroutines while snapshotting continuously. Run under -race (check.sh
+// does) this proves the lock-free paths — including the exemplar seqlock —
+// are data-race free, and asserts snapshots are always internally sane.
+func TestHistogramConcurrentRecordSnapshot(t *testing.T) {
+	var h Histogram
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			tid := [16]byte{byte(seed + 1)}
+			for i := 0; i < perWriter; i++ {
+				v := (seed*perWriter + uint64(i)) * 37
+				if i%3 == 0 {
+					h.ObserveExemplar(v, tid)
+				} else {
+					h.Observe(v)
+				}
+			}
+		}(uint64(w))
+	}
+
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var bucketSum uint64
+			for _, b := range s.Buckets {
+				bucketSum += b.Count
+			}
+			if bucketSum != s.Count {
+				t.Errorf("snapshot bucket counts (%d) != Count (%d)", bucketSum, s.Count)
+				return
+			}
+			if s.Exemplar != nil && s.Exemplar.TraceID == "00000000000000000000000000000000" {
+				t.Error("torn exemplar read: zero trace ID published")
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Errorf("final count = %d, want %d", s.Count, writers*perWriter)
+	}
+	if s.Exemplar == nil {
+		t.Fatal("no exemplar captured after concurrent ObserveExemplar calls")
+	}
+	if tid, _, _, ok := h.Exemplar(); !ok || tid == ([16]byte{}) {
+		t.Errorf("Exemplar() = %v, %v", tid, ok)
+	}
+}
+
+// TestHistogramExemplarTopBucketOnly: only samples in the highest-seen
+// bucket replace the exemplar; lower samples are ignored even with a valid
+// trace ID, and zero trace IDs never capture.
+func TestHistogramExemplarTopBucketOnly(t *testing.T) {
+	var h Histogram
+	big, small := [16]byte{0xAA}, [16]byte{0xBB}
+
+	h.ObserveExemplar(1_000_000, big)
+	h.ObserveExemplar(10, small) // far below the top bucket: must not replace
+	tid, v, _, ok := h.Exemplar()
+	if !ok || tid != big || v != 1_000_000 {
+		t.Errorf("exemplar = %x v=%d ok=%v, want big/1000000", tid, v, ok)
+	}
+
+	// A same-bucket sample may replace it (both land in the top bucket).
+	h.ObserveExemplar(1_000_001, small)
+	tid, _, _, ok = h.Exemplar()
+	if !ok || tid != small {
+		t.Errorf("same-top-bucket exemplar not replaced: %x ok=%v", tid, ok)
+	}
+
+	// Zero trace ID: recorded as a sample, never captured as exemplar.
+	h.ObserveExemplar(2_000_000, [16]byte{})
+	tid, _, _, _ = h.Exemplar()
+	if tid == ([16]byte{}) {
+		t.Error("zero trace ID overwrote the exemplar")
+	}
+}

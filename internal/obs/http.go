@@ -6,12 +6,49 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 )
 
 // MorphzPath is the debug endpoint path Serve registers.
 const MorphzPath = "/debug/morphz"
+
+// DebugIndexPath is the debug-surface index page Serve registers: a listing
+// of every debug, metrics and health endpoint mounted on the process, so an
+// operator landing anywhere can discover the rest.
+const DebugIndexPath = "/debug/"
+
+// IndexHandler serves the endpoint index: the mounted paths, one per line
+// as clickable HTML (default) or plain text (?format=text / Accept:
+// text/plain). Paths are listed sorted.
+func IndexHandler(paths []string) http.Handler {
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		// The subtree pattern "/debug/" catches unmounted paths too; 404
+		// them instead of serving the index under any name.
+		if req.URL.Path != DebugIndexPath {
+			http.NotFound(w, req)
+			return
+		}
+		if req.URL.Query().Get("format") == "text" ||
+			strings.HasPrefix(req.Header.Get("Accept"), "text/plain") {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "# debug endpoints (%d)\n", len(sorted))
+			for _, p := range sorted {
+				fmt.Fprintln(w, p)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, "<html><head><title>debug index</title></head><body><h1>debug endpoints</h1><ul>\n")
+		for _, p := range sorted {
+			fmt.Fprintf(w, "<li><a href=%q>%s</a></li>\n", p, p)
+		}
+		fmt.Fprint(w, "</ul></body></html>\n")
+	})
+}
 
 // Handler returns an expvar-style HTTP handler serving the registry's
 // Snapshot. The default response is JSON; append ?format=text (or send
@@ -71,10 +108,11 @@ func (s *Server) Close() error {
 	return s.srv.Close()
 }
 
-// Serve starts an HTTP server on addr exposing the registry at MorphzPath,
-// plus any extra debug mounts (each advertised as a morphz see-also link).
-// It returns once the listener is bound; the server runs until Close. This
-// is the opt-in switch the endpoints hide behind — nothing listens unless a
+// Serve starts an HTTP server on addr exposing the registry at MorphzPath
+// and MetricsPath, a DebugIndexPath listing of every mounted endpoint, plus
+// any extra debug mounts (each advertised as a morphz see-also link). It
+// returns once the listener is bound; the server runs until Close. This is
+// the opt-in switch the endpoints hide behind — nothing listens unless a
 // component (or the application) calls Serve.
 func Serve(addr string, r *Registry, extra ...Mount) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
@@ -82,12 +120,15 @@ func Serve(addr string, r *Registry, extra ...Mount) (*Server, error) {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
-	seeAlso := make([]string, 0, len(extra))
+	seeAlso := make([]string, 0, len(extra)+2)
+	seeAlso = append(seeAlso, DebugIndexPath, MetricsPath)
 	for _, m := range extra {
 		mux.Handle(m.Path, m.Handler)
 		seeAlso = append(seeAlso, m.Path)
 	}
 	mux.Handle(MorphzPath, Handler(r, seeAlso...))
+	mux.Handle(MetricsPath, PromHandler(r))
+	mux.Handle(DebugIndexPath, IndexHandler(append(seeAlso, MorphzPath)))
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil

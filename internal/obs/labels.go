@@ -1,0 +1,65 @@
+package obs
+
+import "strings"
+
+// Instrument names may carry Prometheus-style labels embedded in the name:
+//
+//	echo.sink.lag_ns{channel="quotes",sink="3"}
+//
+// The registry itself stays a flat name→instrument map — labels cost nothing
+// on the hot path and need no new lookup structure — while the /metrics
+// renderer splits the name at the first '{' and emits the label block
+// verbatim, so every labeled registration becomes one series of the shared
+// base metric. LabeledName is the one constructor; hand-built label blocks
+// risk escaping bugs.
+
+// LabeledName returns base with a label block appended: kv is alternating
+// key, value pairs (an odd trailing key is dropped). Label values are
+// escaped per the Prometheus text exposition rules (backslash, quote,
+// newline). Keys are used verbatim and must be legal label names
+// ([a-zA-Z_][a-zA-Z0-9_]*); callers pass literals. With no pairs, base is
+// returned unchanged.
+func LabeledName(base string, kv ...string) string {
+	if len(kv) < 2 {
+		return base
+	}
+	var b strings.Builder
+	b.Grow(len(base) + 16*len(kv))
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		escapeLabelValue(&b, kv[i+1])
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SplitLabels splits an instrument name into its base name and the label
+// block ("" when unlabeled). The label block includes the braces.
+func SplitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+func escapeLabelValue(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+}

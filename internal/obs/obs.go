@@ -178,6 +178,24 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Remove deletes the named instruments (counters, gauges and histograms
+// alike) from the registry, so per-entity series — one subscriber's lag
+// histogram, say — do not outlive the entity and accumulate forever in a
+// long-running process. Handles already fetched keep working; they just no
+// longer appear in snapshots. Unknown names are ignored.
+func (r *Registry) Remove(names ...string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range names {
+		delete(r.counters, n)
+		delete(r.gauges, n)
+		delete(r.hists, n)
+	}
+}
+
 // Decisions returns the registry's morph-decision trace ring (nil on a nil
 // registry).
 func (r *Registry) Decisions() *TraceRing {

@@ -16,6 +16,7 @@ func TestMorphzJSONSchema(t *testing.T) {
 	r.Counter("core.compiled").Inc()
 	r.Gauge("echo.members").Add(2)
 	r.Histogram("echo.fanout_ns").ObserveNS(1500)
+	r.Histogram("echo.fanout_ns").ObserveExemplar(9000, [16]byte{1, 2, 3})
 
 	rec := httptest.NewRecorder()
 	Handler(r, "/debug/tracez").ServeHTTP(rec, httptest.NewRequest("GET", MorphzPath, nil))
@@ -54,7 +55,7 @@ func TestMorphzJSONSchema(t *testing.T) {
 		hgot = append(hgot, k)
 	}
 	sort.Strings(hgot)
-	hwant := []string{"count", "max", "mean", "p50", "p90", "p99", "sum"}
+	hwant := []string{"buckets", "count", "exemplar", "max", "mean", "p50", "p90", "p99", "sum"}
 	if strings.Join(hgot, ",") != strings.Join(hwant, ",") {
 		t.Errorf("histogram JSON keys = %v, want %v", hgot, hwant)
 	}

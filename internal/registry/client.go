@@ -289,6 +289,19 @@ func (c *Client) Down() bool {
 	return c.closed || time.Now().Before(c.downUntil)
 }
 
+// WatchActive reports whether the invalidation stream is currently live: a
+// watch subscription succeeded (Watch or an automatic resubscribe) and the
+// connection it rode is still up. False while the stream is being
+// re-established after a failure — the window in which cached misses can go
+// stale for a full negative TTL again. It is the signal /readyz watch
+// probes want; a client that never subscribed (or whose daemon predates
+// watch) reports false, since no invalidations are flowing.
+func (c *Client) WatchActive() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.closed && c.everWatched && c.conn != nil
+}
+
 // ResolveFormat resolves a fingerprint to its format description and
 // transform meta-data: LRU hit (allocation-free), negative-cache hit
 // (ErrUnknownFingerprint), or a singleflight-deduplicated daemon round-trip.

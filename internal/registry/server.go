@@ -87,6 +87,7 @@ type Server struct {
 	instance  uint64
 
 	snapshotPath string // "" = snapshots disabled
+	lastSnapErr  error  // outcome of the most recent snapshot write (under mu)
 
 	reg      *obs.Registry
 	gets     *obs.Counter
@@ -187,6 +188,7 @@ func (s *Server) put(fp uint64, blob []byte, persist bool) error {
 	s.appendEventLocked(fp, blob)
 	if persist {
 		err = s.saveSnapshotLocked()
+		s.lastSnapErr = err
 	}
 	s.mu.Unlock()
 	s.puts.Inc()
@@ -591,17 +593,31 @@ type registryzSnapshot struct {
 	Unknown  uint64             `json:"unknown"`
 	WatchSeq uint64             `json:"watch_seq"`
 	Watchers []registryzWatcher `json:"watchers"`
+	SeeAlso  []string           `json:"see_also,omitempty"`
+}
+
+// SpoolHealthy reports whether table persistence is in a good state: nil
+// when snapshots are disabled or the most recent snapshot write succeeded,
+// the write's error otherwise. It is the /readyz spool probe: a daemon whose
+// disk stopped accepting snapshots keeps serving resolutions from memory,
+// but must not present as fully ready — a restart would lose mutations.
+func (s *Server) SpoolHealthy() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lastSnapErr
 }
 
 // Handler returns the /debug/registryz HTTP handler: the full table as JSON
 // (?format=text for a line-per-entry dump), sorted by fingerprint so two
-// snapshots of a quiescent daemon are identical.
-func (s *Server) Handler() http.Handler {
+// snapshots of a quiescent daemon are identical. seeAlso lists sibling debug
+// endpoints advertised in both renderings, mirroring obs.Handler.
+func (s *Server) Handler(seeAlso ...string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		snap := registryzSnapshot{
 			Gets:    s.gets.Load(),
 			Puts:    s.puts.Load(),
 			Unknown: s.unk.Load(),
+			SeeAlso: seeAlso,
 		}
 		s.mu.RLock()
 		fps := make([]uint64, 0, len(s.table))
@@ -648,6 +664,9 @@ func (s *Server) Handler() http.Handler {
 			for _, wa := range snap.Watchers {
 				fmt.Fprintf(w, "watch %-21s sent_seq=%d resyncs=%d since=%s\n",
 					wa.Remote, wa.SentSeq, wa.Resyncs, wa.Since.Format(time.RFC3339))
+			}
+			for _, p := range seeAlso {
+				fmt.Fprintf(w, "# see also %s\n", p)
 			}
 			return
 		}

@@ -59,14 +59,15 @@ type TraceJSON struct {
 
 // TracezSnapshot is the JSON payload of /debug/tracez.
 type TracezSnapshot struct {
-	TotalSpans uint64      `json:"total_spans"` // spans ever recorded
-	Traces     []TraceJSON `json:"traces"`      // most recent first
+	TotalSpans   uint64      `json:"total_spans"`   // spans ever recorded
+	SpansDropped uint64      `json:"spans_dropped"` // ring overwrites (see Tracer.Dropped)
+	Traces       []TraceJSON `json:"traces"`        // most recent first
 }
 
 // Tracez assembles the retained spans into per-trace latency breakdowns,
 // most recent trace first. A nil tracer yields an empty snapshot.
 func (t *Tracer) Tracez() TracezSnapshot {
-	snap := TracezSnapshot{TotalSpans: t.Total()}
+	snap := TracezSnapshot{TotalSpans: t.Total(), SpansDropped: t.Dropped()}
 	if t == nil {
 		return snap
 	}
@@ -116,8 +117,8 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 // WriteText renders the snapshot as human-readable trace trees: spans
 // indented beneath their in-process parents, with stage totals per trace.
 func (s TracezSnapshot) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "# tracez: %d traces retained, %d spans ever recorded\n",
-		len(s.Traces), s.TotalSpans)
+	fmt.Fprintf(w, "# tracez: %d traces retained, %d spans ever recorded, %d dropped\n",
+		len(s.Traces), s.TotalSpans, s.SpansDropped)
 	for _, tr := range s.Traces {
 		fmt.Fprintf(w, "trace %s  start=%s  total=%s  spans=%d\n",
 			tr.TraceID, tr.Start.Format(time.RFC3339Nano),
@@ -184,7 +185,11 @@ func (s TracezSnapshot) Text() string {
 // trace trees, `?format=jsonl` streams the raw span export, and `?limit=N`
 // bounds the number of traces in the JSON/text renderings. A nil tracer
 // serves an empty snapshot, so the endpoint can be mounted unconditionally.
-func Handler(t *Tracer) http.Handler {
+//
+// seeAlso lists sibling debug endpoints (the /debug/ index, /metrics, ...)
+// advertised in the JSON (see_also field) and text (# see also lines)
+// renderings, mirroring obs.Handler.
+func Handler(t *Tracer, seeAlso ...string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		format := req.URL.Query().Get("format")
 		if format == "" && strings.HasPrefix(req.Header.Get("Accept"), "text/plain") {
@@ -202,11 +207,17 @@ func Handler(t *Tracer) http.Handler {
 		if format == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			snap.WriteText(w)
+			for _, p := range seeAlso {
+				fmt.Fprintf(w, "# see also %s\n", p)
+			}
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(snap)
+		_ = enc.Encode(struct {
+			TracezSnapshot
+			SeeAlso []string `json:"see_also,omitempty"`
+		}{snap, seeAlso})
 	})
 }

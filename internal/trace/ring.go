@@ -3,6 +3,8 @@ package trace
 import (
 	"sort"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // spanRing is a lock-free bounded ring of completed spans: the most recent
@@ -13,30 +15,66 @@ import (
 // atomic pointer store. Readers (Snapshot) only load pointers, so a
 // concurrent snapshot sees each slot either before or after a publish,
 // never a torn record.
+//
+// Overwrites are not silent: each one increments dropped (and the optional
+// onDrop obs counter), so a ring too small for its traffic is visible in
+// /debug/tracez and /metrics instead of just quietly forgetting spans.
 type spanRing struct {
-	slots []atomic.Pointer[SpanRecord]
-	next  atomic.Uint64 // spans ever recorded; slot index = (seq-1) % len
+	slots   []atomic.Pointer[SpanRecord]
+	next    atomic.Uint64 // spans ever recorded; slot index = (seq-1) % len
+	dropped atomic.Uint64 // retained spans overwritten before a snapshot
+	onDrop  *obs.Counter  // optional registry mirror of dropped (nil-safe)
 }
 
 func newSpanRing(capacity int) *spanRing {
 	return &spanRing{slots: make([]atomic.Pointer[SpanRecord], capacity)}
 }
 
-func (r *spanRing) record(rec SpanRecord) {
+// record stamps rec with the next sequence number, publishes it, and
+// returns the published record (for secondary retention by the tail ring).
+func (r *spanRing) record(rec SpanRecord) *SpanRecord {
 	seq := r.next.Add(1)
 	rec.Seq = seq
 	p := new(SpanRecord)
 	*p = rec
+	if old := r.slots[(seq-1)%uint64(len(r.slots))].Swap(p); old != nil {
+		r.dropped.Add(1)
+		r.onDrop.Inc()
+	}
+	return p
+}
+
+// keep stores an already-stamped record (published by another ring) without
+// assigning a new sequence number — the tail ring's retention path. Tail
+// overwrites are not counted as drops: the span already had its main-ring
+// residency, and the counter answers "how many spans vanished unseen".
+func (r *spanRing) keep(p *SpanRecord) {
+	seq := r.next.Add(1)
 	r.slots[(seq-1)%uint64(len(r.slots))].Store(p)
 }
 
-func (r *spanRing) total() uint64 { return r.next.Load() }
+func (r *spanRing) total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+func (r *spanRing) droppedCount() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
 
 // snapshot returns the retained spans ordered oldest-first by sequence.
 // Under concurrent recording the result is a consistent sample, not an
 // atomic cut: a slot may still hold the record a concurrent writer is
 // about to replace.
 func (r *spanRing) snapshot() []SpanRecord {
+	if r == nil {
+		return nil
+	}
 	out := make([]SpanRecord, 0, len(r.slots))
 	for i := range r.slots {
 		if p := r.slots[i].Load(); p != nil {

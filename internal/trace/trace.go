@@ -30,8 +30,11 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"errors"
+	"sort"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TraceID identifies one end-to-end message journey (publisher → server →
@@ -187,16 +190,43 @@ type Config struct {
 	// once at the root; downstream processes honor the context's sampled
 	// bit regardless of their own rate.
 	SampleEvery uint64
+
+	// SlowNS is the tail-retention threshold: completed spans at least this
+	// slow, or marked failed, are additionally kept in a secondary tail ring
+	// (capacity Capacity/4, minimum 1) that routine fast traffic cannot
+	// evict. That biases the bounded retention toward exactly the spans an
+	// operator chasing a p99 spike or an error burst needs — under load the
+	// main ring churns in milliseconds, but the slow outlier that produced a
+	// /metrics exemplar survives long enough to be fetched from
+	// /debug/tracez. 0 means DefaultSlowNS; negative retains only failed
+	// spans.
+	SlowNS int64
+
+	// Obs optionally attaches the tracer's self-metrics to an obs registry:
+	// the "trace.spans_dropped" counter tracks main-ring overwrites, so a
+	// ring sized below its traffic shows up on /metrics instead of silently
+	// forgetting spans. A nil registry is a valid no-op.
+	Obs *obs.Registry
 }
 
 // DefaultCapacity is the span ring capacity used when Config.Capacity is 0.
 const DefaultCapacity = 4096
+
+// DefaultSlowNS is the tail-retention threshold used when Config.SlowNS is
+// 0: spans of 1ms or slower are presumptively interesting on a fan-out path
+// whose healthy latencies are tens of microseconds.
+const DefaultSlowNS = int64(time.Millisecond)
+
+// SpansDroppedMetric is the obs counter name tracking main-ring overwrites.
+const SpansDroppedMetric = "trace.spans_dropped"
 
 // Tracer owns a span ring and the sampling/ID state. All methods are safe
 // for concurrent use; all are no-ops on a nil receiver, so components take
 // a *Tracer option and never check it.
 type Tracer struct {
 	ring        *spanRing
+	tail        *spanRing // slow/error spans, immune to fast-traffic churn
+	slowNS      int64
 	sampleEvery uint64
 	seed        uint64
 	roots       atomic.Uint64 // StartTrace calls, sampled or not (head counter)
@@ -211,11 +241,22 @@ func New(cfg Config) *Tracer {
 	if cfg.SampleEvery < 1 {
 		cfg.SampleEvery = 1
 	}
-	return &Tracer{
+	if cfg.SlowNS == 0 {
+		cfg.SlowNS = DefaultSlowNS
+	}
+	tailCap := cfg.Capacity / 4
+	if tailCap < 1 {
+		tailCap = 1
+	}
+	t := &Tracer{
 		ring:        newSpanRing(cfg.Capacity),
+		tail:        newSpanRing(tailCap),
+		slowNS:      cfg.SlowNS,
 		sampleEvery: cfg.SampleEvery,
 		seed:        uint64(time.Now().UnixNano())*0x9E3779B97F4A7C15 | 1,
 	}
+	t.ring.onDrop = cfg.Obs.Counter(SpansDroppedMetric)
+	return t
 }
 
 // Enabled reports whether the tracer records anything at all; it is the
@@ -297,13 +338,15 @@ func (s *Span) Recording() bool { return s.t != nil }
 // one. Zero for inert spans.
 func (s Span) Context() Context { return s.ctx }
 
-// End records the span into the tracer's ring. Safe to call on inert
-// spans; a second End is a no-op.
+// End records the span into the tracer's ring. Slow (≥ Config.SlowNS) and
+// failed spans are additionally retained in the tail ring, where fast
+// traffic cannot evict them. Safe to call on inert spans; a second End is a
+// no-op.
 func (s *Span) End() {
 	if s.t == nil {
 		return
 	}
-	s.t.ring.record(SpanRecord{
+	rec := SpanRecord{
 		Trace:   s.ctx.Trace,
 		Span:    s.ctx.Span,
 		Parent:  s.parent,
@@ -313,7 +356,11 @@ func (s *Span) End() {
 		DurNS:   time.Now().UnixNano() - s.start,
 		FP:      s.FP,
 		N:       s.N,
-	})
+	}
+	p := s.t.ring.record(rec)
+	if rec.Err || (s.t.slowNS >= 0 && rec.DurNS >= s.t.slowNS) {
+		s.t.tail.keep(p)
+	}
 	s.t = nil
 }
 
@@ -333,10 +380,37 @@ func (t *Tracer) Total() uint64 {
 	return t.ring.total()
 }
 
-// Snapshot returns the retained spans, oldest first.
+// Dropped returns how many retained spans the main ring overwrote before a
+// snapshot saw them. A steadily climbing value means the ring is sized
+// below its traffic (raise Config.Capacity or Config.SampleEvery); the
+// tail ring may still hold the slow/error subset of the overwritten spans.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ring.droppedCount()
+}
+
+// Snapshot returns the retained spans — the main ring merged with the
+// slow/error tail ring, deduplicated by sequence number — oldest first.
 func (t *Tracer) Snapshot() []SpanRecord {
 	if t == nil {
 		return nil
 	}
-	return t.ring.snapshot()
+	main := t.ring.snapshot()
+	tail := t.tail.snapshot()
+	if len(tail) == 0 {
+		return main
+	}
+	seen := make(map[uint64]bool, len(main))
+	for _, r := range main {
+		seen[r.Seq] = true
+	}
+	for _, r := range tail {
+		if !seen[r.Seq] {
+			main = append(main, r)
+		}
+	}
+	sort.Slice(main, func(i, j int) bool { return main[i].Seq < main[j].Seq })
+	return main
 }

@@ -21,12 +21,15 @@ echo "== morphbench registry (writes BENCH_registry.json)"
 go run ./cmd/morphbench -exp registry -quick
 echo "== morphbench watch (writes BENCH_watch.json)"
 go run ./cmd/morphbench -exp watch -quick
+echo "== morphbench obsload (writes BENCH_obs.json)"
+go run ./cmd/morphbench -exp obsload -quick
 echo "== registry watch/reconnect suite (race-enabled)"
 go test -race -count=1 -run 'TestWatch|TestRegisterPurgesNegativeCache|TestConcurrentResolveRegisterWatch' \
     ./internal/registry/
 echo "== formatd smoke (random ports, e2e interop, registryz JSON)"
 tmpdir=$(mktemp -d)
-trap 'kill "$formatd_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+trap 'kill "$formatd_pid" "$echodemo_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+formatd_pid=; echodemo_pid=
 go build -o "$tmpdir/formatd" ./cmd/formatd
 "$tmpdir/formatd" -addr 127.0.0.1:0 -debug 127.0.0.1:0 \
     -snapshot "$tmpdir/table.spool" >"$tmpdir/formatd.log" 2>&1 &
@@ -41,7 +44,45 @@ go test -run 'TestRegistryOnlyInterop|TestRegistryDownFallback|TestFormatdDeathM
     -count=1 ./internal/echo/
 curl -sf "$debug_url" | jq -e '.count >= 0 and .watch_seq >= 0 and (.watchers | type == "array")' >/dev/null \
     || { echo "registryz did not serve valid JSON (count/watch_seq/watchers)"; exit 1; }
+echo "== formatd telemetry plane (/metrics, /healthz, /readyz)"
+debug_base=${debug_url%/debug/*}
+curl -sf "$debug_base/metrics" | grep -q '^# TYPE morph_formatd_entries gauge' \
+    || { echo "formatd /metrics missing morph_formatd_entries"; exit 1; }
+curl -sf "$debug_base/healthz" | grep -q '"ok"' \
+    || { echo "formatd /healthz not ok"; exit 1; }
+curl -sf "$debug_base/readyz" | jq -e '.ready == true and ([.probes[].name] | index("listener") != null and index("spool") != null)' >/dev/null \
+    || { echo "formatd /readyz not ready with listener+spool probes"; exit 1; }
 kill "$formatd_pid"
+formatd_pid=
+echo "== echo telemetry plane (live /metrics golden, healthz/readyz)"
+go build -o "$tmpdir/echodemo" ./cmd/echodemo
+"$tmpdir/echodemo" -role server -addr 127.0.0.1:0 -debug 127.0.0.1:0 \
+    >"$tmpdir/echodemo.log" 2>&1 &
+echodemo_pid=$!
+for _ in $(seq 1 50); do
+    grep -q "debug endpoints on" "$tmpdir/echodemo.log" && break
+    sleep 0.1
+done
+echo_debug=$(sed -n 's/.*debug endpoints on \(http:[^ ]*\)\/debug\/.*/\1/p' "$tmpdir/echodemo.log")
+[ -n "$echo_debug" ] || { echo "echodemo never served debug endpoints:"; cat "$tmpdir/echodemo.log"; exit 1; }
+echo_addr=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$tmpdir/echodemo.log")
+"$tmpdir/echodemo" -role publish -addr "$echo_addr" -n 2 >/dev/null 2>&1
+metrics=$(curl -sf "$echo_debug/metrics")
+for series in \
+    '^# TYPE morph_echo_delivered_total counter' \
+    '^# TYPE morph_echo_fanout_ns histogram' \
+    '^# TYPE morph_echo_members gauge' \
+    '^morph_echo_channel_delivered_total{channel="quotes"}' \
+    '^# TYPE morph_wire_data_frames_recv_total counter'; do
+    echo "$metrics" | grep -q "$series" \
+        || { echo "echo /metrics missing golden series: $series"; exit 1; }
+done
+curl -sf "$echo_debug/healthz" | grep -q '"ok"' || { echo "echo /healthz not ok"; exit 1; }
+curl -sf "$echo_debug/readyz" | jq -e '.ready == true and ([.probes[].name] | index("listener") != null)' >/dev/null \
+    || { echo "echo /readyz not ready with listener probe"; exit 1; }
+curl -sf "$echo_debug/debug/" | grep -q '/metrics' || { echo "echo /debug/ index missing /metrics"; exit 1; }
+kill "$echodemo_pid"
+echodemo_pid=
 echo "== fuzz smoke (wire frame parser, 10s)"
 go test -run xxx -fuzz FuzzConnReadFrames -fuzztime 10s ./internal/wire/
 echo "ok"
