@@ -4,6 +4,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/fanout"
 	"repro/internal/pbio"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -15,12 +16,14 @@ func (discardStream) Read(p []byte) (int, error)  { return 0, io.EOF }
 func (discardStream) Write(p []byte) (int, error) { return len(p), nil }
 func (discardStream) Close() error                { return nil }
 
-// BenchmarkFanoutEncodeOnce measures one fan-out pass over an N-member
-// channel. The event is forwarded as the publisher's encoded bytes, so the
-// cost per pass is N frame writes — no per-member (or even per-event)
-// re-encode of the record. The filter variant adds a derived-channel filter
-// on every member, which costs exactly one lazy decode per event regardless
-// of N.
+// BenchmarkFanoutEncodeOnce measures one delivery-engine pass over an
+// N-member channel: the publisher's bytes are wrapped once in a refcounted
+// shared frame, enqueued to every sink by pointer, and each sink's queue is
+// drained through the batch write path. Manual queues keep the measurement
+// deterministic (no writer-goroutine scheduling noise): the cost per pass is
+// one frame copy plus N enqueues plus N single-frame batch flushes. The
+// filter variant adds a derived-channel filter on every member, which costs
+// exactly one lazy decode per event regardless of N.
 func BenchmarkFanoutEncodeOnce(b *testing.B) {
 	f, err := pbio.NewFormat("tick", []pbio.Field{
 		{Name: "seq", Kind: pbio.Unsigned, Size: 8},
@@ -48,17 +51,42 @@ func BenchmarkFanoutEncodeOnce(b *testing.B) {
 			}
 			ch := &channel{id: "bench", om: &echoObs{}, members: make(map[*memberConn]Member)}
 			pub := &memberConn{}
+			sinks := make([]*memberConn, members)
 			for i := 0; i < members; i++ {
 				mc := &memberConn{conn: wire.NewStreamConn(discardStream{}), filter: filter}
 				mc.member = Member{ID: int32(i + 1), IsSink: true}
+				mc.q = fanout.NewQueue(fanout.Config{
+					Manual: true,
+					Flush: func(batch []*fanout.Frame) error {
+						wb := mc.wbatch[:0]
+						for _, fr := range batch {
+							wb = append(wb, wire.BatchFrame{Data: fr.Data, Format: fr.Format, Ctx: fr.Ctx})
+						}
+						err := mc.conn.WriteEncodedBatchCtx(wb)
+						for j := range wb {
+							wb[j] = wire.BatchFrame{}
+						}
+						mc.wbatch = wb[:0]
+						return err
+					},
+				})
 				ch.members[mc] = mc.member
+				ch.addSinkLocked(mc)
+				sinks[i] = mc
 			}
-			// Warm each member conn's format frame and filter cache.
-			ch.fanout(pub, f, data, trace.Context{})
+			pass := func() {
+				ch.fanout(pub, f, data, trace.Context{})
+				for _, mc := range sinks {
+					mc.q.DrainNow()
+				}
+			}
+			// Warm each member conn's format frame and filter cache, plus the
+			// frame and queue pools.
+			pass()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				ch.fanout(pub, f, data, trace.Context{})
+				pass()
 			}
 		}
 	}

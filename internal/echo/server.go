@@ -8,10 +8,12 @@ import (
 	httppprof "net/http/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/ecode"
+	"repro/internal/fanout"
 	"repro/internal/obs"
 	"repro/internal/pbio"
 	"repro/internal/registry"
@@ -49,6 +51,11 @@ type Server struct {
 	// frames toward registry-capable members (wants_registry in their open
 	// request) are suppressed entirely.
 	registry *registry.Client
+
+	// Delivery-engine tuning (WithFanoutQueue): capacity of each sink's
+	// outbound queue and what Enqueue does when it fills.
+	queueCap    int
+	queuePolicy fanout.Policy
 }
 
 // echoObs holds the server's instrument handles, fetched once at
@@ -105,6 +112,19 @@ func WithRegistry(rc *registry.Client) ServerOption {
 	return func(s *Server) { s.registry = rc }
 }
 
+// WithFanoutQueue tunes the delivery engine: capacity bounds each sink
+// subscriber's outbound frame queue (fanout.DefaultCap when <= 0), and
+// policy picks what happens to a sink whose queue fills —
+// fanout.DropNewest (default) sheds that sink's newest events while keeping
+// it connected, fanout.Disconnect closes it. Either way the slow sink
+// degrades alone; the fan-out pass never blocks on it.
+func WithFanoutQueue(capacity int, policy fanout.Policy) ServerOption {
+	return func(s *Server) {
+		s.queueCap = capacity
+		s.queuePolicy = policy
+	}
+}
+
 // WithDebugPprof additionally mounts net/http/pprof's profiling handlers
 // under /debug/pprof/ on the WithMorphzAddr debug server. Off by default:
 // profiling endpoints expose more than metrics do (full goroutine dumps,
@@ -131,6 +151,22 @@ func NewServer(opts ...ServerOption) *Server {
 	return s
 }
 
+// fanoutShardCount partitions a channel's sink membership for the delivery
+// engine: publishers walk the shards lock-free off one atomic pointer load,
+// and membership churn copies only the affected shard. Sixteen shards keep
+// each copy-on-write mutation to 1/16th of the membership while the per-shard
+// fanout spans stay coarse enough to read.
+const fanoutShardCount = 16
+
+// sinkShards is one immutable membership snapshot: sink subscribers
+// partitioned by member ID. Mutations build a new snapshot sharing every
+// untouched shard's backing array and atomically swap the pointer, so the
+// fan-out path never takes ch.mu and never allocates to read membership.
+type sinkShards struct {
+	shards [fanoutShardCount][]*memberConn
+	total  int
+}
+
 type channel struct {
 	id string
 
@@ -140,22 +176,30 @@ type channel struct {
 	// owning registry, kept for per-sink series garbage collection when a
 	// subscriber leaves. Everything is inert when observability is
 	// disabled, as is tracer.
-	om           *echoObs
-	obsReg       *obs.Registry
-	perDelivered *obs.Counter
-	perLagNS     *obs.Histogram
-	perDrops     *obs.Counter
-	perSlow      *obs.Counter
-	tracer       *trace.Tracer
-	reg          *registry.Client
+	om             *echoObs
+	obsReg         *obs.Registry
+	perDelivered   *obs.Counter
+	perLagNS       *obs.Histogram
+	perDrops       *obs.Counter
+	perSlow        *obs.Counter
+	perFlushFrames *obs.Histogram // frames per coalesced flush (batching factor)
+	tracer         *trace.Tracer
+	reg            *registry.Client
+
+	// Delivery-engine tuning, copied from the server at channel creation.
+	queueCap    int
+	queuePolicy fanout.Policy
+
+	// sinks is the copy-on-write membership the fan-out path reads; meta is
+	// the copy-on-write event-format meta-data snapshot (formats and their
+	// transformations seen from publishers, replayed to late subscribers).
+	// Both are written under ch.mu and read lock-free.
+	sinks atomic.Pointer[sinkShards]
+	meta  atomic.Pointer[[]eventMeta]
 
 	mu      sync.Mutex
 	nextID  int32
 	members map[*memberConn]Member
-	// eventMeta accumulates payload formats (and their transformations)
-	// seen from publishers, so late subscribers still receive the
-	// evolution meta-data.
-	eventMeta []eventMeta
 }
 
 type eventMeta struct {
@@ -179,10 +223,11 @@ const SlowDeliveryNS = int64(time.Millisecond)
 //	echo.sink.dropped       deliveries aborted by a write failure
 //	echo.sink.slow          deliveries slower than SlowDeliveryNS
 //
-// With the current synchronous fan-out, queue_depth/bytes_pending bracket
-// the blocking write: a stuck consumer shows depth pinned at 1 with its
-// event's bytes pending, exactly the series the planned sharded fan-out
-// will widen. All fields are nil (no-op) when observability is disabled.
+// queue_depth/bytes_pending mirror the sink's outbound delivery queue:
+// every admitted frame increments them on enqueue and decrements exactly
+// once on settle (flushed, dropped on overflow, or discarded at close), so
+// a consumer that stops draining shows its queue filling on /metrics in
+// real time. All fields are nil (no-op) when observability is disabled.
 type sinkObs struct {
 	lagNS   *obs.Histogram
 	depth   *obs.Gauge
@@ -214,6 +259,14 @@ func newSinkObs(reg *obs.Registry, channel string, id int32) sinkObs {
 type memberConn struct {
 	conn   *wire.Conn
 	member Member
+
+	// q is the sink's bounded outbound queue (nil for pure sources): the
+	// fan-out path enqueues refcounted frames, the queue's writer goroutine
+	// flushes them in coalesced batches through wbatch. shard is the
+	// member's index into the channel's sinkShards.
+	q      *fanout.Queue
+	wbatch []wire.BatchFrame // writer-only scratch, reused across flushes
+	shard  int
 
 	// so carries the member's per-sink delivery accounting (zero-valued,
 	// all-nil when observability is off or the member is not a sink).
@@ -283,13 +336,18 @@ func (s *Server) channelFor(id string) *channel {
 	defer s.mu.Unlock()
 	ch, ok := s.channels[id]
 	if !ok {
-		ch = &channel{id: id, om: &s.om, tracer: s.tracer, reg: s.registry, members: make(map[*memberConn]Member)}
+		ch = &channel{
+			id: id, om: &s.om, tracer: s.tracer, reg: s.registry,
+			queueCap: s.queueCap, queuePolicy: s.queuePolicy,
+			members: make(map[*memberConn]Member),
+		}
 		if s.obs != nil {
 			ch.obsReg = s.obs
 			ch.perDelivered = s.obs.Counter(obs.LabeledName("echo.channel.delivered", "channel", id))
 			ch.perLagNS = s.obs.Histogram(obs.LabeledName("echo.channel.lag_ns", "channel", id))
 			ch.perDrops = s.obs.Counter(obs.LabeledName("echo.channel.drops", "channel", id))
 			ch.perSlow = s.obs.Counter(obs.LabeledName("echo.channel.slow", "channel", id))
+			ch.perFlushFrames = s.obs.Histogram(obs.LabeledName("echo.channel.flush_frames", "channel", id))
 		}
 		s.channels[id] = ch
 	}
@@ -565,14 +623,18 @@ func (s *Server) handleConn(nc net.Conn) {
 		members = append(members, m)
 	}
 	members = append(members, mc.member)
-	meta := append([]eventMeta(nil), ch.eventMeta...)
 	ch.mu.Unlock()
+	meta := ch.metaSnapshot()
 
 	// Sink subscribers get per-sink delivery accounting, keyed by the member
-	// ID just assigned. Created outside ch.mu: the registry takes its own
-	// lock, and instrument creation is cold-path work.
-	if s.obs != nil && mc.member.IsSink {
-		mc.so = newSinkObs(s.obs, ch.id, mc.member.ID)
+	// ID just assigned, and their outbound delivery queue. Created outside
+	// ch.mu: the registry takes its own lock, and instrument creation is
+	// cold-path work.
+	if mc.member.IsSink {
+		if s.obs != nil {
+			mc.so = newSinkObs(s.obs, ch.id, mc.member.ID)
+		}
+		mc.q = ch.newSinkQueue(mc)
 	}
 
 	// Respond in v2.0, with the v2→v1 morphing code attached out-of-band.
@@ -590,9 +652,13 @@ func (s *Server) handleConn(nc net.Conn) {
 	}
 	// Join the membership only after the response is on the wire, so a
 	// concurrent fanout cannot slip an event frame in front of the
-	// handshake response.
+	// handshake response (the enqueue happens-after this store, and the
+	// sink's writer serializes behind the response on the conn write lock).
 	ch.mu.Lock()
 	ch.members[mc] = mc.member
+	if mc.member.IsSink {
+		ch.addSinkLocked(mc)
+	}
 	ch.mu.Unlock()
 	s.om.members.Add(1)
 
@@ -601,7 +667,8 @@ func (s *Server) handleConn(nc net.Conn) {
 	// forwarded to every sink verbatim (fanout never re-encodes, and decodes
 	// at most once — lazily, for derived-channel filters). The buffer from
 	// ReadEncoded is only valid until the next read, which is fine because
-	// fanout completes synchronously before the loop iterates.
+	// fanout copies the bytes exactly once into a refcounted shared frame
+	// before returning; sink writers drain that frame, not this buffer.
 	for {
 		data, f, err := conn.ReadEncoded()
 		if err != nil {
@@ -615,16 +682,32 @@ func (s *Server) handleConn(nc net.Conn) {
 	}
 }
 
+// metaSnapshot returns the channel's current event-format meta-data — an
+// immutable copy-on-write slice, read off one atomic load.
+func (ch *channel) metaSnapshot() []eventMeta {
+	if p := ch.meta.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 func (ch *channel) recordEventMeta(f *pbio.Format, xforms []*core.Xform) {
 	ch.mu.Lock()
-	for i := range ch.eventMeta {
-		if ch.eventMeta[i].format.SameStructure(f) {
-			ch.eventMeta[i].xforms = xforms
-			ch.mu.Unlock()
-			return
+	cur := ch.metaSnapshot()
+	next := make([]eventMeta, len(cur), len(cur)+1)
+	copy(next, cur)
+	found := false
+	for i := range next {
+		if next[i].format.SameStructure(f) {
+			next[i].xforms = xforms
+			found = true
+			break
 		}
 	}
-	ch.eventMeta = append(ch.eventMeta, eventMeta{format: f, xforms: xforms})
+	if !found {
+		next = append(next, eventMeta{format: f, xforms: xforms})
+	}
+	ch.meta.Store(&next)
 	ch.mu.Unlock()
 	// Publish newly seen event meta-data to the format registry, off the
 	// fanout path (registry RPCs may block on the network). Best-effort:
@@ -634,16 +717,63 @@ func (ch *channel) recordEventMeta(f *pbio.Format, xforms []*core.Xform) {
 	}
 }
 
+// addSinkLocked adds mc to its membership shard, copy-on-write. Caller holds
+// ch.mu (which serializes shard writers; readers are lock-free).
+func (ch *channel) addSinkLocked(mc *memberConn) {
+	next := &sinkShards{}
+	if old := ch.sinks.Load(); old != nil {
+		next.shards = old.shards
+		next.total = old.total
+	}
+	mc.shard = int(uint32(mc.member.ID) % fanoutShardCount)
+	old := next.shards[mc.shard]
+	shard := make([]*memberConn, len(old)+1)
+	copy(shard, old)
+	shard[len(old)] = mc
+	next.shards[mc.shard] = shard
+	next.total++
+	ch.sinks.Store(next)
+}
+
+// dropSinkLocked removes mc from its shard, copy-on-write. Caller holds
+// ch.mu.
+func (ch *channel) dropSinkLocked(mc *memberConn) {
+	old := ch.sinks.Load()
+	if old == nil {
+		return
+	}
+	cur := old.shards[mc.shard]
+	shard := make([]*memberConn, 0, len(cur))
+	for _, m := range cur {
+		if m != mc {
+			shard = append(shard, m)
+		}
+	}
+	if len(shard) == len(cur) {
+		return
+	}
+	next := &sinkShards{shards: old.shards, total: old.total - 1}
+	next.shards[mc.shard] = shard
+	ch.sinks.Store(next)
+}
+
 func (ch *channel) remove(mc *memberConn) {
 	ch.mu.Lock()
 	_, present := ch.members[mc]
 	delete(ch.members, mc)
+	if present && mc.member.IsSink {
+		ch.dropSinkLocked(mc)
+	}
 	ch.mu.Unlock()
-	// remove can race between the read loop and fanout's dead-sink cleanup;
-	// only the call that actually removed the member moves the gauge (and
-	// garbage-collects the member's per-sink series — channel aggregates
-	// outlive any one sink, per-sink series must not).
+	// remove can race between the read loop and the delivery engine's
+	// failure path; only the call that actually removed the member closes
+	// the queue and moves the gauge (and garbage-collects the member's
+	// per-sink series — channel aggregates outlive any one sink, per-sink
+	// series must not).
 	if present {
+		if mc.q != nil {
+			mc.q.Close()
+		}
 		ch.om.members.Add(-1)
 		if len(mc.so.names) > 0 {
 			ch.obsReg.Remove(mc.so.names...)
@@ -651,43 +781,127 @@ func (ch *channel) remove(mc *memberConn) {
 	}
 }
 
-// fanout forwards an event to every sink subscriber except its publisher.
-// Dead sinks are dropped from the membership.
+// newSinkQueue builds one sink's outbound delivery queue, wiring the
+// accounting pairing into the queue's lifecycle hooks: OnEnqueue increments
+// the sink's queue_depth/bytes_pending gauges and every admitted frame gets
+// exactly one matching decrement — OnDeliver after its batch flushed, OnDrop
+// on overflow, write failure, or close. No echo code path touches the gauges
+// outside these hooks, so none can strand them.
+func (ch *channel) newSinkQueue(mc *memberConn) *fanout.Queue {
+	return fanout.NewQueue(fanout.Config{
+		Cap:    ch.queueCap,
+		Policy: ch.queuePolicy,
+		// Flush hands the whole backlog to the wire layer as one batch:
+		// one write lock, one flush — N coalesced frames cost one syscall.
+		// Evolution meta-data is relayed here, by the sink's own writer,
+		// never by the fan-out pass: Declare takes the conn's write lock,
+		// which a stalled sink's writer can hold across a blocked flush —
+		// exactly the head-of-line block the engine exists to remove.
+		Flush: func(batch []*fanout.Frame) error {
+			meta := ch.metaSnapshot()
+			wb := mc.wbatch[:0]
+			for _, fr := range batch {
+				// Skipped outright while no publisher has declared any
+				// meta — the common case. Declare is idempotent per format
+				// (no-op once the format frame is on the wire).
+				if len(meta) > 0 {
+					for i := range meta {
+						if meta[i].format.SameStructure(fr.Format) {
+							mc.conn.Declare(meta[i].format, meta[i].xforms...)
+						}
+					}
+				}
+				wb = append(wb, wire.BatchFrame{Data: fr.Data, Format: fr.Format, Ctx: fr.Ctx})
+			}
+			err := mc.conn.WriteEncodedBatchCtx(wb)
+			for i := range wb {
+				wb[i] = wire.BatchFrame{} // don't pin released frame buffers
+			}
+			mc.wbatch = wb[:0]
+			return err
+		},
+		OnEnqueue: func(fr *fanout.Frame) {
+			mc.so.depth.Add(1)
+			mc.so.pending.Add(int64(len(fr.Data)))
+		},
+		OnDeliver: func(fr *fanout.Frame, lagNS int64) {
+			mc.so.depth.Add(-1)
+			mc.so.pending.Add(-int64(len(fr.Data)))
+			// Delivery lag: publish receipt (fan-out entry) → this sink's
+			// write flushed. The exemplar ties a top-bucket lag sample to
+			// the event's trace, so a p99 spike on /metrics resolves to a
+			// trace tree in /debug/tracez; unsampled events carry a zero
+			// trace ID and record plain.
+			mc.so.lagNS.ObserveExemplar(uint64(lagNS), [16]byte(fr.Ctx.Trace))
+			ch.perLagNS.Observe(uint64(lagNS))
+			if lagNS >= SlowDeliveryNS {
+				mc.so.slow.Inc()
+				ch.perSlow.Inc()
+			}
+			ch.om.delivered.Inc()
+			ch.perDelivered.Inc()
+		},
+		OnDrop: func(fr *fanout.Frame) {
+			mc.so.depth.Add(-1)
+			mc.so.pending.Add(-int64(len(fr.Data)))
+			mc.so.dropped.Inc()
+			ch.perDrops.Inc()
+		},
+		OnFlush: func(frames int) {
+			ch.perFlushFrames.Observe(uint64(frames))
+		},
+		// A write failure or Disconnect-policy overflow fails the sink:
+		// drop its membership and close the connection. The queue has
+		// already settled the backlog's accounting.
+		OnFail: func(error) {
+			ch.remove(mc)
+			_ = mc.conn.Close()
+		},
+	})
+}
+
+// fanout offers an event to every sink subscriber except its publisher —
+// the enqueue half of the delivery engine. The publisher's encoded bytes are
+// copied exactly once into a refcounted shared frame and enqueued to each
+// sink's bounded queue by pointer; dedicated writers flush the queues in
+// coalesced batches, so a stalled consumer fills (and degrades) only its own
+// queue and this pass never blocks on a write. Membership is an immutable
+// copy-on-write snapshot read off one atomic pointer load: the pass holds no
+// locks — not even a sink conn's write mutex, which a stalled writer may be
+// holding — and allocates nothing beyond the one frame. Evolution meta-data
+// is relayed by each sink's writer at flush time, off this path.
 //
-// The event is forwarded as the publisher's encoded bytes: one read-side
-// decode at most (lazy, only when some sink has a derived-channel filter)
-// and zero re-encodes regardless of membership size — previously each sink
-// paid a full encode of the same record. The server is a pure forwarder;
-// payload validation is the receiving Morpher's job.
+// One read-side decode at most (lazy, only when some sink has a
+// derived-channel filter) and zero re-encodes regardless of membership size.
+// The server is a pure forwarder; payload validation is the receiving
+// Morpher's job.
 //
 // tctx is the event's trace context from the publisher's connection. When
-// the server traces, the whole pass is a fanout span and sinks receive that
-// span's context; when it does not, tctx relays to sinks verbatim — the
-// same pass-through discipline as format meta-data.
+// the server traces, the whole pass is a fanout span (with one fanout_shard
+// child per non-empty shard) and sinks receive the fanout span's context;
+// when it does not, tctx relays to sinks verbatim — the same pass-through
+// discipline as format meta-data.
 func (ch *channel) fanout(from *memberConn, f *pbio.Format, data []byte, tctx trace.Context) {
 	ch.om.eventsIn.Inc()
-	// Fan-out latency is recorded unconditionally (not sampled): fan-outs
-	// are orders of magnitude rarer than morph deliveries and already pay
-	// for network writes.
+	// t0 is the publish receipt time every sink's delivery lag is measured
+	// against; the fan-out histogram times the enqueue pass itself.
+	t0 := time.Now()
 	timed := ch.om.fanoutNS != nil
-	var t0 time.Time
-	if timed {
-		t0 = time.Now()
-	}
 	fs := ch.tracer.StartSpan(tctx, trace.StageFanout)
 	if fs.Recording() {
 		fs.FP = f.Fingerprint()
 		tctx = fs.Context()
 	}
-	ch.mu.Lock()
-	sinks := make([]*memberConn, 0, len(ch.members))
-	for mc, m := range ch.members {
-		if mc != from && m.IsSink {
-			sinks = append(sinks, mc)
+	shards := ch.sinks.Load()
+	if shards == nil || shards.total == 0 {
+		if fs.Recording() {
+			fs.End()
 		}
+		if timed {
+			ch.om.fanoutNS.ObserveExemplar(uint64(sinceNS(t0)), [16]byte(tctx.Trace))
+		}
+		return
 	}
-	meta := append([]eventMeta(nil), ch.eventMeta...)
-	ch.mu.Unlock()
 
 	// Lazily decode the event once, shared across every filtered sink. A
 	// payload that does not decode fails filters closed (nil record).
@@ -701,72 +915,62 @@ func (ch *channel) fanout(from *memberConn, f *pbio.Format, data []byte, tctx tr
 		return ev
 	}
 
-	for _, mc := range sinks {
-		// Derived channels: apply the member's filter at the source side,
-		// so uninteresting events never cross the network.
-		if mc.filter != "" && !mc.wants(decoded()) {
-			ch.om.filtered.Inc()
+	// The shared frame is created lazily on the first admitted sink — a
+	// fully filtered event copies nothing — and the publisher's reference is
+	// released at the end of the pass. Each Enqueue takes its own reference.
+	var fr *fanout.Frame
+	offered := int64(0)
+	for si := range shards.shards {
+		shard := shards.shards[si]
+		if len(shard) == 0 {
 			continue
 		}
-		// Relay evolution meta-data before first use of the format on this
-		// connection; Declare is idempotent enough (the format frame is
-		// only emitted once per conn).
-		for _, em := range meta {
-			if em.format.SameStructure(f) {
-				mc.conn.Declare(em.format, em.xforms...)
+		ss := ch.tracer.StartSpan(tctx, trace.StageFanoutShard)
+		shardOffered := int64(0)
+		for _, mc := range shard {
+			if mc == from {
+				continue
 			}
-		}
-		// Per-sink delivery accounting brackets the write: while it blocks,
-		// the sink's queue depth and pending bytes stand at this event, so a
-		// consumer that stops draining is visible on /metrics mid-stall.
-		// Everything here is pre-fetched atomics — zero allocations on the
-		// delivery path, one branch when accounting is off.
-		accounted := mc.so.lagNS != nil
-		if accounted {
-			mc.so.depth.Add(1)
-			mc.so.pending.Add(int64(len(data)))
-		}
-		err := mc.conn.WriteEncodedCtx(f, data, tctx)
-		if accounted {
-			mc.so.depth.Add(-1)
-			mc.so.pending.Add(-int64(len(data)))
-		}
-		if err != nil {
-			mc.so.dropped.Inc()
-			ch.perDrops.Inc()
-			ch.remove(mc)
-			_ = mc.conn.Close()
-			continue
-		}
-		if accounted {
-			// Delivery lag: publish receipt (fan-out entry) → this sink's
-			// write flushed. The exemplar ties a top-bucket lag sample to the
-			// event's trace, so a p99 spike on /metrics resolves to a trace
-			// tree in /debug/tracez; unsampled events carry a zero trace ID
-			// and record plain.
-			lag := time.Since(t0).Nanoseconds()
-			if lag < 0 {
-				lag = 0
+			// Derived channels: apply the member's filter at the source
+			// side, so uninteresting events never cross the network.
+			if mc.filter != "" && !mc.wants(decoded()) {
+				ch.om.filtered.Inc()
+				continue
 			}
-			mc.so.lagNS.ObserveExemplar(uint64(lag), [16]byte(tctx.Trace))
-			ch.perLagNS.Observe(uint64(lag))
-			if lag >= SlowDeliveryNS {
-				mc.so.slow.Inc()
-				ch.perSlow.Inc()
+			if fr == nil {
+				fr = fanout.NewFrame(data, f, tctx, t0)
 			}
+			fr.Retain()
+			mc.q.Enqueue(fr)
+			shardOffered++
 		}
-		ch.om.delivered.Inc()
-		ch.perDelivered.Inc()
+		offered += shardOffered
+		if ss.Recording() {
+			ss.N = shardOffered
+			ss.End()
+		}
+	}
+	if fr != nil {
+		fr.Release()
 	}
 	if fs.Recording() {
-		fs.N = int64(len(sinks))
+		fs.N = offered
 		fs.End()
 	}
 	if timed {
-		ns := time.Since(t0).Nanoseconds()
-		if ns < 0 {
-			ns = 0
-		}
-		ch.om.fanoutNS.ObserveExemplar(uint64(ns), [16]byte(tctx.Trace))
+		// Fan-out latency is recorded unconditionally (not sampled):
+		// fan-outs are orders of magnitude rarer than morph deliveries. The
+		// exemplar ties a slow pass to its trace.
+		ch.om.fanoutNS.ObserveExemplar(uint64(sinceNS(t0)), [16]byte(tctx.Trace))
 	}
+}
+
+// sinceNS is time.Since clamped non-negative (monotonic clock hiccups must
+// not underflow the unsigned histograms).
+func sinceNS(t0 time.Time) int64 {
+	ns := time.Since(t0).Nanoseconds()
+	if ns < 0 {
+		return 0
+	}
+	return ns
 }

@@ -136,6 +136,10 @@ const (
 	// subscription handshake (hello + watch, N = the daemon's seqno) and one
 	// per applied invalidation event (FP = the entry, N = its seqno).
 	StageRegistryWatch // registry watch subscribe / applied event
+
+	// StageFanoutShard covers one membership shard's enqueue pass inside a
+	// fan-out: N = the number of sinks the frame was offered to.
+	StageFanoutShard // per-shard enqueue pass in the delivery engine
 )
 
 var stageNames = [...]string{
@@ -154,6 +158,7 @@ var stageNames = [...]string{
 
 	StageRegistryFetch: "registry_fetch",
 	StageRegistryWatch: "registry_watch",
+	StageFanoutShard:   "fanout_shard",
 }
 
 // String returns the stage's snake_case name ("unknown" for out-of-range

@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pbio"
+	"repro/internal/trace"
+)
+
+// countingConn wraps bufferedConn counting Write *calls*: with frames far
+// smaller than the bufio buffer, one flush is exactly one Write syscall-
+// equivalent, which is what the batch API exists to coalesce.
+type countingConn struct {
+	*bufferedConn
+	writes atomic.Int64
+}
+
+func (c *countingConn) Write(b []byte) (int, error) {
+	c.writes.Add(1)
+	return c.bufferedConn.Write(b)
+}
+
+func batchPair(t *testing.T) (tx *Conn, txc *countingConn, rx *Conn) {
+	t.Helper()
+	fwd, back := newBufferPipe(), newBufferPipe()
+	txc = &countingConn{bufferedConn: &bufferedConn{r: back, w: fwd}}
+	rxc := &bufferedConn{r: fwd, w: back}
+	tx, rx = NewConn(txc), NewConn(rxc)
+	t.Cleanup(func() {
+		_ = tx.Close()
+		_ = rx.Close()
+	})
+	return tx, txc, rx
+}
+
+func encodeSeq(t *testing.T, f *pbio.Format, i int64) []byte {
+	t.Helper()
+	return pbio.EncodeRecord(pbio.NewRecord(f).MustSet("seq", pbio.Int(i)))
+}
+
+// TestWriteEncodedBatchOneFlush: N batched frames reach the peer intact and
+// in order, the format frame goes out exactly once, and the whole batch
+// costs a single underlying write.
+func TestWriteEncodedBatchOneFlush(t *testing.T) {
+	f := fmtOrDie(t, "BatchSeq", []pbio.Field{
+		{Name: "seq", Kind: pbio.Integer, Size: 8},
+	})
+	tx, txc, rx := batchPair(t)
+
+	const n = 16
+	batch := make([]BatchFrame, n)
+	for i := range batch {
+		batch[i] = BatchFrame{Data: encodeSeq(t, f, int64(i)), Format: f}
+	}
+	if err := tx.WriteEncodedBatchCtx(batch); err != nil {
+		t.Fatalf("WriteEncodedBatchCtx: %v", err)
+	}
+	if w := txc.writes.Load(); w != 1 {
+		t.Errorf("batch of %d frames took %d underlying writes, want 1", n, w)
+	}
+	if got := tx.Stats().FormatFramesSent; got != 1 {
+		t.Errorf("format frames sent = %d, want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		rec, err := rx.ReadRecord()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		v, _ := rec.Get("seq")
+		if v.Int64() != int64(i) {
+			t.Fatalf("frame %d carried seq %d, want in-order delivery", i, v.Int64())
+		}
+	}
+}
+
+// TestWriteEncodedBatchMixedFormats: a batch spanning two formats announces
+// each format once, before its first data frame.
+func TestWriteEncodedBatchMixedFormats(t *testing.T) {
+	f1 := fmtOrDie(t, "BatchA", []pbio.Field{{Name: "seq", Kind: pbio.Integer, Size: 8}})
+	f2 := fmtOrDie(t, "BatchB", []pbio.Field{{Name: "seq", Kind: pbio.Integer, Size: 4}})
+	tx, txc, rx := batchPair(t)
+
+	batch := []BatchFrame{
+		{Data: encodeSeq(t, f1, 1), Format: f1},
+		{Data: encodeSeq(t, f2, 2), Format: f2},
+		{Data: encodeSeq(t, f1, 3), Format: f1},
+		{Data: encodeSeq(t, f2, 4), Format: f2},
+	}
+	if err := tx.WriteEncodedBatchCtx(batch); err != nil {
+		t.Fatalf("WriteEncodedBatchCtx: %v", err)
+	}
+	if w := txc.writes.Load(); w != 1 {
+		t.Errorf("mixed-format batch took %d underlying writes, want 1", w)
+	}
+	if got := tx.Stats().FormatFramesSent; got != 2 {
+		t.Errorf("format frames sent = %d, want 2 (one per format)", got)
+	}
+	wantNames := []string{"BatchA", "BatchB", "BatchA", "BatchB"}
+	for i, name := range wantNames {
+		rec, err := rx.ReadRecord()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if rec.Format().Name() != name {
+			t.Fatalf("frame %d format %q, want %q", i, rec.Format().Name(), name)
+		}
+	}
+}
+
+// TestWriteEncodedBatchFingerprintMismatch: a frame whose bytes don't carry
+// its claimed format's fingerprint stops the batch with ErrFingerprint and
+// doesn't poison the connection for frames already written.
+func TestWriteEncodedBatchFingerprintMismatch(t *testing.T) {
+	f1 := fmtOrDie(t, "BatchGood", []pbio.Field{{Name: "seq", Kind: pbio.Integer, Size: 8}})
+	f2 := fmtOrDie(t, "BatchBad", []pbio.Field{{Name: "seq", Kind: pbio.Integer, Size: 4}})
+	tx, _, rx := batchPair(t)
+
+	batch := []BatchFrame{
+		{Data: encodeSeq(t, f1, 1), Format: f1},
+		{Data: encodeSeq(t, f1, 2), Format: f2}, // bytes are f1, claimed f2
+	}
+	err := tx.WriteEncodedBatchCtx(batch)
+	if !errors.Is(err, pbio.ErrFingerprint) {
+		t.Fatalf("err = %v, want ErrFingerprint", err)
+	}
+	// The frame written before the bad one was flushed best-effort.
+	rec, err := rx.ReadRecord()
+	if err != nil {
+		t.Fatalf("read surviving frame: %v", err)
+	}
+	if v, _ := rec.Get("seq"); v.Int64() != 1 {
+		t.Fatalf("surviving frame seq = %d, want 1", v.Int64())
+	}
+}
+
+// TestWriteEncodedBatchTraceContexts: each sampled frame in a batch gets its
+// own trace announcement, relayed to the peer in order.
+func TestWriteEncodedBatchTraceContexts(t *testing.T) {
+	f := fmtOrDie(t, "BatchTraced", []pbio.Field{{Name: "seq", Kind: pbio.Integer, Size: 8}})
+	fwd, back := newBufferPipe(), newBufferPipe()
+	txc := &bufferedConn{r: back, w: fwd}
+	rxc := &bufferedConn{r: fwd, w: back}
+	tx, rx := NewConn(txc), NewConn(rxc)
+	t.Cleanup(func() { _ = tx.Close(); _ = rx.Close() })
+
+	tracer := trace.New(trace.Config{Capacity: 16, SampleEvery: 1})
+	root1 := tracer.StartTrace(trace.StagePublish)
+	root2 := tracer.StartTrace(trace.StagePublish)
+	ctx1, ctx2 := root1.Context(), root2.Context()
+	defer root1.End()
+	defer root2.End()
+	batch := []BatchFrame{
+		{Data: encodeSeq(t, f, 1), Format: f, Ctx: ctx1},
+		{Data: encodeSeq(t, f, 2), Format: f}, // unsampled
+		{Data: encodeSeq(t, f, 3), Format: f, Ctx: ctx2},
+	}
+	if err := tx.WriteEncodedBatchCtx(batch); err != nil {
+		t.Fatalf("WriteEncodedBatchCtx: %v", err)
+	}
+	wantCtx := []trace.Context{ctx1, {}, ctx2}
+	for i, want := range wantCtx {
+		if _, err := rx.ReadRecord(); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		got := rx.TraceContext()
+		if got.Trace != want.Trace || got.Sampled != want.Sampled {
+			t.Fatalf("frame %d trace ctx = %+v, want %+v", i, got, want)
+		}
+	}
+	if got := tx.Stats().TraceFramesSent; got != 2 {
+		t.Errorf("trace frames sent = %d, want 2", got)
+	}
+}
+
+// TestWriteEncodedBatchEmpty: an empty batch is a no-op, not an error or a
+// spurious flush.
+func TestWriteEncodedBatchEmpty(t *testing.T) {
+	tx, txc, _ := batchPair(t)
+	if err := tx.WriteEncodedBatchCtx(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if w := txc.writes.Load(); w != 0 {
+		t.Errorf("empty batch performed %d writes, want 0", w)
+	}
+}
+
+// TestWriteEncodedBatchInterleavesWithSingles: batch and single writes share
+// the same lock and format cache — a format announced by a batch is not
+// re-announced by a later single write, and vice versa.
+func TestWriteEncodedBatchInterleavesWithSingles(t *testing.T) {
+	f := fmtOrDie(t, "BatchShared", []pbio.Field{{Name: "seq", Kind: pbio.Integer, Size: 8}})
+	tx, _, rx := batchPair(t)
+
+	if err := tx.WriteEncodedBatchCtx([]BatchFrame{{Data: encodeSeq(t, f, 1), Format: f}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.WriteEncoded(f, encodeSeq(t, f, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tx.Stats().FormatFramesSent; got != 1 {
+		t.Errorf("format frames sent = %d, want 1 across batch+single", got)
+	}
+	for i := int64(1); i <= 2; i++ {
+		rec, err := rx.ReadRecord()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := rec.Get("seq"); v.Int64() != i {
+			t.Fatalf("seq = %d, want %d", v.Int64(), i)
+		}
+	}
+}
+
+var _ net.Conn = (*countingConn)(nil)
+var _ = time.Time{}

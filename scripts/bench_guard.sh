@@ -1,0 +1,51 @@
+#!/bin/sh
+# Floor-regression guard for the splice lane: the freshly measured
+# BENCH_pipeline.json must hold the committed (HEAD) baseline — per
+# workload, splice_ns_per_op within 5% and splice_allocs_per_op not above
+# it. Wall-clock noise at the ~100ns scale is absorbed by retrying: the
+# floor only fails if the best of three re-measurements still misses it.
+set -eu
+cd "$(dirname "$0")/.."
+tmpdir=${1:-$(mktemp -d)}
+
+# The baseline is the index copy (what the next commit will record) so a
+# PR that legitimately re-baselines can stage the new file first; with
+# nothing staged the index mirrors HEAD, so CI compares against the last
+# commit.
+base="$tmpdir/BENCH_pipeline_head.json"
+if ! git show :BENCH_pipeline.json >"$base" 2>/dev/null; then
+    echo "no committed BENCH_pipeline.json baseline; skipping splice floor"
+    exit 0
+fi
+
+check() {
+    jq -e -s '
+        .[0] as $head | .[1] as $cur
+        | [ $cur[] as $c
+            | ($head[] | select(.workload == $c.workload)) as $b
+            | ($c.splice_ns_per_op <= ($b.splice_ns_per_op * 1.05 | ceil))
+              and ($c.splice_allocs_per_op <= $b.splice_allocs_per_op) ]
+        | length > 0 and all' "$base" "$1" >/dev/null
+}
+
+cur="BENCH_pipeline.json"
+if check "$cur"; then
+    exit 0
+fi
+for i in 1 2 3; do
+    # Quick-mode windows are noisy at the ~100ns scale; the decisive
+    # re-measurements use the full windows the baseline was recorded with.
+    echo "splice floor missed; re-measuring with full windows (attempt $i of 3)"
+    go run ./cmd/morphbench -exp pipeline \
+        -pipelinejson "$tmpdir/pipe_retry.json" >/dev/null
+    cur="$tmpdir/pipe_retry.json"
+    if check "$cur"; then
+        exit 0
+    fi
+done
+echo "BENCH_pipeline.json: splice lane regressed >5% vs the HEAD baseline"
+echo "  baseline:"
+jq -c '.[] | {workload, splice_ns_per_op, splice_allocs_per_op}' "$base"
+echo "  measured:"
+jq -c '.[] | {workload, splice_ns_per_op, splice_allocs_per_op}' "$cur"
+exit 1

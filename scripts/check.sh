@@ -5,6 +5,10 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+tmpdir=$(mktemp -d)
+formatd_pid=; echodemo_pid=
+trap 'kill "$formatd_pid" "$echodemo_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+
 echo "== go vet ./..."
 go vet ./...
 echo "== go build ./..."
@@ -23,13 +27,28 @@ echo "== morphbench watch (writes BENCH_watch.json)"
 go run ./cmd/morphbench -exp watch -quick
 echo "== morphbench obsload (writes BENCH_obs.json)"
 go run ./cmd/morphbench -exp obsload -quick
+echo "== morphbench fanout smoke (quick sweep, temp output)"
+go run ./cmd/morphbench -exp fanout -quick -fanoutjson "$tmpdir/BENCH_fanout_quick.json"
+jq -e '.allocs_per_delivery == 0' "$tmpdir/BENCH_fanout_quick.json" >/dev/null \
+    || { echo "fanout smoke: allocs_per_delivery != 0 on the shared-frame path"; exit 1; }
+jq -e '[.points[].speedup] | min >= 2' "$tmpdir/BENCH_fanout_quick.json" >/dev/null \
+    || { echo "fanout smoke: quick-mode batched speedup fell below 2x"; exit 1; }
+echo "== fanout floors (committed BENCH_fanout.json)"
+jq -e '.allocs_per_delivery == 0' BENCH_fanout.json >/dev/null \
+    || { echo "BENCH_fanout.json: allocs_per_delivery != 0"; exit 1; }
+jq -e '[.points[] | select(.sinks >= 100000) | .speedup] | length > 0 and min >= 5' BENCH_fanout.json >/dev/null \
+    || { echo "BENCH_fanout.json: 100k+ sink speedup below the 5x acceptance floor"; exit 1; }
+echo "== pipeline splice floor (vs HEAD baseline)"
+sh scripts/bench_guard.sh "$tmpdir"
+echo "== fanout churn/isolation suite (race-enabled)"
+go test -race -count=1 -run 'TestFanoutChurnStress|TestSlowSinkIsolation|TestFailedWriteReleasesGauges' \
+    ./internal/echo/
+go test -race -count=1 -run 'TestQueueConcurrentChurn|TestQueueFailedWriteReleasesGauges|TestFrame' \
+    ./internal/fanout/
 echo "== registry watch/reconnect suite (race-enabled)"
 go test -race -count=1 -run 'TestWatch|TestRegisterPurgesNegativeCache|TestConcurrentResolveRegisterWatch' \
     ./internal/registry/
 echo "== formatd smoke (random ports, e2e interop, registryz JSON)"
-tmpdir=$(mktemp -d)
-trap 'kill "$formatd_pid" "$echodemo_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
-formatd_pid=; echodemo_pid=
 go build -o "$tmpdir/formatd" ./cmd/formatd
 "$tmpdir/formatd" -addr 127.0.0.1:0 -debug 127.0.0.1:0 \
     -snapshot "$tmpdir/table.spool" >"$tmpdir/formatd.log" 2>&1 &
