@@ -25,6 +25,7 @@ import (
 	"repro/internal/echo"
 	"repro/internal/obs"
 	"repro/internal/pbio"
+	"repro/internal/tap"
 	"repro/internal/trace"
 )
 
@@ -77,15 +78,20 @@ func main() {
 }
 
 // runServer hosts the event domain. With -debug, the full telemetry plane
-// (/debug/morphz, /debug/tracez, /metrics, /healthz, /readyz, /debug/) is
-// mounted on its own listener and the bound address is logged so scripts
-// can scrape it (scripts/check.sh parses the "debug endpoints on" line).
+// (/debug/morphz, /debug/tracez, /debug/tapz, /metrics, /healthz, /readyz,
+// /debug/) is mounted on its own listener and the bound address is logged so
+// scripts can scrape it (scripts/check.sh parses the "debug endpoints on"
+// line). The wire tap starts disarmed; arm it with /debug/tapz?arm=on.
 func runServer(addr, debug string) error {
 	opts := []echo.ServerOption{}
 	if debug != "" {
+		reg := obs.NewRegistry("echodemo")
 		opts = append(opts,
-			echo.WithObs(obs.NewRegistry("echodemo")),
+			echo.WithObs(reg),
 			echo.WithTracer(trace.New(trace.Config{Capacity: trace.DefaultCapacity})),
+			// Full payload prefixes: the demo favors replayable captures over
+			// ring memory, so anything it records morphtap can replay.
+			echo.WithTap(tap.New(tap.Config{Name: "echodemo", Obs: reg, Prefix: tap.PrefixMax})),
 			echo.WithMorphzAddr(debug),
 		)
 	}

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/registry"
+	"repro/internal/tap"
 )
 
 func main() {
@@ -42,11 +43,12 @@ func main() {
 		addr     = flag.String("addr", ":7500", "registry RPC listen address")
 		debug    = flag.String("debug", "", "debug HTTP listen address (empty = disabled)")
 		snapshot = flag.String("snapshot", "", "table snapshot path (empty = in-memory only)")
+		tapArmed = flag.Bool("tap", false, "arm the wire tap at startup (else arm via /debug/tapz?arm=on)")
 	)
 	flag.Parse()
 	log.SetFlags(log.Lmicroseconds)
 
-	if err := run(*addr, *debug, *snapshot, nil); err != nil {
+	if err := run(*addr, *debug, *snapshot, *tapArmed, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "formatd:", err)
 		os.Exit(1)
 	}
@@ -55,11 +57,16 @@ func main() {
 // run starts the daemon and blocks until SIGINT/SIGTERM (or ready is closed
 // by a test harness driving run directly; ready, when non-nil, receives the
 // bound RPC address once listening).
-func run(addr, debug, snapshot string, ready chan<- string) error {
+func run(addr, debug, snapshot string, tapArmed bool, ready chan<- string) error {
 	reg := obs.NewRegistry("formatd")
+	// The wire tap always exists (its unarmed cost is one interface call per
+	// frame) so an operator can arm capture at runtime through /debug/tapz
+	// without a restart; -tap arms it from the first frame.
+	wtap := tap.New(tap.Config{Name: "formatd", Armed: tapArmed, Obs: reg})
 	srv, err := registry.NewServer(
 		registry.WithServerObs(reg),
 		registry.WithSnapshotPath(snapshot),
+		registry.WithServerTap(wtap),
 	)
 	if err != nil {
 		return err
@@ -96,7 +103,11 @@ func run(addr, debug, snapshot string, ready chan<- string) error {
 		dbg, err := obs.Serve(debug, reg,
 			obs.Mount{
 				Path:    registry.RegistryzPath,
-				Handler: srv.Handler(obs.DebugIndexPath, obs.MetricsPath, obs.MorphzPath),
+				Handler: srv.Handler(obs.DebugIndexPath, obs.MetricsPath, obs.MorphzPath, tap.TapzPath),
+			},
+			obs.Mount{
+				Path:    tap.TapzPath,
+				Handler: tap.Handler(wtap, obs.DebugIndexPath, obs.MetricsPath, obs.MorphzPath, registry.RegistryzPath),
 			},
 			obs.Mount{Path: obs.HealthzPath, Handler: health.HealthzHandler()},
 			obs.Mount{Path: obs.ReadyzPath, Handler: health.ReadyzHandler()},

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	morphbench [-exp all|table1|fig8|fig9|fig10|pipeline|trace|registry|watch|obsload|fanout|ablations] [-quick] [-csv dir] [-obs]
+//	morphbench [-exp all|table1|fig8|fig9|fig10|pipeline|trace|registry|watch|obsload|fanout|tapload|ablations] [-quick] [-csv dir] [-obs]
 package main
 
 import (
@@ -32,7 +32,7 @@ func main() {
 func run(stdout io.Writer, args []string) error {
 	fs := flag.NewFlagSet("morphbench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, pipeline, trace, registry, watch, obsload, fanout, ablations")
+		exp       = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, pipeline, trace, registry, watch, obsload, fanout, tapload, ablations")
 		quick     = fs.Bool("quick", false, "shorter measuring windows and smaller max size (for CI)")
 		csvDir    = fs.String("csv", "", "also write CSV files into this directory")
 		withObs   = fs.Bool("obs", false, "attach an observability registry and print its final snapshot as JSON")
@@ -42,6 +42,7 @@ func run(stdout io.Writer, args []string) error {
 		watchJSON = fs.String("watchjson", "BENCH_watch.json", "file the watch experiment writes its results to (empty disables)")
 		obsJSON   = fs.String("obsjson", "BENCH_obs.json", "file the obsload experiment writes its results to (empty disables)")
 		fanJSON   = fs.String("fanoutjson", "BENCH_fanout.json", "file the fanout experiment writes its results to (empty disables)")
+		tapJSON   = fs.String("tapjson", "BENCH_tap.json", "file the tapload experiment writes its results to (empty disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -206,6 +207,16 @@ func run(stdout io.Writer, args []string) error {
 		}
 		bench.PrintFanout(stdout, result)
 		if err := writeJSON(*fanJSON, result); err != nil {
+			return err
+		}
+	}
+	if want("tapload") {
+		result, err := h.TapSweep(opts.MinTotal)
+		if err != nil {
+			return err
+		}
+		bench.PrintTap(stdout, result)
+		if err := writeJSON(*tapJSON, result); err != nil {
 			return err
 		}
 	}

@@ -362,8 +362,8 @@ func measureLoopback(sinks, events int) (FanoutLoopback, error) {
 		MustSet("timestamp", pbio.Uint(1)).
 		MustSet("node_id", pbio.Int(1)).
 		MustSet("cpu_load", pbio.Float64(0.5)).
-		MustSet("mem_used", pbio.Uint(1 << 30)).
-		MustSet("mem_total", pbio.Uint(2 << 30)).
+		MustSet("mem_used", pbio.Uint(1<<30)).
+		MustSet("mem_total", pbio.Uint(2<<30)).
 		MustSet("net_rx", pbio.Uint(1)).
 		MustSet("net_tx", pbio.Uint(1)).
 		MustSet("healthy", pbio.Bool(true))

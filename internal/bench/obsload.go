@@ -16,22 +16,22 @@ import (
 // PR-2 floor. Three lanes are measured per workload:
 //
 //   - off:        the bare splice closure — the same baseline
-//                 BENCH_pipeline.json records.
+//     BENCH_pipeline.json records.
 //   - enabled:    the identical splice lane with core.WithObs attached,
-//                 so every engine counter is registry-backed and the hot
-//                 histogram samples 1-in-256 deliveries. This is the lane
-//                 the "within 5% and +0 allocs" bar applies to: telemetry
-//                 on, steady state.
+//     so every engine counter is registry-backed and the hot
+//     histogram samples 1-in-256 deliveries. This is the lane
+//     the "within 5% and +0 allocs" bar applies to: telemetry
+//     on, steady state.
 //   - accounting: the delivery additionally wrapped in the full per-sink
-//                 accounting echo.Server.fanout performs around each
-//                 socket write — queue-depth/bytes-pending gauge
-//                 brackets, wall-clock lag, a labeled histogram
-//                 observation with exemplar capture, channel aggregates,
-//                 delivered counters. Its cost is reported as absolute
-//                 ns/delivery: in the daemon this brackets a socket
-//                 write (microseconds), so a sub-microsecond constant is
-//                 the relevant figure, not a percentage of the 100ns
-//                 in-process splice.
+//     accounting echo.Server.fanout performs around each
+//     socket write — queue-depth/bytes-pending gauge
+//     brackets, wall-clock lag, a labeled histogram
+//     observation with exemplar capture, channel aggregates,
+//     delivered counters. Its cost is reported as absolute
+//     ns/delivery: in the daemon this brackets a socket
+//     write (microseconds), so a sub-microsecond constant is
+//     the relevant figure, not a percentage of the 100ns
+//     in-process splice.
 type ObsLoadResult struct {
 	Workload         string  `json:"workload"`
 	OffNS            int64   `json:"obs_off_ns_per_op"`

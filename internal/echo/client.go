@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pbio"
 	"repro/internal/registry"
+	"repro/internal/tap"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -55,6 +56,12 @@ type Options struct {
 	// disables tracing (the zero-cost default).
 	Tracer *trace.Tracer
 
+	// Tap attaches a wire-level flight recorder: every frame the
+	// subscriber's connection reads or writes (the handshake included) is
+	// offered to a per-connection capture ring, recorded only while the tap
+	// is armed. Nil disables capture (the zero-cost default).
+	Tap *tap.Tap
+
 	// Registry attaches a format-registry client (cmd/formatd). The
 	// subscriber then declares wants_registry in its open request, publishes
 	// the formats it emits to the registry instead of (only) announcing them
@@ -80,6 +87,7 @@ type Subscriber struct {
 	conn     *wire.Conn
 	morpher  *core.Morpher
 	tracer   *trace.Tracer
+	ct       *tap.ConnTap // nil unless Options.Tap was set
 	channel  string
 	registry *registry.Client // nil unless Options.Registry was set
 
@@ -129,6 +137,22 @@ func open(nc net.Conn, channelID string, opts Options) (*Subscriber, error) {
 	}
 	copts := []wire.Option{wire.WithMorpher(s.morpher), wire.WithObs(opts.Obs),
 		wire.WithTracer(opts.Tracer)}
+	if opts.Tap != nil {
+		role := "member"
+		switch {
+		case opts.Source && opts.Sink:
+			role = "source+sink"
+		case opts.Source:
+			role = "source"
+		case opts.Sink:
+			role = "sink"
+		}
+		s.ct = opts.Tap.NewConn(tap.Label{
+			Proto: "echo", Channel: channelID, Role: role,
+			Peer: nc.RemoteAddr().String(),
+		})
+		copts = append(copts, wire.WithFrameTap(s.ct))
+	}
 	if rc != nil {
 		copts = append(copts,
 			wire.WithResolver(rc),
@@ -158,6 +182,7 @@ func open(nc net.Conn, channelID string, opts Options) (*Subscriber, error) {
 		})
 	}
 	if regErr != nil {
+		s.ct.Close()
 		_ = nc.Close()
 		return nil, regErr
 	}
@@ -188,6 +213,7 @@ func open(nc net.Conn, channelID string, opts Options) (*Subscriber, error) {
 		Filter:    opts.Filter,
 		Registry:  rc != nil,
 	}, opts.V1Compat)); err != nil {
+		s.ct.Close()
 		_ = nc.Close()
 		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
 	}
@@ -285,4 +311,7 @@ func (s *Subscriber) Run() error {
 }
 
 // Close leaves the channel by closing the connection.
-func (s *Subscriber) Close() error { return s.conn.Close() }
+func (s *Subscriber) Close() error {
+	s.ct.Close()
+	return s.conn.Close()
+}

@@ -2,6 +2,7 @@ package echo
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pbio"
 	"repro/internal/registry"
+	"repro/internal/tap"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -41,6 +43,7 @@ type Server struct {
 	obs        *obs.Registry
 	om         echoObs
 	tracer     *trace.Tracer
+	tap        *tap.Tap
 	morphzAddr string
 	morphz     *obs.Server
 	pprof      bool
@@ -100,6 +103,16 @@ func WithTracer(t *trace.Tracer) ServerOption {
 	return func(s *Server) { s.tracer = t }
 }
 
+// WithTap attaches a wire-level flight recorder: every member connection is
+// tapped (labeled with its channel and role once the handshake reveals them),
+// and the debug server (WithMorphzAddr) exposes the capture rings at
+// /debug/tapz. The tap is typically created disarmed — attached taps cost one
+// interface call per frame until armed (via Tap.Arm or `/debug/tapz?arm=on`).
+// A nil tap is valid and leaves capture disabled entirely.
+func WithTap(t *tap.Tap) ServerOption {
+	return func(s *Server) { s.tap = t }
+}
+
 // WithRegistry attaches a format-registry client (cmd/formatd). The event
 // domain then publishes every event format (and its transformation
 // meta-data) to the registry as it is first seen, suppresses in-band format
@@ -147,6 +160,10 @@ func NewServer(opts ...ServerOption) *Server {
 			fanoutNS:  s.obs.Histogram("echo.fanout_ns"),
 			members:   s.obs.Gauge("echo.members"),
 		}
+		// The delivery engine's live-frame refcount is process-global and
+		// already an atomic; expose it as a callback gauge so the scrape
+		// plane sees frame leaks (it should read 0 whenever fan-out is idle).
+		s.obs.GaugeFunc("fanout.live_frames", fanout.LiveFrames)
 	}
 	return s
 }
@@ -183,6 +200,7 @@ type channel struct {
 	perDrops       *obs.Counter
 	perSlow        *obs.Counter
 	perFlushFrames *obs.Histogram // frames per coalesced flush (batching factor)
+	perWriters     *obs.Gauge     // writer passes in flight (spawn-on-demand visibility)
 	tracer         *trace.Tracer
 	reg            *registry.Client
 
@@ -348,6 +366,7 @@ func (s *Server) channelFor(id string) *channel {
 			ch.perDrops = s.obs.Counter(obs.LabeledName("echo.channel.drops", "channel", id))
 			ch.perSlow = s.obs.Counter(obs.LabeledName("echo.channel.slow", "channel", id))
 			ch.perFlushFrames = s.obs.Histogram(obs.LabeledName("echo.channel.flush_frames", "channel", id))
+			ch.perWriters = s.obs.Gauge(obs.LabeledName("echo.channel.writers", "channel", id))
 		}
 		s.channels[id] = ch
 	}
@@ -429,8 +448,36 @@ func (s *Server) Serve(ln net.Listener) error {
 				return nil
 			})
 		}
+		// The fanout probe watches the delivery engine for two invariant
+		// breaks: a negative live-frame refcount (a double-release) and a
+		// failed sink queue still present in a channel's membership (the
+		// OnFail→remove path wedged). Both should be impossible; readiness is
+		// where "impossible" gets checked.
+		health.Register("fanout", func() error {
+			if n := fanout.LiveFrames(); n < 0 {
+				return fmt.Errorf("live frame refcount negative (%d): double release", n)
+			}
+			s.mu.Lock()
+			channels := make([]*channel, 0, len(s.channels))
+			for _, ch := range s.channels {
+				channels = append(channels, ch)
+			}
+			s.mu.Unlock()
+			for _, ch := range channels {
+				ch.mu.Lock()
+				for mc := range ch.members {
+					if mc.q != nil && mc.q.Failed() {
+						ch.mu.Unlock()
+						return fmt.Errorf("channel %q: failed sink queue still in membership", ch.id)
+					}
+				}
+				ch.mu.Unlock()
+			}
+			return nil
+		})
 		mounts := []obs.Mount{
-			{Path: trace.TracezPath, Handler: trace.Handler(s.tracer, obs.DebugIndexPath, obs.MetricsPath, obs.MorphzPath)},
+			{Path: trace.TracezPath, Handler: trace.Handler(s.tracer, obs.DebugIndexPath, obs.MetricsPath, obs.MorphzPath, tap.TapzPath)},
+			{Path: tap.TapzPath, Handler: tap.Handler(s.tap, obs.DebugIndexPath, obs.MetricsPath, obs.MorphzPath, trace.TracezPath)},
 			{Path: obs.HealthzPath, Handler: health.HealthzHandler()},
 			{Path: obs.ReadyzPath, Handler: health.ReadyzHandler()},
 		}
@@ -567,6 +614,15 @@ func (s *Server) handleConn(nc net.Conn) {
 		}
 		ch.recordEventMeta(f, xforms)
 	})}
+	// Tap the connection before any frame moves: the handshake itself is
+	// often the traffic under investigation. The label is provisional until
+	// the handshake reveals the channel and role.
+	var ct *tap.ConnTap
+	if s.tap != nil {
+		ct = s.tap.NewConn(tap.Label{Proto: "echo", Role: "member", Peer: nc.RemoteAddr().String()})
+		defer ct.Close()
+		opts = append(opts, wire.WithFrameTap(ct))
+	}
 	if s.registry != nil {
 		opts = append(opts,
 			// Registry-capable publishers suppress their format frames; the
@@ -608,6 +664,18 @@ func (s *Server) handleConn(nc net.Conn) {
 	}
 	peerRegistry = req.Registry && s.registry != nil
 	ch = s.channelFor(req.ChannelID)
+	if ct != nil {
+		role := "member"
+		switch {
+		case req.IsSource && req.IsSink:
+			role = "source+sink"
+		case req.IsSource:
+			role = "source"
+		case req.IsSink:
+			role = "sink"
+		}
+		ct.SetLabel(tap.Label{Proto: "echo", Channel: req.ChannelID, Role: role, Peer: nc.RemoteAddr().String()})
+	}
 
 	contact := req.Contact
 	if contact == "" {
@@ -856,6 +924,13 @@ func (ch *channel) newSinkQueue(mc *memberConn) *fanout.Queue {
 		OnFail: func(error) {
 			ch.remove(mc)
 			_ = mc.conn.Close()
+		},
+		// Active writer passes, as a per-channel gauge: it reads 0 whenever
+		// the channel is idle (the spawn-on-demand claim) and at most the
+		// sink count under load. Inert without observability — a nil gauge
+		// absorbs the Add.
+		OnWriter: func(delta int) {
+			ch.perWriters.Add(int64(delta))
 		},
 	})
 }

@@ -159,8 +159,12 @@ func TestTelemetryPlaneEndToEnd(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &ready); err != nil {
 		t.Fatal(err)
 	}
-	if !ready.Ready || len(ready.Probes) == 0 || ready.Probes[0].Name != "listener" {
-		t.Errorf("/readyz snapshot = %+v, want ready with a listener probe", ready)
+	probes := map[string]bool{}
+	for _, p := range ready.Probes {
+		probes[p.Name] = p.OK
+	}
+	if !ready.Ready || !probes["listener"] || !probes["fanout"] {
+		t.Errorf("/readyz snapshot = %+v, want ready with listener+fanout probes", ready)
 	}
 
 	// (4) The /debug/ index lists the whole surface.

@@ -393,3 +393,90 @@ func TestFramePathAllocs(t *testing.T) {
 	}
 	waitZeroLive(t)
 }
+
+// TestQueueOnWriterBalanced pins the OnWriter contract: +1/-1 pairs on
+// every writer pass — spawn-on-demand drain, Manual DrainNow, and the
+// failure path — so a gauge fed by the hook always settles back to zero
+// when the queue goes idle.
+func TestQueueOnWriterBalanced(t *testing.T) {
+	var active atomic.Int64
+	var peak atomic.Int64
+	onWriter := func(delta int) {
+		now := active.Add(int64(delta))
+		if now < 0 {
+			t.Errorf("active writers went negative (%d): unpaired -1", now)
+		}
+		for {
+			p := peak.Load()
+			if now <= p || peak.CompareAndSwap(p, now) {
+				break
+			}
+		}
+	}
+	waitSettled := func(q *Queue) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !q.Idle() || active.Load() != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("writer gauge stuck: idle=%v active=%d", q.Idle(), active.Load())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Spawn-on-demand drain: bursts of enqueues spawn writers; when the
+	// backlog empties, the gauge must return to zero.
+	q := NewQueue(Config{
+		Flush:    func([]*Frame) error { time.Sleep(100 * time.Microsecond); return nil },
+		OnWriter: onWriter,
+	})
+	for burst := 0; burst < 5; burst++ {
+		for i := uint64(0); i < 20; i++ {
+			q.Enqueue(testFrame(t, i))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waitSettled(q)
+	if peak.Load() == 0 {
+		t.Fatal("OnWriter never reported an active writer pass")
+	}
+	q.Close()
+	waitSettled(q)
+
+	// Manual queues: no writer until DrainNow, exactly one during it.
+	peak.Store(0)
+	var duringDrain int64
+	mq := NewQueue(Config{
+		Manual:   true,
+		Flush:    func([]*Frame) error { duringDrain = active.Load(); return nil },
+		OnWriter: onWriter,
+	})
+	mq.Enqueue(testFrame(t, 1))
+	if active.Load() != 0 {
+		t.Fatalf("manual queue reported %d writers before DrainNow", active.Load())
+	}
+	if n := mq.DrainNow(); n != 1 {
+		t.Fatalf("DrainNow = %d, want 1", n)
+	}
+	if duringDrain != 1 {
+		t.Fatalf("active writers during DrainNow flush = %d, want 1", duringDrain)
+	}
+	if active.Load() != 0 {
+		t.Fatalf("manual writer gauge residue %d after DrainNow", active.Load())
+	}
+
+	// Failure path: a flush error kills the writer pass; the -1 still fires.
+	fq := NewQueue(Config{
+		Flush:    func([]*Frame) error { return errors.New("sink gone") },
+		OnWriter: onWriter,
+	})
+	fq.Enqueue(testFrame(t, 1))
+	deadline := time.Now().Add(5 * time.Second)
+	for !fq.Failed() || active.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("failed-path gauge stuck: failed=%v active=%d", fq.Failed(), active.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waitZeroLive(t)
+}

@@ -61,6 +61,12 @@ type Config struct {
 	// sink's connection and removes its membership. Never called for a
 	// plain Close.
 	OnFail func(err error)
+	// OnWriter is called with +1 when a writer pass takes over draining (a
+	// spawned writer goroutine, or a DrainNow call doing its work) and -1
+	// when that pass ends — an active-writer gauge falls out of it, making
+	// the spawn-on-demand claim ("zero goroutines when idle") observable.
+	// Calls are balanced on every path.
+	OnWriter func(delta int)
 	// Manual disables the writer goroutine: frames accumulate until the
 	// owner calls DrainNow. Benchmarks use it to measure the per-delivery
 	// path without scheduler noise.
@@ -136,6 +142,9 @@ func (q *Queue) Enqueue(fr *Frame) bool {
 	}
 	q.mu.Unlock()
 	if spawn {
+		if q.cfg.OnWriter != nil {
+			q.cfg.OnWriter(1)
+		}
 		go q.drain()
 	}
 	return true
@@ -151,6 +160,9 @@ func (q *Queue) drain() {
 		if q.closed || q.failed || len(q.pending) == 0 {
 			q.running = false
 			q.mu.Unlock()
+			if q.cfg.OnWriter != nil {
+				q.cfg.OnWriter(-1)
+			}
 			return
 		}
 		batch := q.pending
@@ -175,12 +187,18 @@ func (q *Queue) DrainNow() int {
 	batch := q.pending
 	q.pending = q.spare[:0]
 	q.mu.Unlock()
+	if q.cfg.OnWriter != nil {
+		q.cfg.OnWriter(1)
+	}
 	n := len(batch)
 	q.flushBatch(batch)
 	q.spare = batch[:0]
 	q.mu.Lock()
 	q.running = false
 	q.mu.Unlock()
+	if q.cfg.OnWriter != nil {
+		q.cfg.OnWriter(-1)
+	}
 	return n
 }
 

@@ -8,7 +8,7 @@ import (
 	"time"
 )
 
-func leU64(b []byte) uint64      { return binary.LittleEndian.Uint64(b) }
+func leU64(b []byte) uint64       { return binary.LittleEndian.Uint64(b) }
 func putLeU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
 
 // nowNS is time.Now().UnixNano(), indirected for tests.

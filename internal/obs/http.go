@@ -114,10 +114,22 @@ func (s *Server) Close() error {
 // returns once the listener is bound; the server runs until Close. This is
 // the opt-in switch the endpoints hide behind — nothing listens unless a
 // component (or the application) calls Serve.
+//
+// A Go runtime sampler rides along: every /metrics and /debug/morphz request
+// refreshes the registry's "go.*" instruments (goroutines, heap/sys gauges,
+// GC pause histogram — morph_go_* in the exposition) before the snapshot is
+// taken, so scrapes carry current runtime pressure at zero idle cost.
 func Serve(addr string, r *Registry, extra ...Mount) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	rs := NewRuntimeSampler(r)
+	sampled := func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			rs.Sample()
+			h.ServeHTTP(w, req)
+		})
 	}
 	mux := http.NewServeMux()
 	seeAlso := make([]string, 0, len(extra)+2)
@@ -126,8 +138,8 @@ func Serve(addr string, r *Registry, extra ...Mount) (*Server, error) {
 		mux.Handle(m.Path, m.Handler)
 		seeAlso = append(seeAlso, m.Path)
 	}
-	mux.Handle(MorphzPath, Handler(r, seeAlso...))
-	mux.Handle(MetricsPath, PromHandler(r))
+	mux.Handle(MorphzPath, sampled(Handler(r, seeAlso...)))
+	mux.Handle(MetricsPath, sampled(PromHandler(r)))
 	mux.Handle(DebugIndexPath, IndexHandler(append(seeAlso, MorphzPath)))
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = s.srv.Serve(ln) }()

@@ -102,6 +102,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
 	hists    map[string]*Histogram
 	trace    *TraceRing
 }
@@ -162,6 +163,26 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// GaugeFunc registers a callback gauge: fn is evaluated at snapshot time and
+// its value appears under name alongside regular gauges (taking precedence
+// over a regular gauge of the same name). It suits values another subsystem
+// already maintains as an atomic — fanout.LiveFrames, say — where mirroring
+// every update into a Gauge would double the hot-path cost for a number the
+// scrape plane only needs on demand. fn must be safe for concurrent use and
+// must not block. A nil registry or nil fn is a no-op; registering again
+// replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gaugeFns == nil {
+		r.gaugeFns = make(map[string]func() int64)
+	}
+	r.gaugeFns[name] = fn
+}
+
 // Histogram returns (creating on first use) the named histogram, or nil on
 // a nil registry.
 func (r *Registry) Histogram(name string) *Histogram {
@@ -192,6 +213,7 @@ func (r *Registry) Remove(names ...string) {
 	for _, n := range names {
 		delete(r.counters, n)
 		delete(r.gauges, n)
+		delete(r.gaugeFns, n)
 		delete(r.hists, n)
 	}
 }
@@ -251,6 +273,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.gauges {
 		gauges[k] = v
 	}
+	gaugeFns := make(map[string]func() int64, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		gaugeFns[k] = v
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, v := range r.hists {
 		hists[k] = v
@@ -263,6 +289,11 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, v := range gauges {
 		s.Gauges[k] = v.Load()
+	}
+	// Callback gauges are evaluated outside the registry lock (fn may take
+	// its own locks) and win over a same-named regular gauge.
+	for k, fn := range gaugeFns {
+		s.Gauges[k] = fn()
 	}
 	for k, v := range hists {
 		s.Histograms[k] = v.Snapshot()

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RuntimeSampler mirrors Go runtime health into a registry as "go.*"
+// instruments (morph_go_* in the Prometheus exposition), so a flight-recorder
+// capture or a latency spike can be aligned with runtime pressure — was the
+// collector running, was the heap growing, how many goroutines were live.
+//
+// Sampling is pull-driven: Serve wraps the /metrics and /debug/morphz
+// handlers so every scrape observes fresh values, and an idle process pays
+// nothing. ReadMemStats stops the world briefly; scrape cadence (seconds)
+// makes that negligible.
+type RuntimeSampler struct {
+	goroutines  *Gauge     // go.goroutines
+	heapAlloc   *Gauge     // go.heap_alloc_bytes
+	heapSys     *Gauge     // go.heap_sys_bytes
+	heapObjects *Gauge     // go.heap_objects
+	sys         *Gauge     // go.sys_bytes
+	nextGC      *Gauge     // go.next_gc_bytes
+	gcCycles    *Counter   // go.gc_cycles
+	gcPause     *Histogram // go.gc_pause_ns
+
+	mu        sync.Mutex
+	lastNumGC uint32
+}
+
+// NewRuntimeSampler registers the runtime instruments on r. A nil registry
+// returns a nil sampler, itself a valid no-op.
+func NewRuntimeSampler(r *Registry) *RuntimeSampler {
+	if r == nil {
+		return nil
+	}
+	return &RuntimeSampler{
+		goroutines:  r.Gauge("go.goroutines"),
+		heapAlloc:   r.Gauge("go.heap_alloc_bytes"),
+		heapSys:     r.Gauge("go.heap_sys_bytes"),
+		heapObjects: r.Gauge("go.heap_objects"),
+		sys:         r.Gauge("go.sys_bytes"),
+		nextGC:      r.Gauge("go.next_gc_bytes"),
+		gcCycles:    r.Counter("go.gc_cycles"),
+		gcPause:     r.Histogram("go.gc_pause_ns"),
+	}
+}
+
+// Sample refreshes every instrument from the live runtime. GC pauses are fed
+// incrementally: each call observes exactly the pauses of GC cycles completed
+// since the previous call, via the MemStats circular pause buffer, so the
+// histogram is a faithful pause distribution rather than a resample of the
+// same 256 entries. Safe for concurrent use; a nil sampler is a no-op.
+func (s *RuntimeSampler) Sample() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.goroutines.Set(int64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.heapAlloc.Set(int64(ms.HeapAlloc))
+	s.heapSys.Set(int64(ms.HeapSys))
+	s.heapObjects.Set(int64(ms.HeapObjects))
+	s.sys.Set(int64(ms.Sys))
+	s.nextGC.Set(int64(ms.NextGC))
+	if delta := ms.NumGC - s.lastNumGC; delta > 0 {
+		s.gcCycles.Add(uint64(delta))
+		// PauseNs is a circular buffer of the most recent 256 pauses; if more
+		// cycles than that elapsed between samples, the overwritten ones are
+		// unobservable — record what survives.
+		n := delta
+		if n > uint32(len(ms.PauseNs)) {
+			n = uint32(len(ms.PauseNs))
+		}
+		for i := ms.NumGC - n; i < ms.NumGC; i++ {
+			s.gcPause.Observe(ms.PauseNs[i%uint32(len(ms.PauseNs))])
+		}
+		s.lastNumGC = ms.NumGC
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pbio"
 	"repro/internal/spool"
+	"repro/internal/tap"
 	"repro/internal/wire"
 )
 
@@ -89,13 +90,15 @@ type Server struct {
 	snapshotPath string // "" = snapshots disabled
 	lastSnapErr  error  // outcome of the most recent snapshot write (under mu)
 
-	reg      *obs.Registry
-	gets     *obs.Counter
-	puts     *obs.Counter
-	unk      *obs.Counter
-	rerrs    *obs.Counter
-	conns    *obs.Gauge
-	size     *obs.Gauge
+	tap *tap.Tap // nil disables wire capture
+
+	reg        *obs.Registry
+	gets       *obs.Counter
+	puts       *obs.Counter
+	unk        *obs.Counter
+	rerrs      *obs.Counter
+	conns      *obs.Gauge
+	size       *obs.Gauge
 	watchEvs   *obs.Counter
 	watchGauge *obs.Gauge
 }
@@ -107,6 +110,14 @@ type ServerOption func(*Server)
 // activity into "formatd.*" instruments.
 func WithServerObs(reg *obs.Registry) ServerOption {
 	return func(s *Server) { s.reg = reg }
+}
+
+// WithServerTap attaches a wire-level flight recorder: every daemon
+// connection's frames (registry RPCs included) are offered to per-connection
+// capture rings, recorded only while the tap is armed. cmd/formatd exposes
+// the rings at /debug/tapz. Nil disables capture.
+func WithServerTap(t *tap.Tap) ServerOption {
+	return func(s *Server) { s.tap = t }
 }
 
 // WithSnapshotPath enables table persistence: the table is loaded from path
@@ -331,9 +342,15 @@ func (s *Server) handle(nc net.Conn) {
 		s.connMu.Unlock()
 	}()
 	var conn *wire.Conn
-	conn = wire.NewConn(nc, wire.WithControlHook(wire.FrameRegistry, func(body []byte) error {
+	opts := []wire.Option{wire.WithControlHook(wire.FrameRegistry, func(body []byte) error {
 		return s.dispatch(conn, body)
-	}))
+	})}
+	if s.tap != nil {
+		ct := s.tap.NewConn(tap.Label{Proto: "registry", Role: "server", Peer: nc.RemoteAddr().String()})
+		defer ct.Close()
+		opts = append(opts, wire.WithFrameTap(ct))
+	}
+	conn = wire.NewConn(nc, opts...)
 	defer conn.Close()
 	defer s.dropWatcher(conn)
 	for {

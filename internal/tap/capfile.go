@@ -1,0 +1,304 @@
+// .morphcap capture files: a tap snapshot serialized as length-prefixed
+// capture records over the ordinary wire framing (control frames of kind
+// wire.FrameCapture), the same dogfooding move the snapshot spool made. The
+// frame parser supplies bounds checking and — crucially — torn-tail
+// detection: a capture cut off mid-write (a crashed process, a truncated
+// download) decodes cleanly up to the tear, spool-style, with Truncated set
+// instead of an error.
+//
+// Record types (first body byte):
+//
+//	1 header  — version, created-at, process label, prefix config
+//	2 conn    — connection ID, label, open flag
+//	3 frame   — one captured frame: conn ID, seq, ts, dir, kind, fp, full
+//	            length, trace ID, payload prefix
+//	4 format  — one full format-frame body for the decoder's format table
+package tap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// CaptureVersion is the .morphcap layout version this package writes.
+const CaptureVersion = 1
+
+const (
+	capHeader byte = 1
+	capConn   byte = 2
+	capFrame  byte = 3
+	capFormat byte = 4
+)
+
+// ErrCapture is wrapped by malformed-capture errors (distinct from the
+// torn-tail case, which is tolerated).
+var ErrCapture = errors.New("tap: malformed capture")
+
+// Capture is a decoded .morphcap file.
+type Capture struct {
+	Version   uint64
+	CreatedNS int64
+	Proc      string // process label (Tap Config.Name)
+	Prefix    int    // prefix config the capture ran with
+	Conns     []*CaptureConn
+	Truncated bool // file ended mid-record (torn tail); contents up to the tear are intact
+}
+
+// CaptureConn is one connection's section of a capture.
+type CaptureConn struct {
+	ID      uint64
+	Label   Label
+	Open    bool
+	Formats [][]byte
+	Records []Record
+}
+
+// WriteCapture serializes a snapshot to w in .morphcap form.
+func WriteCapture(w io.Writer, s Snapshot) error {
+	conn := wire.NewStreamConn(writeStream{w})
+	b := make([]byte, 0, 256)
+
+	b = append(b[:0], capHeader)
+	b = binary.AppendUvarint(b, CaptureVersion)
+	b = binary.AppendUvarint(b, uint64(time.Now().UnixNano()))
+	b = appendString(b, s.Name)
+	b = binary.AppendUvarint(b, uint64(s.Prefix))
+	if err := conn.WriteControl(wire.FrameCapture, b); err != nil {
+		return err
+	}
+	for _, cs := range s.Conns {
+		b = append(b[:0], capConn)
+		b = binary.AppendUvarint(b, cs.ID)
+		b = appendString(b, cs.Label.Proto)
+		b = appendString(b, cs.Label.Channel)
+		b = appendString(b, cs.Label.Role)
+		b = appendString(b, cs.Label.Peer)
+		open := byte(0)
+		if cs.Open {
+			open = 1
+		}
+		b = append(b, open)
+		if err := conn.WriteControl(wire.FrameCapture, b); err != nil {
+			return err
+		}
+		for _, fb := range cs.Formats {
+			b = append(b[:0], capFormat)
+			b = binary.AppendUvarint(b, cs.ID)
+			b = appendBytes(b, fb)
+			if err := conn.WriteControl(wire.FrameCapture, b); err != nil {
+				return err
+			}
+		}
+		for i := range cs.Records {
+			rec := &cs.Records[i]
+			b = append(b[:0], capFrame)
+			b = binary.AppendUvarint(b, cs.ID)
+			b = binary.AppendUvarint(b, rec.Seq)
+			b = binary.AppendUvarint(b, uint64(rec.TS))
+			b = append(b, byte(rec.Dir), rec.Kind)
+			b = binary.LittleEndian.AppendUint64(b, rec.FP)
+			b = binary.AppendUvarint(b, uint64(rec.Len))
+			b = append(b, rec.Trace[:]...)
+			b = appendBytes(b, rec.Prefix)
+			if err := conn.WriteControl(wire.FrameCapture, b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadCapture decodes a .morphcap stream. A torn tail (EOF mid-record) is not
+// an error: decoding stops at the tear and Truncated is set.
+func ReadCapture(r io.Reader) (*Capture, error) {
+	cap := &Capture{}
+	byID := make(map[uint64]*CaptureConn)
+	conn := wire.NewStreamConn(readStream{r}, wire.WithControlHook(wire.FrameCapture, func(body []byte) error {
+		return cap.apply(body, byID)
+	}))
+	for {
+		_, _, err := conn.ReadEncoded()
+		if errors.Is(err, io.EOF) && !errors.Is(err, wire.ErrBadFrame) {
+			return cap, nil
+		}
+		if err == nil {
+			return nil, fmt.Errorf("%w: capture contains a data frame", ErrCapture)
+		}
+		if errors.Is(err, wire.ErrBadFrame) &&
+			(errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
+			cap.Truncated = true
+			return cap, nil
+		}
+		return nil, err
+	}
+}
+
+func (c *Capture) apply(body []byte, byID map[uint64]*CaptureConn) error {
+	if len(body) == 0 {
+		return fmt.Errorf("%w: empty record", ErrCapture)
+	}
+	rt, rest := body[0], body[1:]
+	switch rt {
+	case capHeader:
+		var err error
+		if c.Version, rest, err = takeUvarint(rest); err != nil {
+			return err
+		}
+		created, rest2, err := takeUvarint(rest)
+		if err != nil {
+			return err
+		}
+		c.CreatedNS = int64(created)
+		if c.Proc, rest2, err = takeString(rest2); err != nil {
+			return err
+		}
+		prefix, _, err := takeUvarint(rest2)
+		if err != nil {
+			return err
+		}
+		c.Prefix = int(prefix)
+	case capConn:
+		id, rest, err := takeUvarint(rest)
+		if err != nil {
+			return err
+		}
+		cc := c.conn(id, byID)
+		if cc.Label.Proto, rest, err = takeString(rest); err != nil {
+			return err
+		}
+		if cc.Label.Channel, rest, err = takeString(rest); err != nil {
+			return err
+		}
+		if cc.Label.Role, rest, err = takeString(rest); err != nil {
+			return err
+		}
+		if cc.Label.Peer, rest, err = takeString(rest); err != nil {
+			return err
+		}
+		if len(rest) < 1 {
+			return fmt.Errorf("%w: conn record open flag", ErrCapture)
+		}
+		cc.Open = rest[0] == 1
+	case capFormat:
+		id, rest, err := takeUvarint(rest)
+		if err != nil {
+			return err
+		}
+		fb, _, err := takeBytes(rest)
+		if err != nil {
+			return err
+		}
+		cc := c.conn(id, byID)
+		cc.Formats = append(cc.Formats, append([]byte(nil), fb...))
+	case capFrame:
+		id, rest, err := takeUvarint(rest)
+		if err != nil {
+			return err
+		}
+		var rec Record
+		if rec.Seq, rest, err = takeUvarint(rest); err != nil {
+			return err
+		}
+		ts, rest, err := takeUvarint(rest)
+		if err != nil {
+			return err
+		}
+		rec.TS = int64(ts)
+		if len(rest) < 2+8 {
+			return fmt.Errorf("%w: frame record fixed fields", ErrCapture)
+		}
+		rec.Dir = wire.TapDir(rest[0])
+		rec.Kind = rest[1]
+		rec.FP = binary.LittleEndian.Uint64(rest[2:10])
+		rest = rest[10:]
+		ln, rest, err := takeUvarint(rest)
+		if err != nil {
+			return err
+		}
+		rec.Len = uint32(ln)
+		if len(rest) < len(trace.TraceID{}) {
+			return fmt.Errorf("%w: frame record trace ID", ErrCapture)
+		}
+		copy(rec.Trace[:], rest)
+		rest = rest[len(trace.TraceID{}):]
+		pfx, _, err := takeBytes(rest)
+		if err != nil {
+			return err
+		}
+		if len(pfx) > 0 {
+			rec.Prefix = append([]byte(nil), pfx...)
+		}
+		cc := c.conn(id, byID)
+		cc.Records = append(cc.Records, rec)
+	default:
+		// Unknown record types from a newer writer are skipped, the same
+		// forward-evolution discipline as unknown frame kinds.
+	}
+	return nil
+}
+
+func (c *Capture) conn(id uint64, byID map[uint64]*CaptureConn) *CaptureConn {
+	if cc := byID[id]; cc != nil {
+		return cc
+	}
+	cc := &CaptureConn{ID: id}
+	byID[id] = cc
+	c.Conns = append(c.Conns, cc)
+	return cc
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: uvarint", ErrCapture)
+	}
+	return v, b[n:], nil
+}
+
+func takeBytes(b []byte) ([]byte, []byte, error) {
+	n, rest, err := takeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("%w: short chunk", ErrCapture)
+	}
+	return rest[:n], rest[n:], nil
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	p, rest, err := takeBytes(b)
+	return string(p), rest, err
+}
+
+// writeStream adapts an io.Writer into the Stream a wire.Conn needs; reads
+// report EOF so a misdirected ReadEncoded fails cleanly.
+type writeStream struct{ w io.Writer }
+
+func (s writeStream) Write(p []byte) (int, error) { return s.w.Write(p) }
+func (s writeStream) Read([]byte) (int, error)    { return 0, io.EOF }
+func (s writeStream) Close() error                { return nil }
+
+// readStream adapts an io.Reader; writes are discarded (ReadCapture never
+// writes, but the wire layer requires a full Stream).
+type readStream struct{ r io.Reader }
+
+func (s readStream) Read(p []byte) (int, error)  { return s.r.Read(p) }
+func (s readStream) Write(p []byte) (int, error) { return len(p), nil }
+func (s readStream) Close() error                { return nil }

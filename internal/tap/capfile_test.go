@@ -1,0 +1,98 @@
+package tap
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+func TestCaptureRoundTripPreservesState(t *testing.T) {
+	wt := seedTap(t)
+	closedConn := wt.NewConn(Label{Proto: "registry", Role: "server", Peer: "x:1"})
+	closedConn.CaptureFrame(wire.TapWrite, wire.FrameRegistry, []byte{9, 9}, trace.Context{})
+	closedConn.Close()
+
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, wt.Snapshot()); err != nil {
+		t.Fatalf("WriteCapture: %v", err)
+	}
+	c, err := ReadCapture(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCapture: %v", err)
+	}
+	if c.Version != CaptureVersion || c.Truncated {
+		t.Fatalf("version=%d truncated=%v", c.Version, c.Truncated)
+	}
+	if len(c.Conns) != 3 {
+		t.Fatalf("%d conns, want 3", len(c.Conns))
+	}
+	byID := map[uint64]*CaptureConn{}
+	for _, cc := range c.Conns {
+		byID[cc.ID] = cc
+	}
+	reg := byID[closedConn.ID()]
+	if reg == nil || reg.Open || reg.Label.Proto != "registry" {
+		t.Fatalf("closed registry conn round-tripped as %+v", reg)
+	}
+	if len(reg.Records) != 1 || reg.Records[0].Kind != wire.FrameRegistry {
+		t.Fatalf("registry conn records: %+v", reg.Records)
+	}
+	alpha := byID[1]
+	if alpha.Label.Channel != "alpha" || !alpha.Open {
+		t.Fatalf("conn 1 label: %+v open=%v", alpha.Label, alpha.Open)
+	}
+	// The seeded data frames carry fingerprint, trace ID and full payload.
+	r := alpha.Records[0]
+	if r.FP != evFormat.Fingerprint() || !r.Complete() {
+		t.Fatalf("record fp=%016x complete=%v", r.FP, r.Complete())
+	}
+	if r.Trace == (trace.TraceID{}) {
+		t.Fatal("trace ID lost in round trip")
+	}
+}
+
+// TestCaptureSkipsUnknownRecordTypes pins the forward-evolution rule: a
+// capture written by a newer tap with extra record types still decodes, the
+// unknown records silently skipped — the same discipline as unknown wire
+// frame kinds.
+func TestCaptureSkipsUnknownRecordTypes(t *testing.T) {
+	wt := New(Config{Name: "fwd", Armed: true})
+	ct := wt.NewConn(Label{Proto: "echo"})
+	ct.CaptureFrame(wire.TapRead, wire.KindData, evBody(1), trace.Context{})
+
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, wt.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// Append a record of a type this decoder has never heard of.
+	future := wire.NewStreamConn(writeStream{&buf})
+	if err := future.WriteControl(wire.FrameCapture, []byte{200, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := ReadCapture(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCapture with future record: %v", err)
+	}
+	if c.Truncated {
+		t.Fatal("future record misread as torn tail")
+	}
+	if len(c.Conns) != 1 || len(c.Conns[0].Records) != 1 {
+		t.Fatalf("decode lost data around the unknown record: %+v", c.Conns)
+	}
+}
+
+// TestCaptureRejectsGarbage: a malformed record (not a torn tail) is an
+// error, and a capture containing a bare data frame is rejected.
+func TestCaptureRejectsGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	conn := wire.NewStreamConn(writeStream{&buf})
+	if err := conn.WriteControl(wire.FrameCapture, []byte{capHeader}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCapture(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("truncated header record decoded cleanly")
+	}
+}

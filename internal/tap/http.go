@@ -1,0 +1,295 @@
+package tap
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TapzPath is the debug endpoint path components mount Handler at.
+const TapzPath = "/debug/tapz"
+
+// RecordJSON is one captured frame in the /debug/tapz payload.
+type RecordJSON struct {
+	Seq         uint64    `json:"seq"`
+	TS          time.Time `json:"ts"`
+	Dir         string    `json:"dir"`
+	Kind        string    `json:"kind"`
+	Fingerprint string    `json:"fingerprint,omitempty"`
+	Len         uint32    `json:"len"`
+	TraceID     string    `json:"trace_id,omitempty"`
+	Prefix      string    `json:"prefix,omitempty"` // hex of the captured payload prefix
+	Partial     bool      `json:"partial,omitempty"`
+}
+
+// ConnJSON is one tapped connection in the /debug/tapz payload.
+type ConnJSON struct {
+	ID       uint64       `json:"id"`
+	Label    Label        `json:"label"`
+	Open     bool         `json:"open"`
+	Captured uint64       `json:"captured"`
+	Dropped  uint64       `json:"dropped"`
+	Records  []RecordJSON `json:"records"`
+}
+
+// TapzSnapshot is the JSON payload of /debug/tapz.
+type TapzSnapshot struct {
+	Name     string     `json:"name"`
+	Armed    bool       `json:"armed"`
+	Capacity int        `json:"capacity"`
+	Prefix   int        `json:"prefix"`
+	Conns    []ConnJSON `json:"conns"`
+	SeeAlso  []string   `json:"see_also,omitempty"`
+}
+
+func recordJSON(r *Record) RecordJSON {
+	out := RecordJSON{
+		Seq:     r.Seq,
+		TS:      time.Unix(0, r.TS),
+		Dir:     r.Dir.String(),
+		Kind:    wire.FrameKindName(r.Kind),
+		Len:     r.Len,
+		Partial: !r.Complete(),
+	}
+	if r.FP != 0 {
+		out.Fingerprint = fmt.Sprintf("%016x", r.FP)
+	}
+	if !r.Trace.IsZero() {
+		out.TraceID = r.Trace.String()
+	}
+	if len(r.Prefix) > 0 {
+		out.Prefix = hex.EncodeToString(r.Prefix)
+	}
+	return out
+}
+
+// filter is the parsed tapz query: every zero field matches everything.
+type filter struct {
+	channel  string
+	kind     byte
+	hasKind  bool
+	fp       uint64
+	tracePfx string
+	connID   uint64
+	limit    int
+}
+
+func parseFilter(req *http.Request) (filter, error) {
+	q := req.URL.Query()
+	f := filter{channel: q.Get("channel"), tracePfx: strings.ToLower(q.Get("trace"))}
+	if s := q.Get("kind"); s != "" {
+		k, err := parseKind(s)
+		if err != nil {
+			return f, err
+		}
+		f.kind, f.hasKind = k, true
+	}
+	if s := q.Get("fp"); s != "" {
+		fp, err := strconv.ParseUint(s, 16, 64)
+		if err != nil {
+			return f, fmt.Errorf("bad fp %q: want hex fingerprint", s)
+		}
+		f.fp = fp
+	}
+	if s := q.Get("conn"); s != "" {
+		id, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return f, fmt.Errorf("bad conn %q: want numeric connection ID", s)
+		}
+		f.connID = id
+	}
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return f, fmt.Errorf("bad limit %q", s)
+		}
+		f.limit = n
+	}
+	return f, nil
+}
+
+func parseKind(s string) (byte, error) {
+	switch strings.ToLower(s) {
+	case "format":
+		return wire.KindFormat, nil
+	case "data":
+		return wire.KindData, nil
+	case "trace":
+		return wire.KindTrace, nil
+	case "format_req", "formatreq":
+		return wire.KindFormatReq, nil
+	case "registry":
+		return wire.FrameRegistry, nil
+	case "capture":
+		return wire.FrameCapture, nil
+	}
+	n, err := strconv.ParseUint(s, 10, 8)
+	if err != nil {
+		return 0, fmt.Errorf("bad kind %q: want a kind name or numeric byte", s)
+	}
+	return byte(n), nil
+}
+
+func (f filter) matchConn(cs *ConnSnapshot) bool {
+	if f.connID != 0 && cs.ID != f.connID {
+		return false
+	}
+	if f.channel != "" && cs.Label.Channel != f.channel {
+		return false
+	}
+	return true
+}
+
+func (f filter) matchRecord(r *Record) bool {
+	if f.hasKind && r.Kind != f.kind {
+		return false
+	}
+	if f.fp != 0 && r.FP != f.fp {
+		return false
+	}
+	if f.tracePfx != "" && !strings.HasPrefix(r.Trace.String(), f.tracePfx) {
+		return false
+	}
+	return true
+}
+
+// apply filters a snapshot in place: connections that fail the connection
+// filters are removed, surviving connections keep only matching records, and
+// limit keeps each connection's most recent N matches.
+func (f filter) apply(s *Snapshot) {
+	conns := s.Conns[:0]
+	for i := range s.Conns {
+		cs := &s.Conns[i]
+		if !f.matchConn(cs) {
+			continue
+		}
+		recs := cs.Records[:0]
+		for j := range cs.Records {
+			if f.matchRecord(&cs.Records[j]) {
+				recs = append(recs, cs.Records[j])
+			}
+		}
+		cs.Records = recs
+		if f.limit > 0 && len(cs.Records) > f.limit {
+			cs.Records = cs.Records[len(cs.Records)-f.limit:]
+		}
+		conns = append(conns, *cs)
+	}
+	s.Conns = conns
+}
+
+// Handler returns the /debug/tapz HTTP handler. The default response is the
+// JSON TapzSnapshot; `?format=text` renders a frame-per-line log,
+// `?format=morphcap` downloads the (filtered) snapshot as a binary .morphcap
+// capture for offline decoding with cmd/morphtap. Filters: `channel=`,
+// `kind=` (name or byte), `fp=` (hex fingerprint), `trace=` (hex trace-ID
+// prefix), `conn=` (connection ID), `limit=N` (most recent N records per
+// connection). `arm=on|off` toggles capture before rendering. A nil tap
+// serves an empty snapshot, so the endpoint can be mounted unconditionally.
+func Handler(t *Tap, seeAlso ...string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.URL.Query().Get("arm") {
+		case "on":
+			t.Arm()
+		case "off":
+			t.Disarm()
+		}
+		f, err := parseFilter(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		snap := t.Snapshot()
+		f.apply(&snap)
+
+		format := req.URL.Query().Get("format")
+		if format == "" && strings.HasPrefix(req.Header.Get("Accept"), "text/plain") {
+			format = "text"
+		}
+		switch format {
+		case "morphcap":
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="tap.morphcap"`)
+			_ = WriteCapture(w, snap)
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeText(w, snap, seeAlso)
+		default:
+			out := TapzSnapshot{
+				Name:     snap.Name,
+				Armed:    snap.Armed,
+				Capacity: snap.Capacity,
+				Prefix:   snap.Prefix,
+				Conns:    make([]ConnJSON, 0, len(snap.Conns)),
+				SeeAlso:  seeAlso,
+			}
+			for i := range snap.Conns {
+				cs := &snap.Conns[i]
+				cj := ConnJSON{
+					ID:       cs.ID,
+					Label:    cs.Label,
+					Open:     cs.Open,
+					Captured: cs.Captured,
+					Dropped:  cs.Dropped,
+					Records:  make([]RecordJSON, 0, len(cs.Records)),
+				}
+				for j := range cs.Records {
+					cj.Records = append(cj.Records, recordJSON(&cs.Records[j]))
+				}
+				out.Conns = append(out.Conns, cj)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(out)
+		}
+	})
+}
+
+func writeText(w http.ResponseWriter, snap Snapshot, seeAlso []string) {
+	armed := "disarmed"
+	if snap.Armed {
+		armed = "armed"
+	}
+	fmt.Fprintf(w, "# tapz %q: %s, %d conns, ring=%d prefix=%dB\n",
+		snap.Name, armed, len(snap.Conns), snap.Capacity, snap.Prefix)
+	for i := range snap.Conns {
+		cs := &snap.Conns[i]
+		state := "open"
+		if !cs.Open {
+			state = "closed"
+		}
+		fmt.Fprintf(w, "conn %d %s proto=%s channel=%s role=%s peer=%s captured=%d dropped=%d\n",
+			cs.ID, state, cs.Label.Proto, cs.Label.Channel, cs.Label.Role, cs.Label.Peer,
+			cs.Captured, cs.Dropped)
+		for j := range cs.Records {
+			r := &cs.Records[j]
+			arrow := "<-"
+			if r.Dir == wire.TapWrite {
+				arrow = "->"
+			}
+			fmt.Fprintf(w, "  %6d %s %s %-10s %6dB", r.Seq,
+				time.Unix(0, r.TS).Format("15:04:05.000000"), arrow,
+				wire.FrameKindName(r.Kind), r.Len)
+			if r.FP != 0 {
+				fmt.Fprintf(w, " fp=%016x", r.FP)
+			}
+			if !r.Trace.IsZero() {
+				fmt.Fprintf(w, " trace=%s", r.Trace.String())
+			}
+			if !r.Complete() {
+				fmt.Fprint(w, " (partial)")
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, p := range seeAlso {
+		fmt.Fprintf(w, "# see also %s\n", p)
+	}
+}

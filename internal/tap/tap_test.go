@@ -1,0 +1,255 @@
+package tap
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pbio"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+var evFormat = pbio.MustFormat("TapEv", []pbio.Field{
+	{Name: "seq", Kind: pbio.Integer, Size: 8},
+})
+
+func evBody(i int64) []byte {
+	return pbio.EncodeRecord(pbio.NewRecord(evFormat).MustSet("seq", pbio.Int(i)))
+}
+
+func TestNilTapAndConnAreNoOps(t *testing.T) {
+	var nilTap *Tap
+	nilTap.Arm()
+	nilTap.Disarm()
+	if nilTap.Armed() {
+		t.Fatal("nil tap reports armed")
+	}
+	if nilTap.Name() != "" {
+		t.Fatal("nil tap has a name")
+	}
+	if s := nilTap.Snapshot(); len(s.Conns) != 0 {
+		t.Fatal("nil tap snapshot has conns")
+	}
+	ct := nilTap.NewConn(Label{Proto: "echo"})
+	if ct != nil {
+		t.Fatal("nil tap returned a non-nil ConnTap")
+	}
+	// The nil ConnTap is itself a valid wire.FrameTap.
+	ct.CaptureFrame(wire.TapRead, wire.KindData, evBody(1), trace.Context{})
+	ct.SetLabel(Label{})
+	ct.Close()
+	if ct.ID() != 0 {
+		t.Fatal("nil ConnTap has an ID")
+	}
+}
+
+func TestDisarmedCapturesNothingAndAllocatesNothing(t *testing.T) {
+	wt := New(Config{Name: "t"})
+	ct := wt.NewConn(Label{Proto: "echo"})
+	body := evBody(1)
+	tctx := trace.Context{}
+
+	ct.CaptureFrame(wire.TapRead, wire.KindData, body, tctx)
+	if s := wt.Snapshot(); len(s.Conns[0].Records) != 0 {
+		t.Fatal("disarmed tap captured a record")
+	}
+	// The unarmed hook is the per-frame cost every tapped connection pays in
+	// steady state; it must not allocate.
+	if allocs := testing.AllocsPerRun(200, func() {
+		ct.CaptureFrame(wire.TapWrite, wire.KindData, body, tctx)
+	}); allocs != 0 {
+		t.Fatalf("disarmed CaptureFrame allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestArmedCaptureRecordsFrames(t *testing.T) {
+	wt := New(Config{Name: "t", Armed: true, Prefix: PrefixMax})
+	ct := wt.NewConn(Label{Proto: "echo", Channel: "c1", Role: "sink"})
+	tid := trace.TraceID{1, 2, 3}
+
+	body := evBody(7)
+	ct.CaptureFrame(wire.TapRead, wire.KindData, body, trace.Context{Trace: tid})
+	s := wt.Snapshot()
+	if len(s.Conns) != 1 || len(s.Conns[0].Records) != 1 {
+		t.Fatalf("snapshot: %d conns", len(s.Conns))
+	}
+	r := s.Conns[0].Records[0]
+	if r.Kind != wire.KindData || r.Dir != wire.TapRead {
+		t.Fatalf("record kind/dir = %d/%d", r.Kind, r.Dir)
+	}
+	if r.FP != evFormat.Fingerprint() {
+		t.Fatalf("fingerprint = %016x, want %016x", r.FP, evFormat.Fingerprint())
+	}
+	if r.Trace != tid {
+		t.Fatalf("trace = %v", r.Trace)
+	}
+	if !r.Complete() {
+		t.Fatalf("record incomplete: len=%d prefix=%d", r.Len, len(r.Prefix))
+	}
+	if s.Conns[0].Label.Channel != "c1" {
+		t.Fatalf("label = %+v", s.Conns[0].Label)
+	}
+}
+
+func TestPrefixBounding(t *testing.T) {
+	wt := New(Config{Armed: true, Prefix: 4})
+	ct := wt.NewConn(Label{})
+	body := []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	ct.CaptureFrame(wire.TapWrite, wire.KindTrace, body, trace.Context{})
+	r := wt.Snapshot().Conns[0].Records[0]
+	if len(r.Prefix) != 4 || r.Len != 10 {
+		t.Fatalf("prefix %d bytes of %d", len(r.Prefix), r.Len)
+	}
+	if r.Complete() {
+		t.Fatal("truncated record claims completeness")
+	}
+	// The prefix is an owned copy: mutating the wire buffer afterwards (the
+	// framing layer reuses it) must not change the captured bytes.
+	body[0] = 0xFF
+	if wt.Snapshot().Conns[0].Records[0].Prefix[0] != 0 {
+		t.Fatal("prefix aliases the wire buffer")
+	}
+}
+
+func TestRingWrapCountsDrops(t *testing.T) {
+	wt := New(Config{Armed: true, Capacity: 8})
+	ct := wt.NewConn(Label{})
+	const n = 20
+	for i := 0; i < n; i++ {
+		ct.CaptureFrame(wire.TapRead, wire.KindData, evBody(int64(i)), trace.Context{})
+	}
+	cs := wt.Snapshot().Conns[0]
+	if cs.Captured != n {
+		t.Fatalf("captured = %d, want %d", cs.Captured, n)
+	}
+	if cs.Dropped != n-8 {
+		t.Fatalf("dropped = %d, want %d", cs.Dropped, n-8)
+	}
+	if len(cs.Records) != 8 {
+		t.Fatalf("ring holds %d records, want 8", len(cs.Records))
+	}
+	// Survivors are the newest 8, in sequence order.
+	for i, r := range cs.Records {
+		if want := uint64(n - 8 + i + 1); r.Seq != want {
+			t.Fatalf("record %d seq = %d, want %d", i, r.Seq, want)
+		}
+	}
+}
+
+func TestFormatFramesKeptWholeAndDeduped(t *testing.T) {
+	wt := New(Config{Armed: true, Prefix: 4})
+	ct := wt.NewConn(Label{})
+	fb := make([]byte, 100)
+	for i := range fb {
+		fb[i] = byte(i)
+	}
+	ct.CaptureFrame(wire.TapRead, wire.KindFormat, fb, trace.Context{})
+	ct.CaptureFrame(wire.TapRead, wire.KindFormat, fb, trace.Context{}) // duplicate
+	cs := wt.Snapshot().Conns[0]
+	if len(cs.Formats) != 1 {
+		t.Fatalf("kept %d format bodies, want 1 (deduped)", len(cs.Formats))
+	}
+	if len(cs.Formats[0]) != 100 {
+		t.Fatalf("format body truncated to %d bytes", len(cs.Formats[0]))
+	}
+	if len(cs.Records) != 2 {
+		t.Fatalf("format frames not in the ring: %d records", len(cs.Records))
+	}
+}
+
+func TestArmDisarmGates(t *testing.T) {
+	reg := obs.NewRegistry("t")
+	wt := New(Config{Name: "t", Obs: reg})
+	ct := wt.NewConn(Label{})
+	ct.CaptureFrame(wire.TapRead, wire.KindData, evBody(1), trace.Context{})
+	wt.Arm()
+	ct.CaptureFrame(wire.TapRead, wire.KindData, evBody(2), trace.Context{})
+	wt.Disarm()
+	ct.CaptureFrame(wire.TapRead, wire.KindData, evBody(3), trace.Context{})
+	cs := wt.Snapshot().Conns[0]
+	if len(cs.Records) != 1 {
+		t.Fatalf("captured %d records, want exactly the armed-window one", len(cs.Records))
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["tap.frames_captured"] != 1 {
+		t.Fatalf("tap.frames_captured = %d", snap.Counters["tap.frames_captured"])
+	}
+	if snap.Gauges["tap.armed"] != 0 {
+		t.Fatalf("tap.armed = %d after Disarm", snap.Gauges["tap.armed"])
+	}
+}
+
+func TestConnGaugeAndPrune(t *testing.T) {
+	reg := obs.NewRegistry("t")
+	wt := New(Config{Obs: reg})
+	const extra = 10
+	for i := 0; i < retainClosed+extra; i++ {
+		ct := wt.NewConn(Label{Proto: "echo"})
+		ct.Close()
+		ct.Close() // idempotent: the gauge must not double-decrement
+	}
+	if g := reg.Snapshot().Gauges["tap.conns"]; g != 0 {
+		t.Fatalf("tap.conns = %d after closing everything", g)
+	}
+	live := wt.NewConn(Label{Proto: "echo"})
+	defer live.Close()
+	s := wt.Snapshot()
+	closed := 0
+	for _, cs := range s.Conns {
+		if !cs.Open {
+			closed++
+		}
+	}
+	if closed > retainClosed {
+		t.Fatalf("%d closed conns retained, bound is %d", closed, retainClosed)
+	}
+}
+
+// TestConcurrentCaptureAndSnapshot exercises the lock-free ring from multiple
+// writers racing Snapshot readers and arm/disarm flips — the -race suite's
+// reason to exist.
+func TestConcurrentCaptureAndSnapshot(t *testing.T) {
+	wt := New(Config{Armed: true, Capacity: 32})
+	ct := wt.NewConn(Label{Proto: "echo"})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body := evBody(int64(w))
+			for i := 0; i < 500; i++ {
+				dir := wire.TapRead
+				if i%2 == 0 {
+					dir = wire.TapWrite
+				}
+				ct.CaptureFrame(dir, wire.KindData, body, trace.Context{})
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			s := wt.Snapshot()
+			for _, cs := range s.Conns {
+				for j := 1; j < len(cs.Records); j++ {
+					if cs.Records[j-1].Seq >= cs.Records[j].Seq {
+						t.Error("snapshot records out of sequence order")
+						return
+					}
+				}
+			}
+			if i%10 == 0 {
+				wt.Disarm()
+				wt.Arm()
+			}
+		}
+	}()
+	wg.Wait()
+	cs := wt.Snapshot().Conns[0]
+	if cs.Captured != cs.Dropped+uint64(len(cs.Records)) {
+		t.Fatalf("accounting: captured %d != dropped %d + held %d",
+			cs.Captured, cs.Dropped, len(cs.Records))
+	}
+}

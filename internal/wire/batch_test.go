@@ -217,3 +217,72 @@ func TestWriteEncodedBatchInterleavesWithSingles(t *testing.T) {
 
 var _ net.Conn = (*countingConn)(nil)
 var _ = time.Time{}
+
+// TestWriteEncodedBatchSingleFrame: the degenerate batch — exactly one frame
+// — behaves like the single-write path (one flush, one format announcement)
+// while staying on the batch API.
+func TestWriteEncodedBatchSingleFrame(t *testing.T) {
+	f := fmtOrDie(t, "BatchSingle", []pbio.Field{{Name: "seq", Kind: pbio.Integer, Size: 8}})
+	tx, txc, rx := batchPair(t)
+
+	if err := tx.WriteEncodedBatchCtx([]BatchFrame{{Data: encodeSeq(t, f, 42), Format: f}}); err != nil {
+		t.Fatalf("single-frame batch: %v", err)
+	}
+	if w := txc.writes.Load(); w != 1 {
+		t.Errorf("single-frame batch took %d underlying writes, want 1", w)
+	}
+	if got := tx.Stats().FormatFramesSent; got != 1 {
+		t.Errorf("format frames sent = %d, want 1", got)
+	}
+	rec, err := rx.ReadRecord()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if v, _ := rec.Get("seq"); v.Int64() != 42 {
+		t.Fatalf("seq = %d, want 42", v.Int64())
+	}
+}
+
+// TestWriteEncodedBatchMidOnlyContext: when only a mid-batch frame carries a
+// sampled context, the trace announcement lands exactly between its
+// neighbors — the frames before and after read back with zero contexts, and
+// only one trace frame crosses the wire.
+func TestWriteEncodedBatchMidOnlyContext(t *testing.T) {
+	f := fmtOrDie(t, "BatchMidCtx", []pbio.Field{{Name: "seq", Kind: pbio.Integer, Size: 8}})
+	fwd, back := newBufferPipe(), newBufferPipe()
+	txc := &bufferedConn{r: back, w: fwd}
+	rxc := &bufferedConn{r: fwd, w: back}
+	tx, rx := NewConn(txc), NewConn(rxc)
+	t.Cleanup(func() { _ = tx.Close(); _ = rx.Close() })
+
+	tracer := trace.New(trace.Config{Capacity: 16, SampleEvery: 1})
+	root := tracer.StartTrace(trace.StagePublish)
+	ctx := root.Context()
+	defer root.End()
+
+	batch := []BatchFrame{
+		{Data: encodeSeq(t, f, 1), Format: f},
+		{Data: encodeSeq(t, f, 2), Format: f, Ctx: ctx},
+		{Data: encodeSeq(t, f, 3), Format: f},
+	}
+	if err := tx.WriteEncodedBatchCtx(batch); err != nil {
+		t.Fatalf("WriteEncodedBatchCtx: %v", err)
+	}
+	wantCtx := []trace.Context{{}, ctx, {}}
+	for i, want := range wantCtx {
+		rec, err := rx.ReadRecord()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if v, _ := rec.Get("seq"); v.Int64() != int64(i+1) {
+			t.Fatalf("frame %d seq = %d, want %d", i, v.Int64(), i+1)
+		}
+		got := rx.TraceContext()
+		if got.Trace != want.Trace || got.Sampled != want.Sampled {
+			t.Fatalf("frame %d trace ctx = %+v, want %+v", i, got, want)
+		}
+	}
+	if got := tx.Stats().TraceFramesSent; got != 1 {
+		t.Errorf("trace frames sent = %d, want 1", got)
+	}
+}

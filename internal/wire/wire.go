@@ -48,7 +48,90 @@ const (
 const (
 	MinCustomFrame byte = 5
 	FrameRegistry  byte = 5
+
+	// FrameCapture carries flight-recorder capture records (.morphcap files,
+	// internal/tap): each control frame is one length-prefixed capture record
+	// riding the ordinary wire framing, so capture files inherit the frame
+	// parser's torn-tail detection for free.
+	FrameCapture byte = 6
 )
+
+// Exported aliases for the reserved frame kinds, for consumers that inspect
+// frames from the outside (the tap flight recorder and its decoder) without
+// being able to emit them.
+const (
+	KindFormat    byte = frameFormat
+	KindData      byte = frameData
+	KindTrace     byte = frameTrace
+	KindFormatReq byte = frameFormatReq
+)
+
+// FrameKindName names a frame kind for human-facing output (tapz, morphtap).
+func FrameKindName(k byte) string {
+	switch k {
+	case frameFormat:
+		return "format"
+	case frameData:
+		return "data"
+	case frameTrace:
+		return "trace"
+	case frameFormatReq:
+		return "format_req"
+	case FrameRegistry:
+		return "registry"
+	case FrameCapture:
+		return "capture"
+	default:
+		return fmt.Sprintf("kind_%d", k)
+	}
+}
+
+// TapDir is the direction of a captured frame relative to the tapped
+// connection.
+type TapDir uint8
+
+const (
+	TapRead  TapDir = 0 // frame arrived from the peer
+	TapWrite TapDir = 1 // frame was sent to the peer
+)
+
+// String returns "read" or "write".
+func (d TapDir) String() string {
+	if d == TapWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// FrameTap observes every frame a connection reads or writes — the hook the
+// flight recorder (internal/tap) hangs off the framing layer. body aliases
+// wire-owned memory valid only for the duration of the call; tctx is the
+// trace context riding with a data frame (zero otherwise). CaptureFrame is
+// invoked under the connection's write lock on the write side and from the
+// read goroutine on the read side, so a given direction is never reentered
+// concurrently, but the two directions may overlap. Implementations must be
+// cheap when disarmed: the unarmed acceptance floor for the whole hook is
+// <2% on the splice lane and 0 allocations.
+type FrameTap interface {
+	CaptureFrame(dir TapDir, kind byte, body []byte, tctx trace.Context)
+}
+
+// armedFlagger is the optional fast-gate contract: a tap whose armed state
+// is a single atomic bool can expose it, and the connection then decides
+// "capture or not" with one direct atomic load per frame instead of an
+// interface call with a trace context copied into its arguments. This is
+// what keeps the disarmed hook inside the <2% splice-lane floor.
+type armedFlagger interface {
+	ArmedFlag() *atomic.Bool
+}
+
+// tapAlwaysOn stands in as the armed flag for FrameTap implementations that
+// do not expose one: every frame is offered and the tap gates internally.
+var tapAlwaysOn = func() *atomic.Bool {
+	var b atomic.Bool
+	b.Store(true)
+	return &b
+}()
 
 // DefaultMaxFrame bounds incoming frame bodies; a peer cannot force an
 // arbitrary allocation with a forged length header.
@@ -105,6 +188,8 @@ type Conn struct {
 	resolver   FormatResolver
 	suppress   func(*pbio.Format) bool
 	hooks      map[byte]func(body []byte) error
+	tap        FrameTap     // flight-recorder hook; nil unless WithFrameTap
+	tapArmed   *atomic.Bool // the tap's armed flag when it exposes one; hoists the disarmed gate
 
 	wmu       sync.Mutex
 	bw        *bufio.Writer
@@ -327,6 +412,34 @@ func WithFormatHook(hook func(*pbio.Format, []*core.Xform)) Option {
 // (see TraceContext), so an untraced intermediary does not break a trace.
 func WithTracer(t *trace.Tracer) Option {
 	return func(c *Conn) { c.tracer = t }
+}
+
+// WithFrameTap attaches a flight-recorder tap: every frame read or written
+// on this connection is offered to it (see FrameTap). A nil tap is valid and
+// leaves capture disabled — the hook then costs a single nil check per frame,
+// the same zero-cost discipline as WithTracer.
+func WithFrameTap(t FrameTap) Option {
+	return func(c *Conn) {
+		if t != nil {
+			c.tap = t
+			c.tapArmed = tapAlwaysOn
+			if af, ok := t.(armedFlagger); ok {
+				if flag := af.ArmedFlag(); flag != nil {
+					c.tapArmed = flag
+				}
+			}
+		}
+	}
+}
+
+// tapOn reports whether the frame tap wants this frame: no tap means no,
+// a tap with an exposed armed flag is gated by one atomic load, and a tap
+// without one is always offered the frame (it gates internally, via the
+// shared always-true flag). tapArmed is non-nil exactly when tap is, so
+// the per-frame gate is two dependent loads, branch-predicted away on
+// untapped connections.
+func (c *Conn) tapOn() bool {
+	return c.tapArmed != nil && c.tapArmed.Load()
 }
 
 // NewConn wraps a net.Conn (or net.Pipe end) as a message connection.
@@ -560,14 +673,21 @@ func (c *Conn) writeDataLocked(body []byte, fp uint64, tctx trace.Context) error
 	}
 	if tctx.Sampled && tctx.Valid() {
 		var scratch [trace.ContextWireSize]byte
-		if err := c.writeFrameLocked(frameTrace, tctx.AppendWire(scratch[:0])); err != nil {
+		wireCtx := tctx.AppendWire(scratch[:0])
+		if err := c.writeFrameLocked(frameTrace, wireCtx); err != nil {
 			fw.EndErr(err)
 			return err
+		}
+		if c.tapOn() {
+			c.tap.CaptureFrame(TapWrite, frameTrace, wireCtx, tctx)
 		}
 	}
 	if err := c.writeFrameLocked(frameData, body); err != nil {
 		fw.EndErr(err)
 		return err
+	}
+	if c.tapOn() {
+		c.tap.CaptureFrame(TapWrite, frameData, body, tctx)
 	}
 	err := c.bw.Flush()
 	fw.EndErr(err)
@@ -585,9 +705,13 @@ func (c *Conn) writeDataNoFlushLocked(body []byte, fp uint64, tctx trace.Context
 	}
 	if tctx.Sampled && tctx.Valid() {
 		var scratch [trace.ContextWireSize]byte
-		if err := c.writeFrameLocked(frameTrace, tctx.AppendWire(scratch[:0])); err != nil {
+		wireCtx := tctx.AppendWire(scratch[:0])
+		if err := c.writeFrameLocked(frameTrace, wireCtx); err != nil {
 			fw.EndErr(err)
 			return err
+		}
+		if c.tapOn() {
+			c.tap.CaptureFrame(TapWrite, frameTrace, wireCtx, tctx)
 		}
 	}
 	err := c.writeFrameLocked(frameData, body)
@@ -636,6 +760,13 @@ func (c *Conn) writeFrameLocked(typ byte, body []byte) error {
 	default:
 		c.stats.ctrlSent.Add(1)
 		c.om.ctrlSent.Inc()
+	}
+	// Data and trace frames are captured by the data-write callers, which
+	// hold the real trace context; this site covers format and control
+	// frames. Ordering the kind compares first keeps the per-data-frame
+	// cost at two predicted branches with no loads.
+	if typ != frameData && typ != frameTrace && c.tapOn() {
+		c.tap.CaptureFrame(TapWrite, typ, body, trace.Context{})
 	}
 	return nil
 }
@@ -901,6 +1032,16 @@ func (c *Conn) readFrame() (byte, []byte, error) {
 		c.stats.traceRecv.Add(1)
 		c.om.traceRecv.Inc()
 	}
+	if c.tapOn() {
+		// c.pending is the context the most recent frameTrace frame announced
+		// for the data frame that follows it; readFrame runs on the single
+		// read goroutine, so it is current here.
+		var tctx trace.Context
+		if typ == frameData {
+			tctx = c.pending
+		}
+		c.tap.CaptureFrame(TapRead, typ, body, tctx)
+	}
 	return typ, body, nil
 }
 
@@ -914,6 +1055,21 @@ func uvarintLen(x uint64) int {
 }
 
 func (c *Conn) handleFormatFrame(body []byte) error {
+	f, xforms, err := ParseFormatFrame(body, c.morpher != nil || c.formatHook != nil)
+	if err != nil {
+		return err
+	}
+	return c.adoptFormat(f, xforms, false)
+}
+
+// ParseFormatFrame decodes the body of a format control frame (kind
+// KindFormat) into the format it announces and its associated transformation
+// meta-data. When validateXforms is set, transform code that does not compile
+// against its own formats is rejected now, at meta-data time, instead of
+// poisoning the first delivery — the live read path enables this whenever a
+// Morpher or format hook will consume the transforms. Offline decoders (the
+// morphtap capture reader) parse with validation off.
+func ParseFormatFrame(body []byte, validateXforms bool) (*pbio.Format, []*core.Xform, error) {
 	rest := body
 	next := func() ([]byte, error) {
 		n, used := binary.Uvarint(rest)
@@ -926,42 +1082,39 @@ func (c *Conn) handleFormatFrame(body []byte) error {
 	}
 	blob, err := next()
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	f, err := pbio.DecodeFormat(blob)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadFrame, err)
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
 
 	nx, used := binary.Uvarint(rest)
 	if used <= 0 {
-		return fmt.Errorf("%w: transform count", ErrBadFrame)
+		return nil, nil, fmt.Errorf("%w: transform count", ErrBadFrame)
 	}
 	rest = rest[used:]
 	var xforms []*core.Xform
 	for i := uint64(0); i < nx; i++ {
 		xb, err := next()
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		x, err := core.DecodeXform(xb)
 		if err != nil {
-			return fmt.Errorf("%w: transform %d: %v", ErrBadFrame, i, err)
+			return nil, nil, fmt.Errorf("%w: transform %d: %v", ErrBadFrame, i, err)
 		}
-		if c.morpher != nil || c.formatHook != nil {
-			// Reject code that does not compile against its own formats
-			// now, at meta-data time, instead of poisoning the first
-			// delivery.
+		if validateXforms {
 			if err := x.Validate(); err != nil {
-				return fmt.Errorf("%w: transform %d: %v", ErrBadFrame, i, err)
+				return nil, nil, fmt.Errorf("%w: transform %d: %v", ErrBadFrame, i, err)
 			}
 		}
 		xforms = append(xforms, x)
 	}
 	if len(rest) != 0 {
-		return fmt.Errorf("%w: %d trailing bytes in format frame", ErrBadFrame, len(rest))
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes in format frame", ErrBadFrame, len(rest))
 	}
-	return c.adoptFormat(f, xforms, false)
+	return f, xforms, nil
 }
 
 // adoptFormat installs a format (and its transformation meta-data) into the

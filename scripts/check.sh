@@ -38,6 +38,15 @@ jq -e '.allocs_per_delivery == 0' BENCH_fanout.json >/dev/null \
     || { echo "BENCH_fanout.json: allocs_per_delivery != 0"; exit 1; }
 jq -e '[.points[] | select(.sinks >= 100000) | .speedup] | length > 0 and min >= 5' BENCH_fanout.json >/dev/null \
     || { echo "BENCH_fanout.json: 100k+ sink speedup below the 5x acceptance floor"; exit 1; }
+echo "== morphbench tapload smoke (quick sweep, temp output)"
+go run ./cmd/morphbench -exp tapload -quick -tapjson "$tmpdir/BENCH_tap_quick.json"
+jq -e '.unarmed_overhead_pct <= 2' "$tmpdir/BENCH_tap_quick.json" >/dev/null \
+    || { echo "tap smoke: unarmed tap overhead above the 2% splice-lane floor"; exit 1; }
+jq -e '.allocs_delta == 0' "$tmpdir/BENCH_tap_quick.json" >/dev/null \
+    || { echo "tap smoke: disarmed tap hook allocates on the wire roundtrip"; exit 1; }
+echo "== tap floors (committed BENCH_tap.json)"
+jq -e '.unarmed_overhead_pct <= 2 and .allocs_delta == 0' BENCH_tap.json >/dev/null \
+    || { echo "BENCH_tap.json: unarmed tap cost above the acceptance floor"; exit 1; }
 echo "== pipeline splice floor (vs HEAD baseline)"
 sh scripts/bench_guard.sh "$tmpdir"
 echo "== fanout churn/isolation suite (race-enabled)"
@@ -45,6 +54,11 @@ go test -race -count=1 -run 'TestFanoutChurnStress|TestSlowSinkIsolation|TestFai
     ./internal/echo/
 go test -race -count=1 -run 'TestQueueConcurrentChurn|TestQueueFailedWriteReleasesGauges|TestFrame' \
     ./internal/fanout/
+echo "== tap ring & capture suite (race-enabled)"
+go test -race -count=1 -run 'TestConcurrentCaptureAndSnapshot|TestDisarmedCapturesNothing|TestRingWrapCountsDrops|TestCapture' \
+    ./internal/tap/
+echo "== morphtap round-trip (capture -> decode -> replay, byte-exact)"
+go test -race -count=1 -run 'TestMorphtap' ./cmd/morphtap/
 echo "== registry watch/reconnect suite (race-enabled)"
 go test -race -count=1 -run 'TestWatch|TestRegisterPurgesNegativeCache|TestConcurrentResolveRegisterWatch' \
     ./internal/registry/
@@ -71,6 +85,8 @@ curl -sf "$debug_base/healthz" | grep -q '"ok"' \
     || { echo "formatd /healthz not ok"; exit 1; }
 curl -sf "$debug_base/readyz" | jq -e '.ready == true and ([.probes[].name] | index("listener") != null and index("spool") != null)' >/dev/null \
     || { echo "formatd /readyz not ready with listener+spool probes"; exit 1; }
+curl -sf "$debug_base/debug/tapz" | jq -e '.name == "formatd" and (.conns | type == "array")' >/dev/null \
+    || { echo "formatd /debug/tapz did not serve a tap snapshot"; exit 1; }
 kill "$formatd_pid"
 formatd_pid=
 echo "== echo telemetry plane (live /metrics golden, healthz/readyz)"
@@ -85,6 +101,8 @@ done
 echo_debug=$(sed -n 's/.*debug endpoints on \(http:[^ ]*\)\/debug\/.*/\1/p' "$tmpdir/echodemo.log")
 [ -n "$echo_debug" ] || { echo "echodemo never served debug endpoints:"; cat "$tmpdir/echodemo.log"; exit 1; }
 echo_addr=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$tmpdir/echodemo.log")
+curl -sf "$echo_debug/debug/tapz?arm=on" >/dev/null \
+    || { echo "echo /debug/tapz?arm=on failed"; exit 1; }
 "$tmpdir/echodemo" -role publish -addr "$echo_addr" -n 2 >/dev/null 2>&1
 metrics=$(curl -sf "$echo_debug/metrics")
 for series in \
@@ -100,6 +118,20 @@ curl -sf "$echo_debug/healthz" | grep -q '"ok"' || { echo "echo /healthz not ok"
 curl -sf "$echo_debug/readyz" | jq -e '.ready == true and ([.probes[].name] | index("listener") != null)' >/dev/null \
     || { echo "echo /readyz not ready with listener probe"; exit 1; }
 curl -sf "$echo_debug/debug/" | grep -q '/metrics' || { echo "echo /debug/ index missing /metrics"; exit 1; }
+curl -sf "$echo_debug/debug/" | grep -q '/debug/tapz' || { echo "echo /debug/ index missing /debug/tapz"; exit 1; }
+curl -sf "$echo_debug/metrics" | grep -q '^# TYPE morph_go_goroutines gauge' \
+    || { echo "echo /metrics missing morph_go_goroutines runtime series"; exit 1; }
+curl -sf "$echo_debug/readyz" | jq -e '[.probes[].name] | index("fanout") != null' >/dev/null \
+    || { echo "echo /readyz missing fanout probe"; exit 1; }
+echo "== morphcap live round trip (tapz download -> morphtap decode & replay)"
+curl -sf "$echo_debug/debug/tapz?format=morphcap" -o "$tmpdir/echo.morphcap"
+[ -s "$tmpdir/echo.morphcap" ] || { echo "tapz morphcap download was empty"; exit 1; }
+go build -o "$tmpdir/morphtap" ./cmd/morphtap
+"$tmpdir/morphtap" "$tmpdir/echo.morphcap" | grep -q 'data' \
+    || { echo "morphtap decoded no data frames from the live capture"; exit 1; }
+"$tmpdir/morphtap" -replay -out "$tmpdir/replay.bin" "$tmpdir/echo.morphcap" >/dev/null \
+    || { echo "morphtap -replay failed on the live capture"; exit 1; }
+[ -s "$tmpdir/replay.bin" ] || { echo "morphtap -replay delivered nothing"; exit 1; }
 kill "$echodemo_pid"
 echodemo_pid=
 echo "== fuzz smoke (wire frame parser, 10s)"
