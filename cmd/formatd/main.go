@@ -21,6 +21,19 @@
 // resume across reconnects by replaying their last-applied event seqno.
 // Clients that predate the watch protocol are unaffected — they never say
 // hello and keep resolving poll-on-miss.
+//
+// Cluster mode replicates the table across a peer set:
+//
+//	formatd -addr host0:7500 -peers host0:7500,host1:7500,host2:7500 \
+//	        -self 0 -shards 4 -snapshot /var/lib/formatd/table.spool
+//
+// Every peer runs the same command with its own -self index. The peers
+// elect a primary (lowest reachable index; an existing primary always
+// wins), standbys replicate its table through the watch stream and forward
+// writes to it, and clients given the full peer list (-cluster on the
+// tools, registry.NewClusterClient in code) shard reads across the set and
+// fail over on peer death. /debug/registryz grows a "cluster" section with
+// the role, the live peer table, and the replication lag.
 package main
 
 import (
@@ -30,25 +43,53 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/tap"
 )
 
+// daemonConfig collects everything run needs: flag values in main, literal
+// fields in tests that drive run directly.
+type daemonConfig struct {
+	addr      string
+	debug     string
+	snapshot  string
+	tapArmed  bool
+	peers     []string // empty = standalone
+	self      int
+	shards    int
+	heartbeat time.Duration
+	failAfter int
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", ":7500", "registry RPC listen address")
-		debug    = flag.String("debug", "", "debug HTTP listen address (empty = disabled)")
-		snapshot = flag.String("snapshot", "", "table snapshot path (empty = in-memory only)")
-		tapArmed = flag.Bool("tap", false, "arm the wire tap at startup (else arm via /debug/tapz?arm=on)")
+		addr      = flag.String("addr", ":7500", "registry RPC listen address")
+		debug     = flag.String("debug", "", "debug HTTP listen address (empty = disabled)")
+		snapshot  = flag.String("snapshot", "", "table snapshot path (empty = in-memory only)")
+		tapArmed  = flag.Bool("tap", false, "arm the wire tap at startup (else arm via /debug/tapz?arm=on)")
+		peers     = flag.String("peers", "", "comma-separated cluster peer addresses (empty = standalone)")
+		self      = flag.Int("self", 0, "this daemon's index in -peers")
+		shards    = flag.Int("shards", 1, "fingerprint-space shard count for cluster routing")
+		heartbeat = flag.Duration("hb", cluster.DefaultHeartbeat, "cluster heartbeat interval")
+		failAfter = flag.Int("failafter", cluster.DefaultFailAfter, "missed heartbeats before declaring the primary dead")
 	)
 	flag.Parse()
 	log.SetFlags(log.Lmicroseconds)
 
-	if err := run(*addr, *debug, *snapshot, *tapArmed, nil); err != nil {
+	cfg := daemonConfig{
+		addr: *addr, debug: *debug, snapshot: *snapshot, tapArmed: *tapArmed,
+		self: *self, shards: *shards, heartbeat: *heartbeat, failAfter: *failAfter,
+	}
+	if *peers != "" {
+		cfg.peers = strings.Split(*peers, ",")
+	}
+	if err := run(cfg, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "formatd:", err)
 		os.Exit(1)
 	}
@@ -57,25 +98,25 @@ func main() {
 // run starts the daemon and blocks until SIGINT/SIGTERM (or ready is closed
 // by a test harness driving run directly; ready, when non-nil, receives the
 // bound RPC address once listening).
-func run(addr, debug, snapshot string, tapArmed bool, ready chan<- string) error {
+func run(cfg daemonConfig, ready chan<- string) error {
 	reg := obs.NewRegistry("formatd")
 	// The wire tap always exists (its unarmed cost is one interface call per
 	// frame) so an operator can arm capture at runtime through /debug/tapz
 	// without a restart; -tap arms it from the first frame.
-	wtap := tap.New(tap.Config{Name: "formatd", Armed: tapArmed, Obs: reg})
+	wtap := tap.New(tap.Config{Name: "formatd", Armed: cfg.tapArmed, Obs: reg})
 	srv, err := registry.NewServer(
 		registry.WithServerObs(reg),
-		registry.WithSnapshotPath(snapshot),
+		registry.WithSnapshotPath(cfg.snapshot),
 		registry.WithServerTap(wtap),
 	)
 	if err != nil {
 		return err
 	}
-	if snapshot != "" {
-		log.Printf("snapshot %s: %d entries loaded", snapshot, srv.Len())
+	if cfg.snapshot != "" {
+		log.Printf("snapshot %s: %d entries loaded", cfg.snapshot, srv.Len())
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
@@ -83,7 +124,31 @@ func run(addr, debug, snapshot string, tapArmed bool, ready chan<- string) error
 	defer ln.Close()
 	log.Printf("format registry listening on %s (watch streams enabled, event seq %d)", ln.Addr(), srv.WatchSeq())
 
-	if debug != "" {
+	if len(cfg.peers) > 0 {
+		cursor := ""
+		if cfg.snapshot != "" {
+			cursor = cfg.snapshot + ".cursor"
+		}
+		node, err := cluster.New(srv, cluster.Config{
+			Index:     cfg.self,
+			Peers:     cfg.peers,
+			Shards:    cfg.shards,
+			Cursor:    cursor,
+			Heartbeat: cfg.heartbeat,
+			FailAfter: cfg.failAfter,
+			Obs:       reg,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		node.Start()
+		defer node.Close()
+		log.Printf("cluster: peer %d of %d (%s), %d shards", cfg.self, len(cfg.peers),
+			strings.Join(cfg.peers, ","), cfg.shards)
+	}
+
+	if cfg.debug != "" {
 		// Readiness probes: the RPC listener must be accepting (verified
 		// with a bounded self-dial) and, when persistence is on, the last
 		// snapshot write must have succeeded.
@@ -97,10 +162,10 @@ func run(addr, debug, snapshot string, tapArmed bool, ready chan<- string) error
 			_ = c.Close()
 			return nil
 		})
-		if snapshot != "" {
+		if cfg.snapshot != "" {
 			health.Register("spool", srv.SpoolHealthy)
 		}
-		dbg, err := obs.Serve(debug, reg,
+		dbg, err := obs.Serve(cfg.debug, reg,
 			obs.Mount{
 				Path:    registry.RegistryzPath,
 				Handler: srv.Handler(obs.DebugIndexPath, obs.MetricsPath, obs.MorphzPath, tap.TapzPath),

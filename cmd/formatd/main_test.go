@@ -27,7 +27,9 @@ func TestDaemonSmoke(t *testing.T) {
 	start := func() (addr string, stop func()) {
 		ready := make(chan string, 1)
 		done := make(chan error, 1)
-		go func() { done <- run("127.0.0.1:0", debugAddr, snap, false, ready) }()
+		go func() {
+			done <- run(daemonConfig{addr: "127.0.0.1:0", debug: debugAddr, snapshot: snap}, ready)
+		}()
 		select {
 		case addr = <-ready:
 		case err := <-done:
@@ -84,7 +86,7 @@ func TestRegistryzEndToEnd(t *testing.T) {
 	// internal/registry tests. Here, just confirm run() wires the handler:
 	// bind debug to a port we choose.
 	dbg := freePort(t)
-	go func() { done <- run("127.0.0.1:0", dbg, "", false, ready) }()
+	go func() { done <- run(daemonConfig{addr: "127.0.0.1:0", debug: dbg}, ready) }()
 	select {
 	case <-ready:
 	case err := <-done:

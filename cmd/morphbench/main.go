@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	morphbench [-exp all|table1|fig8|fig9|fig10|pipeline|trace|registry|watch|obsload|fanout|tapload|ablations] [-quick] [-csv dir] [-obs]
+//	morphbench [-exp all|table1|fig8|fig9|fig10|pipeline|trace|registry|watch|obsload|fanout|tapload|replica|ablations] [-quick] [-csv dir] [-obs]
+//
+// The replica experiment normally builds its 3-peer cluster in-process. With
+// -cluster host:port,host:port,... it instead drives an already-running
+// formatd cluster for -duration (check.sh uses this to SIGKILL a real
+// primary mid-load and gate on the resulting BENCH_replica.json).
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -32,7 +38,7 @@ func main() {
 func run(stdout io.Writer, args []string) error {
 	fs := flag.NewFlagSet("morphbench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, pipeline, trace, registry, watch, obsload, fanout, tapload, ablations")
+		exp       = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, pipeline, trace, registry, watch, obsload, fanout, tapload, replica, ablations")
 		quick     = fs.Bool("quick", false, "shorter measuring windows and smaller max size (for CI)")
 		csvDir    = fs.String("csv", "", "also write CSV files into this directory")
 		withObs   = fs.Bool("obs", false, "attach an observability registry and print its final snapshot as JSON")
@@ -43,6 +49,10 @@ func run(stdout io.Writer, args []string) error {
 		obsJSON   = fs.String("obsjson", "BENCH_obs.json", "file the obsload experiment writes its results to (empty disables)")
 		fanJSON   = fs.String("fanoutjson", "BENCH_fanout.json", "file the fanout experiment writes its results to (empty disables)")
 		tapJSON   = fs.String("tapjson", "BENCH_tap.json", "file the tapload experiment writes its results to (empty disables)")
+		replJSON  = fs.String("replicajson", "BENCH_replica.json", "file the replica experiment writes its results to (empty disables)")
+		clusterAd = fs.String("cluster", "", "replica: comma-separated addresses of a running formatd cluster (empty runs in-process)")
+		shards    = fs.Int("shards", 4, "replica: fingerprint-space shard count (must match the cluster's -shards)")
+		duration  = fs.Duration("duration", 3*time.Second, "replica: live-load window when driving an external cluster")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -217,6 +227,21 @@ func run(stdout io.Writer, args []string) error {
 		}
 		bench.PrintTap(stdout, result)
 		if err := writeJSON(*tapJSON, result); err != nil {
+			return err
+		}
+	}
+	if want("replica") {
+		var result bench.ReplicaResult
+		if *clusterAd != "" {
+			result, err = bench.ExternalReplicaRun(strings.Split(*clusterAd, ","), *shards, *duration)
+		} else {
+			result, err = h.ReplicaSweep(*quick)
+		}
+		if err != nil {
+			return err
+		}
+		bench.PrintReplica(stdout, result)
+		if err := writeJSON(*replJSON, result); err != nil {
 			return err
 		}
 	}

@@ -54,6 +54,7 @@ type Client struct {
 	downs      *obs.Counter   // registry.downs: transitions into the down state
 	watchEvs   *obs.Counter   // registry.watch_events: invalidation events applied
 	watchResub *obs.Counter   // registry.watch_resubscribes: watch re-established after a failure
+	reregs     *obs.Counter   // registry.reregisters: published entries re-announced after an instance change
 	fetchNS    *obs.Histogram // registry.fetch_ns: cold resolution round-trip latency
 
 	// Connection layer: one wire.Conn to the daemon, redialed on demand,
@@ -64,18 +65,37 @@ type Client struct {
 	nextID    uint64
 	pending   map[uint64]chan rpcResp
 	downUntil time.Time
-	published map[uint64]bool // fingerprints the daemon acknowledged (Holds)
+	published map[uint64]publishedEntry // entries the daemon acknowledged (Holds; re-registered on instance change)
 
 	// Watch state (guarded by mu except watchSeq, which lives under cmu
-	// with the caches it orders). everWatched arms automatic resubscription
-	// after connection failures; watchPending coalesces concurrent
+	// with the caches it orders). wantWatch arms automatic resubscription:
+	// it is set the moment a subscription is *wanted* (Watch called, or any
+	// successful dial's auto-subscribe), not only once one has succeeded —
+	// a client that boots while the daemon is down (mid-failover, say) must
+	// still converge on its own. watchPending coalesces concurrent
 	// subscription attempts; watchInst is the daemon instance the seqno
 	// belongs to, so a restarted daemon resets the replay cursor.
 	watchDisabled bool
 	watchPending  bool
+	wantWatch     bool
 	everWatched   bool
 	watchInst     uint64
 	resubTimer    *time.Timer
+
+	// Cluster-mode hooks (set only by NewClusterClient on its per-peer
+	// children; both fire on their own goroutines). onDown fires on every
+	// transition into the down state, onWatchUp after every successful watch
+	// subscription with whether the daemon instance changed.
+	onDown    func()
+	onWatchUp func(instChanged bool)
+
+	// Cluster routing (set only on a NewClusterClient parent, which uses
+	// none of the transport fields above): one child client per peer, and
+	// the fingerprint-space shard count steering route(). reconverging
+	// coalesces concurrent reconvergence sweeps (guarded by mu).
+	children     []*Client
+	shards       int
+	reconverging bool
 
 	// Cache layer: positive LRU + negative TTL map + singleflight table.
 	cmu      sync.Mutex
@@ -92,6 +112,17 @@ type rpcResp struct {
 	status  byte
 	payload []byte
 	err     error
+}
+
+// publishedEntry is one format this client registered and the daemon
+// acknowledged. Keeping the full entry (not just the fingerprint) lets the
+// client re-announce everything it published when it discovers a daemon
+// instance change — a promoted standby or a restarted primary may have
+// missed writes the dead incarnation acknowledged but never replicated, and
+// re-registration closes exactly that gap.
+type publishedEntry struct {
+	format *pbio.Format
+	xforms []*core.Xform
 }
 
 // cacheEntry is one resolved format in the intrusive LRU list.
@@ -126,6 +157,7 @@ func WithClientObs(reg *obs.Registry) ClientOption {
 		c.downs = reg.Counter("registry.downs")
 		c.watchEvs = reg.Counter("registry.watch_events")
 		c.watchResub = reg.Counter("registry.watch_resubscribes")
+		c.reregs = reg.Counter("registry.reregisters")
 		c.fetchNS = reg.Histogram("registry.fetch_ns")
 	}
 }
@@ -192,7 +224,7 @@ func NewClient(addr string, opts ...ClientOption) *Client {
 		backoff:   DefaultBackoff,
 		cacheCap:  DefaultCacheSize,
 		pending:   make(map[uint64]chan rpcResp),
-		published: make(map[uint64]bool),
+		published: make(map[uint64]publishedEntry),
 		lru:       make(map[uint64]*cacheEntry),
 		neg:       make(map[uint64]time.Time),
 		flight:    make(map[uint64]*flightCall),
@@ -203,22 +235,30 @@ func NewClient(addr string, opts ...ClientOption) *Client {
 	return c
 }
 
-// Close tears down the connection and fails all in-flight RPCs.
+// Close tears down the connection and fails all in-flight RPCs. On a
+// cluster client it closes every per-peer child.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
 	if c.resubTimer != nil {
 		c.resubTimer.Stop()
 		c.resubTimer = nil
 	}
 	c.failPendingLocked(ErrClosed)
-	if c.conn != nil {
-		err := c.conn.Close()
-		c.conn = nil
-		return err
+	conn := c.conn
+	c.conn = nil
+	children := c.children
+	c.mu.Unlock()
+	var err error
+	if conn != nil {
+		err = conn.Close()
 	}
-	return nil
+	for _, ch := range children {
+		if cerr := ch.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Register publishes a format (and the transforms declared with it) to the
@@ -232,6 +272,9 @@ func (c *Client) Register(f *pbio.Format, xforms ...*core.Xform) error {
 	if f == nil {
 		return fmt.Errorf("registry: nil format")
 	}
+	if c.children != nil {
+		return c.clusterRegister(f, xforms)
+	}
 	resp, err := c.rpc(opPut, encodeEntry(f, xforms))
 	if err != nil {
 		return err
@@ -240,7 +283,7 @@ func (c *Client) Register(f *pbio.Format, xforms ...*core.Xform) error {
 	case statusOK:
 		fp := f.Fingerprint()
 		c.mu.Lock()
-		c.published[fp] = true
+		c.published[fp] = publishedEntry{format: f, xforms: xforms}
 		c.mu.Unlock()
 		c.cmu.Lock()
 		delete(c.neg, fp)
@@ -262,10 +305,18 @@ func (c *Client) Register(f *pbio.Format, xforms ...*core.Xform) error {
 // connections re-announce in-band — and connections that already suppressed
 // recover through the frameFormatReq protocol.
 func (c *Client) Holds(f *pbio.Format) bool {
+	if c.children != nil {
+		for _, ch := range c.children {
+			if ch.Holds(f) {
+				return true
+			}
+		}
+		return false
+	}
 	fp := f.Fingerprint()
 	c.mu.Lock()
 	down := c.closed || time.Now().Before(c.downUntil)
-	published := c.published[fp]
+	_, published := c.published[fp]
 	c.mu.Unlock()
 	if down {
 		return false
@@ -284,6 +335,14 @@ func (c *Client) Holds(f *pbio.Format) bool {
 // down for the same reason it does in Holds — every RPC on a closed client
 // fails with ErrClosed, so reporting "not down" would be a lie.
 func (c *Client) Down() bool {
+	if c.children != nil {
+		for _, ch := range c.children {
+			if !ch.Down() {
+				return false
+			}
+		}
+		return true // down only when every replica is
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.closed || time.Now().Before(c.downUntil)
@@ -297,6 +356,14 @@ func (c *Client) Down() bool {
 // probes want; a client that never subscribed (or whose daemon predates
 // watch) reports false, since no invalidations are flowing.
 func (c *Client) WatchActive() bool {
+	if c.children != nil {
+		for _, ch := range c.children {
+			if ch.WatchActive() {
+				return true
+			}
+		}
+		return false
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return !c.closed && c.everWatched && c.conn != nil
@@ -307,6 +374,9 @@ func (c *Client) WatchActive() bool {
 // (ErrUnknownFingerprint), or a singleflight-deduplicated daemon round-trip.
 // It implements wire.FormatResolver.
 func (c *Client) ResolveFormat(fp uint64) (*pbio.Format, []*core.Xform, error) {
+	if c.children != nil {
+		return c.clusterResolve(fp)
+	}
 	c.cmu.Lock()
 	if e := c.lru[fp]; e != nil {
 		c.moveFrontLocked(e)
@@ -363,7 +433,28 @@ func (c *Client) ResolveFormat(fp uint64) (*pbio.Format, []*core.Xform, error) {
 // daemon replays anything missed in between (or resyncs the full table when
 // it cannot prove continuity — e.g. it restarted), so no invalidation is
 // lost across a reconnect.
-func (c *Client) Watch() error { return c.watch(false) }
+func (c *Client) Watch() error {
+	if c.children != nil {
+		// Subscribe every replica; the cluster converges if any stream is
+		// live, so only a unanimous failure is an error.
+		var firstErr error
+		ok := false
+		for _, ch := range c.children {
+			if err := ch.Watch(); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				ok = true
+			}
+		}
+		if ok {
+			return nil
+		}
+		return firstErr
+	}
+	return c.watch(false)
+}
 
 // watch coalesces concurrent subscription attempts; probe marks background
 // resubscribe attempts, whose dial failures must not refresh the down state.
@@ -382,10 +473,21 @@ func (c *Client) watch(probe bool) error {
 		return nil // an attempt is already in flight; coalesce
 	}
 	c.watchPending = true
+	// Arm resubscription now, not after the first success: a client that
+	// boots while the daemon is down (mid-failover, say) must keep retrying
+	// on its own, or it never converges.
+	c.wantWatch = true
 	c.mu.Unlock()
 	err := c.watchOnce(probe)
 	c.mu.Lock()
 	c.watchPending = false
+	if errors.Is(err, ErrWatchUnsupported) {
+		c.wantWatch = false // a pre-watch daemon: stop retrying for good
+	} else if err != nil && c.conn == nil && !c.closed {
+		// The attempt failed without even a live connection (dial failure):
+		// connFailed never fires for it, so arm the retry here.
+		c.scheduleResubLocked()
+	}
 	c.mu.Unlock()
 	return err
 }
@@ -414,7 +516,8 @@ func (c *Client) watchOnce(probe bool) error {
 	// from (restart, failover): resume from zero so the daemon resyncs the
 	// full table rather than trusting seqnos across incarnations.
 	c.mu.Lock()
-	instChanged := inst != c.watchInst
+	prevInst := c.watchInst
+	instChanged := inst != prevInst
 	c.watchInst = inst
 	c.mu.Unlock()
 	c.cmu.Lock()
@@ -439,12 +542,50 @@ func (c *Client) watchOnce(probe bool) error {
 	c.mu.Lock()
 	resumed := c.everWatched
 	c.everWatched = true
+	onUp := c.onWatchUp
 	c.mu.Unlock()
 	if resumed {
 		c.watchResub.Inc()
 	}
+	// A new daemon incarnation (restart or promoted standby) may have missed
+	// writes the dead one acknowledged but never replicated; re-announce
+	// everything this client published to close exactly that gap. The server
+	// damps byte-identical re-registrations, so the common case is free.
+	if instChanged && prevInst != 0 {
+		go c.reregisterPublished()
+	}
+	if onUp != nil {
+		go onUp(instChanged)
+	}
 	span.End()
 	return nil
+}
+
+// reregisterPublished re-announces every format this client successfully
+// registered. Called after the watch stream attaches to a daemon incarnation
+// other than the one that acknowledged them.
+func (c *Client) reregisterPublished() {
+	c.mu.Lock()
+	entries := make([]publishedEntry, 0, len(c.published))
+	for _, e := range c.published {
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+	for _, e := range entries {
+		if err := c.Register(e.format, e.xforms...); err == nil {
+			c.reregs.Inc()
+		}
+	}
+}
+
+// cacheDirect inserts a resolved entry into this client's LRU without a
+// round-trip (cluster read-repair: a failover answer warms the preferred
+// replica's cache so the next hit is local and allocation-free).
+func (c *Client) cacheDirect(fp uint64, f *pbio.Format, xforms []*core.Xform) {
+	c.cmu.Lock()
+	delete(c.neg, fp)
+	c.insertLocked(fp, f, xforms)
+	c.cmu.Unlock()
 }
 
 // onEvent applies one pushed table mutation to the caches: the negative
@@ -477,9 +618,10 @@ func (c *Client) onEvent(seq uint64, rest []byte) {
 }
 
 // scheduleResubLocked (mu held) arms one jittered resubscription attempt
-// after the backoff, if the client ever had a live subscription to resume.
+// after the backoff, if a subscription is wanted (ever attempted) — not only
+// if one ever succeeded.
 func (c *Client) scheduleResubLocked() {
-	if c.closed || c.watchDisabled || !c.everWatched || c.resubTimer != nil {
+	if c.closed || c.watchDisabled || !c.wantWatch || c.resubTimer != nil {
 		return
 	}
 	delay := c.backoff + time.Duration(rand.Int63n(int64(c.backoff)/2+1))
@@ -735,6 +877,9 @@ func (c *Client) failPendingLocked(err error) {
 func (c *Client) markDownLocked() {
 	c.downUntil = time.Now().Add(c.backoff)
 	c.downs.Inc()
+	if c.onDown != nil {
+		go c.onDown()
+	}
 }
 
 // insertLocked adds a resolved entry at the LRU front, evicting the tail

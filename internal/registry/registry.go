@@ -80,6 +80,27 @@ const (
 	capWatch byte = 1 << 0 // daemon supports opWatch/opEvent/opUnwatch
 )
 
+// Cluster roles, advertised in the opHello response extension (and surfaced
+// by internal/cluster). A pre-cluster daemon sends no extension at all and
+// parses as RoleNone; peers treat RoleNone like a single standalone daemon.
+const (
+	RoleNone    byte = 0 // standalone daemon, or extension absent
+	RolePrimary byte = 1 // accepts writes, sources the replication stream
+	RoleStandby byte = 2 // replicates from the primary, forwards writes
+)
+
+// RoleName renders a role byte for logs and debug documents.
+func RoleName(role byte) string {
+	switch role {
+	case RolePrimary:
+		return "primary"
+	case RoleStandby:
+		return "standby"
+	default:
+		return "single"
+	}
+}
+
 // Response status codes.
 const (
 	statusOK      byte = 0
@@ -220,6 +241,75 @@ func appendHello(dst []byte, caps byte, instance, seq uint64) []byte {
 	binary.LittleEndian.PutUint64(inst[:], instance)
 	dst = append(dst, inst[:]...)
 	return binary.AppendUvarint(dst, seq)
+}
+
+// appendHelloExt frames the full cluster-aware hello payload: the base
+// layout (caps, instance, seq — everything parseHello reads) followed by the
+// cluster extension role(1) | uvarint peer index | uvarint shard count.
+// parseHello stops after the seqno varint, so pre-cluster clients ignore the
+// extension; parseHelloInfo reads it when present.
+func appendHelloExt(dst []byte, caps byte, instance, seq uint64, role byte, index, shards int) []byte {
+	dst = appendHello(dst, caps, instance, seq)
+	dst = append(dst, role)
+	dst = binary.AppendUvarint(dst, uint64(index))
+	return binary.AppendUvarint(dst, uint64(shards))
+}
+
+// HelloInfo is a fully parsed opHello response: the watch handshake fields
+// plus the cluster extension (zero values against a pre-cluster daemon).
+type HelloInfo struct {
+	Caps     byte
+	Instance uint64
+	Seq      uint64
+	Role     byte // RoleNone when the daemon sent no extension
+	Index    int  // the daemon's index in its -peers list
+	Shards   int  // the cluster's fingerprint-space shard count
+}
+
+// parseHelloInfo decodes an opHello statusOK response payload including the
+// cluster extension. A missing or truncated extension is not an error — the
+// daemon predates cluster mode and the extension fields stay zero.
+func parseHelloInfo(b []byte) (HelloInfo, error) {
+	var hi HelloInfo
+	if len(b) < 9 {
+		return hi, fmt.Errorf("registry: short hello response (%d bytes)", len(b))
+	}
+	hi.Caps = b[0]
+	hi.Instance = binary.LittleEndian.Uint64(b[1:9])
+	seq, used := binary.Uvarint(b[9:])
+	if used <= 0 {
+		return hi, errors.New("registry: bad hello seqno")
+	}
+	hi.Seq = seq
+	rest := b[9+used:]
+	if len(rest) == 0 {
+		return hi, nil
+	}
+	hi.Role = rest[0]
+	idx, u := binary.Uvarint(rest[1:])
+	if u <= 0 {
+		return hi, nil
+	}
+	hi.Index = int(idx)
+	if sh, u2 := binary.Uvarint(rest[1+u:]); u2 > 0 {
+		hi.Shards = int(sh)
+	}
+	return hi, nil
+}
+
+// ShardOf maps a fingerprint into the cluster's shard space. Fingerprints
+// are already content hashes, but a cheap avalanche (murmur3 finalizer)
+// guards against formats whose low bits correlate. Shard count <= 1 (or a
+// non-positive value) collapses to shard 0 — single-shard routing.
+func ShardOf(fp uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	x := fp
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(shards))
 }
 
 // parseHello decodes an opHello statusOK response payload.

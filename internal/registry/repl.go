@@ -1,0 +1,212 @@
+package registry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ReplSession is a raw peer-to-peer registry connection: the client a
+// cluster standby (internal/cluster) keeps open to its primary. It speaks
+// the same FrameRegistry RPC protocol as Client but with none of the cache,
+// backoff, or singleflight machinery — a standby wants the unfiltered event
+// stream (every mutation, delivered in order, with its seqno) and explicit
+// control over hello/watch timing, because the seqno bookkeeping *is* the
+// replication state.
+//
+// Events are delivered on the session's read pump via the onEvent callback
+// given to DialRepl; the blob is a private copy, safe to retain. RPCs
+// (Hello, Watch, Put) are safe for concurrent use. When the connection dies
+// the Done channel closes and every outstanding RPC fails.
+type ReplSession struct {
+	conn    *wire.Conn
+	onEvent func(seq, fp uint64, blob []byte)
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan rpcResp
+	dead    bool
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// DialRepl connects to the registry daemon at addr. onEvent (may be nil)
+// receives every opEvent push; it runs on the read pump, so a slow callback
+// backpressures the stream rather than dropping events.
+func DialRepl(addr string, timeout time.Duration, onEvent func(seq, fp uint64, blob []byte)) (*ReplSession, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("registry: repl dial %s: %w", addr, err)
+	}
+	r := &ReplSession{
+		onEvent: onEvent,
+		pending: make(map[uint64]chan rpcResp),
+		done:    make(chan struct{}),
+	}
+	r.conn = wire.NewConn(nc, wire.WithControlHook(wire.FrameRegistry, func(body []byte) error {
+		r.onFrame(body)
+		return nil
+	}))
+	go r.pump()
+	return r, nil
+}
+
+// ProbeHello dials addr, performs one hello round-trip, and closes the
+// connection: the cluster's election and heartbeat primitive.
+func ProbeHello(addr string, timeout time.Duration) (HelloInfo, error) {
+	r, err := DialRepl(addr, timeout, nil)
+	if err != nil {
+		return HelloInfo{}, err
+	}
+	defer r.Close()
+	return r.Hello(timeout)
+}
+
+// Hello performs one capability/instance/seqno probe, returning the parsed
+// response including the cluster extension.
+func (r *ReplSession) Hello(timeout time.Duration) (HelloInfo, error) {
+	resp, err := r.rpc(opHello, nil, timeout)
+	if err != nil {
+		return HelloInfo{}, err
+	}
+	if resp.status != statusOK {
+		return HelloInfo{}, fmt.Errorf("registry: repl hello rejected: %s", resp.payload)
+	}
+	return parseHelloInfo(resp.payload)
+}
+
+// Watch subscribes to the mutation stream after the given seqno (0 = full
+// resync) and returns the daemon's current seqno. Events then flow to the
+// onEvent callback until the connection dies.
+func (r *ReplSession) Watch(afterSeq uint64, timeout time.Duration) (uint64, error) {
+	resp, err := r.rpc(opWatch, binary.AppendUvarint(nil, afterSeq), timeout)
+	if err != nil {
+		return 0, err
+	}
+	if resp.status != statusOK {
+		return 0, fmt.Errorf("registry: repl watch rejected: %s", resp.payload)
+	}
+	seq, used := binary.Uvarint(resp.payload)
+	if used <= 0 {
+		return 0, fmt.Errorf("registry: repl watch: bad seqno echo")
+	}
+	return seq, nil
+}
+
+// Put publishes one already-encoded entry blob — the standby's write-forward
+// primitive (the blob arrived encoded from the standby's own client; there
+// is nothing to re-encode).
+func (r *ReplSession) Put(blob []byte, timeout time.Duration) error {
+	resp, err := r.rpc(opPut, blob, timeout)
+	if err != nil {
+		return err
+	}
+	if resp.status != statusOK {
+		return fmt.Errorf("registry: repl put rejected: %s", resp.payload)
+	}
+	return nil
+}
+
+// Done closes when the connection has died (peer reset, Close, protocol
+// violation). The supervisor selects on it to trigger failover handling.
+func (r *ReplSession) Done() <-chan struct{} { return r.done }
+
+// Close tears the session down; outstanding RPCs fail, Done closes.
+func (r *ReplSession) Close() error { return r.conn.Close() }
+
+func (r *ReplSession) rpc(op byte, payload []byte, timeout time.Duration) (rpcResp, error) {
+	r.mu.Lock()
+	if r.dead {
+		r.mu.Unlock()
+		return rpcResp{}, fmt.Errorf("registry: repl session closed")
+	}
+	r.nextID++
+	id := r.nextID
+	ch := make(chan rpcResp, 1)
+	r.pending[id] = ch
+	r.mu.Unlock()
+
+	if err := r.conn.WriteControl(wire.FrameRegistry, appendRequest(nil, op, id, payload)); err != nil {
+		r.mu.Lock()
+		delete(r.pending, id)
+		r.mu.Unlock()
+		return rpcResp{}, fmt.Errorf("registry: repl write: %w", err)
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		if resp.err != nil {
+			return rpcResp{}, resp.err
+		}
+		return resp, nil
+	case <-timer.C:
+		r.mu.Lock()
+		delete(r.pending, id)
+		r.mu.Unlock()
+		return rpcResp{}, fmt.Errorf("registry: repl rpc timeout after %s", timeout)
+	case <-r.done:
+		return rpcResp{}, fmt.Errorf("registry: repl connection lost")
+	}
+}
+
+// pump drives the read loop until the connection dies, then fails every
+// outstanding RPC and closes Done.
+func (r *ReplSession) pump() {
+	for {
+		if _, _, err := r.conn.ReadEncoded(); err != nil {
+			break
+		}
+	}
+	_ = r.conn.Close()
+	r.mu.Lock()
+	r.dead = true
+	for id, ch := range r.pending {
+		delete(r.pending, id)
+		ch <- rpcResp{err: fmt.Errorf("registry: repl connection lost")}
+	}
+	r.mu.Unlock()
+	r.doneOnce.Do(func() { close(r.done) })
+}
+
+// onFrame dispatches one response or event frame from the pump.
+func (r *ReplSession) onFrame(body []byte) {
+	op, reqID, rest, err := parseHeader(body)
+	if err != nil {
+		return
+	}
+	if op == opEvent {
+		if r.onEvent == nil {
+			return
+		}
+		fp, blob, perr := parseEvent(rest)
+		if perr != nil {
+			return
+		}
+		// Copy: the frame body aliases the pump conn's pooled read buffer,
+		// and the standby retains the blob in its table.
+		r.onEvent(reqID, fp, append([]byte(nil), blob...))
+		return
+	}
+	switch op {
+	case opGetResp, opPutResp, opHelloResp, opWatchResp, opUnwatchResp:
+	default:
+		return
+	}
+	if len(rest) < 1 {
+		return
+	}
+	resp := rpcResp{status: rest[0], payload: append([]byte(nil), rest[1:]...)}
+	r.mu.Lock()
+	ch := r.pending[reqID]
+	delete(r.pending, reqID)
+	r.mu.Unlock()
+	if ch != nil {
+		ch <- resp
+	}
+}

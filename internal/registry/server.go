@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -37,10 +38,12 @@ type tableEntry struct {
 	hits    atomic.Uint64
 }
 
-// watchRingCap bounds the server's replay ring: a resubscribing client whose
-// last-applied seqno is still within the ring gets exactly the events it
-// missed; one that fell further behind gets a full-table resync instead.
-const watchRingCap = 256
+// DefaultWatchRing bounds the server's replay ring: a resubscribing client
+// whose last-applied seqno is still within the ring gets exactly the events
+// it missed; one that fell further behind gets a full-table resync instead.
+// WithWatchRingSize overrides it — cluster standbys replaying after a long
+// partition want a much deeper ring than interactive cache clients.
+const DefaultWatchRing = 256
 
 // watchEvent is one table mutation as retained for replay. The blob aliases
 // the stored tableEntry's (immutable) blob, so the ring costs headers only.
@@ -84,8 +87,21 @@ type Server struct {
 	watchCond *sync.Cond
 	watchers  map[*wire.Conn]*watcher
 	ring      []watchEvent
+	ringCap   int
 	seq       uint64 // seqno of the latest event (0 = none)
 	instance  uint64
+
+	// Cluster integration (set by internal/cluster; all nil/zero for a
+	// standalone daemon). role/peerIndex/shards ride the hello extension;
+	// forward, when non-nil, intercepts opPut — the standby relays the write
+	// to the primary before applying it locally; statusFn contributes the
+	// "cluster" section of /debug/registryz.
+	clusterMu sync.Mutex
+	role      byte
+	peerIndex int
+	shards    int
+	forward   func(blob []byte) error
+	statusFn  func() any
 
 	snapshotPath string // "" = snapshots disabled
 	lastSnapErr  error  // outcome of the most recent snapshot write (under mu)
@@ -127,6 +143,18 @@ func WithSnapshotPath(path string) ServerOption {
 	return func(s *Server) { s.snapshotPath = path }
 }
 
+// WithWatchRingSize overrides the watch replay ring depth (DefaultWatchRing
+// when unset or non-positive). A subscriber whose resume seqno precedes the
+// ring gets a full-table resync instead of replay, so the ring depth bounds
+// how long a standby may be partitioned and still reconverge incrementally.
+func WithWatchRingSize(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.ringCap = n
+		}
+	}
+}
+
 // NewServer returns a registry server, loading the snapshot when one is
 // configured and present. A corrupt snapshot is an error — silently serving
 // a partial table would defeat the suppression protocol — except for a torn
@@ -137,6 +165,7 @@ func NewServer(opts ...ServerOption) (*Server, error) {
 		table:    make(map[uint64]*tableEntry),
 		watchers: make(map[*wire.Conn]*watcher),
 		instance: uint64(time.Now().UnixNano()) ^ rand.Uint64(),
+		ringCap:  DefaultWatchRing,
 	}
 	s.watchCond = sync.NewCond(&s.watchMu)
 	for _, o := range opts {
@@ -211,7 +240,7 @@ func (s *Server) put(fp uint64, blob []byte, persist bool) error {
 func (s *Server) appendEventLocked(fp uint64, blob []byte) {
 	s.watchMu.Lock()
 	s.seq++
-	if len(s.ring) >= watchRingCap {
+	if len(s.ring) >= s.ringCap {
 		copy(s.ring, s.ring[1:])
 		s.ring = s.ring[:len(s.ring)-1]
 	}
@@ -257,6 +286,72 @@ func (s *Server) WatchSeq() uint64 {
 	s.watchMu.Lock()
 	defer s.watchMu.Unlock()
 	return s.seq
+}
+
+// ApplyReplicated stores an entry replicated from another daemon's watch
+// stream. It behaves like putBlob with one crucial damping rule: a blob that
+// is byte-identical to the one already stored is a no-op — no local event is
+// emitted and no snapshot is rewritten. That makes replication convergent:
+// an entry echoing back around a replication topology (standby applies the
+// primary's event, a client of the standby re-registers it, ...) dies out
+// after one hop instead of ping-ponging events forever. The returned bool
+// reports whether the table changed.
+func (s *Server) ApplyReplicated(fp uint64, blob []byte) (bool, error) {
+	s.mu.RLock()
+	te := s.table[fp]
+	same := te != nil && bytes.Equal(te.blob, blob)
+	s.mu.RUnlock()
+	if same {
+		return false, nil
+	}
+	return true, s.putBlob(fp, blob)
+}
+
+// BumpInstance replaces the daemon's instance ID with a fresh random one. A
+// standby promoting to primary calls it: watch clients that reconnect to the
+// promoted daemon see an instance they have never spoken to and reset their
+// replay cursors, forcing the full-table resync that guarantees convergence
+// regardless of what the dead primary did or did not replicate in time.
+func (s *Server) BumpInstance() {
+	s.watchMu.Lock()
+	s.instance = uint64(time.Now().UnixNano()) ^ rand.Uint64()
+	s.watchMu.Unlock()
+}
+
+// SetWriteForwarder installs (or, with nil, removes) the opPut interceptor.
+// While set, an incoming write is first handed to the forwarder — a cluster
+// standby relays it to the primary — and only applied locally (via the
+// ApplyReplicated damping path, so the echo from the primary's event stream
+// is a no-op) once the forwarder acknowledges. A forwarder error fails the
+// RPC; the client retries against another replica.
+func (s *Server) SetWriteForwarder(f func(blob []byte) error) {
+	s.clusterMu.Lock()
+	s.forward = f
+	s.clusterMu.Unlock()
+}
+
+// SetHelloInfo sets the cluster extension advertised in hello responses:
+// the daemon's role, its index in the peer list, and the cluster's shard
+// count. Standalone daemons never call it and advertise RoleNone.
+func (s *Server) SetHelloInfo(role byte, index, shards int) {
+	s.clusterMu.Lock()
+	s.role, s.peerIndex, s.shards = role, index, shards
+	s.clusterMu.Unlock()
+}
+
+// SetStatusFunc installs the callback whose result is embedded as the
+// "cluster" section of /debug/registryz (nil removes it).
+func (s *Server) SetStatusFunc(fn func() any) {
+	s.clusterMu.Lock()
+	s.statusFn = fn
+	s.clusterMu.Unlock()
+}
+
+// clusterState snapshots the cluster fields for dispatch and the handler.
+func (s *Server) clusterState() (role byte, index, shards int, fwd func([]byte) error, statusFn func() any) {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	return s.role, s.peerIndex, s.shards, s.forward, s.statusFn
 }
 
 // Serve accepts registry connections on ln until the listener closes.
@@ -387,17 +482,35 @@ func (s *Server) dispatch(conn *wire.Conn, body []byte) error {
 			s.rerrs.Inc()
 			return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusError, []byte(derr.Error())))
 		}
-		if perr := s.putBlob(e.Format.Fingerprint(), append([]byte(nil), payload...)); perr != nil {
+		blob := append([]byte(nil), payload...)
+		fp := e.Format.Fingerprint()
+		if _, _, _, fwd, _ := s.clusterState(); fwd != nil {
+			// Standby: the primary is the write authority. Forward first;
+			// only an acknowledged write is applied locally (read-your-writes
+			// on this replica — the echo from the primary's event stream is
+			// then damped as an identical blob).
+			if ferr := fwd(blob); ferr != nil {
+				s.rerrs.Inc()
+				return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusError, []byte(ferr.Error())))
+			}
+			if _, aerr := s.ApplyReplicated(fp, blob); aerr != nil {
+				s.rerrs.Inc()
+				return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusError, []byte(aerr.Error())))
+			}
+			return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusOK, nil))
+		}
+		if perr := s.putBlob(fp, blob); perr != nil {
 			s.rerrs.Inc()
 			return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusError, []byte(perr.Error())))
 		}
 		return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusOK, nil))
 	case opHello:
 		s.watchMu.Lock()
-		seq := s.seq
+		seq, inst := s.seq, s.instance
 		s.watchMu.Unlock()
+		role, index, shards, _, _ := s.clusterState()
 		return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opHelloResp, reqID, statusOK,
-			appendHello(nil, capWatch, s.instance, seq)))
+			appendHelloExt(nil, capWatch, inst, seq, role, index, shards)))
 	case opWatch:
 		afterSeq, used := binary.Uvarint(payload)
 		if used <= 0 {
@@ -603,14 +716,17 @@ type registryzWatcher struct {
 
 // registryzSnapshot is the /debug/registryz JSON document.
 type registryzSnapshot struct {
-	Entries  []registryzEntry   `json:"entries"`
-	Count    int                `json:"count"`
-	Gets     uint64             `json:"gets"`
-	Puts     uint64             `json:"puts"`
-	Unknown  uint64             `json:"unknown"`
-	WatchSeq uint64             `json:"watch_seq"`
-	Watchers []registryzWatcher `json:"watchers"`
-	SeeAlso  []string           `json:"see_also,omitempty"`
+	Entries      []registryzEntry   `json:"entries"`
+	Count        int                `json:"count"`
+	Gets         uint64             `json:"gets"`
+	Puts         uint64             `json:"puts"`
+	Unknown      uint64             `json:"unknown"`
+	WatchSeq     uint64             `json:"watch_seq"`
+	WatchRingCap int                `json:"watch_ring_cap"`
+	WatchRingLen int                `json:"watch_ring_len"`
+	Watchers     []registryzWatcher `json:"watchers"`
+	Cluster      any                `json:"cluster,omitempty"`
+	SeeAlso      []string           `json:"see_also,omitempty"`
 }
 
 // SpoolHealthy reports whether table persistence is in a good state: nil
@@ -658,6 +774,8 @@ func (s *Server) Handler(seeAlso ...string) http.Handler {
 
 		s.watchMu.Lock()
 		snap.WatchSeq = s.seq
+		snap.WatchRingCap = s.ringCap
+		snap.WatchRingLen = len(s.ring)
 		snap.Watchers = make([]registryzWatcher, 0, len(s.watchers))
 		for _, wa := range s.watchers {
 			snap.Watchers = append(snap.Watchers, registryzWatcher{
@@ -669,11 +787,18 @@ func (s *Server) Handler(seeAlso ...string) http.Handler {
 		}
 		s.watchMu.Unlock()
 		sort.Slice(snap.Watchers, func(i, j int) bool { return snap.Watchers[i].Remote < snap.Watchers[j].Remote })
+		if _, _, _, _, statusFn := s.clusterState(); statusFn != nil {
+			snap.Cluster = statusFn()
+		}
 
 		if req.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprintf(w, "# formatd table: %d entries (gets=%d puts=%d unknown=%d seq=%d watchers=%d)\n",
-				snap.Count, snap.Gets, snap.Puts, snap.Unknown, snap.WatchSeq, len(snap.Watchers))
+			fmt.Fprintf(w, "# formatd table: %d entries (gets=%d puts=%d unknown=%d seq=%d ring=%d/%d watchers=%d)\n",
+				snap.Count, snap.Gets, snap.Puts, snap.Unknown, snap.WatchSeq, snap.WatchRingLen, snap.WatchRingCap, len(snap.Watchers))
+			if snap.Cluster != nil {
+				cj, _ := json.Marshal(snap.Cluster)
+				fmt.Fprintf(w, "# cluster %s\n", cj)
+			}
 			for _, e := range snap.Entries {
 				fmt.Fprintf(w, "%s %-20s fields=%d xforms=%d hits=%d\n",
 					e.Fingerprint, e.Format, e.Fields, e.Xforms, e.Hits)

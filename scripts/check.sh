@@ -6,8 +6,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 tmpdir=$(mktemp -d)
-formatd_pid=; echodemo_pid=
-trap 'kill "$formatd_pid" "$echodemo_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+formatd_pid=; echodemo_pid=; peer0_pid=; peer1_pid=; peer2_pid=; replica_pid=
+trap 'kill "$formatd_pid" "$echodemo_pid" "$peer0_pid" "$peer1_pid" "$peer2_pid" "$replica_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
 
 echo "== go vet ./..."
 go vet ./...
@@ -89,6 +89,80 @@ curl -sf "$debug_base/debug/tapz" | jq -e '.name == "formatd" and (.conns | type
     || { echo "formatd /debug/tapz did not serve a tap snapshot"; exit 1; }
 kill "$formatd_pid"
 formatd_pid=
+echo "== cluster replication/failover suite (race-enabled)"
+go test -race -count=1 -run 'TestCluster|TestFailover|TestStandby' ./internal/cluster/
+go test -race -count=1 \
+    -run 'TestClusterClient|TestResubscribeArmsWithoutFirstSuccess|TestReregisterOnInstanceChange|TestWatchRingSizeOption' \
+    ./internal/registry/
+echo "== formatd cluster smoke (3 peers, SIGKILL the primary under live load)"
+cat >"$tmpdir/freeport.go" <<'EOF'
+package main
+
+import (
+	"fmt"
+	"net"
+)
+
+func main() {
+	for i := 0; i < 3; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		defer ln.Close()
+		fmt.Println(ln.Addr().String())
+	}
+}
+EOF
+set -- $(go run "$tmpdir/freeport.go")
+cluster_peers="$1,$2,$3"
+i=0
+for addr in "$@"; do
+    "$tmpdir/formatd" -addr "$addr" -debug 127.0.0.1:0 \
+        -peers "$cluster_peers" -self "$i" -shards 4 -hb 100ms -failafter 3 \
+        -snapshot "$tmpdir/peer$i.spool" >"$tmpdir/peer$i.log" 2>&1 &
+    eval "peer${i}_pid=\$!"
+    i=$((i + 1))
+done
+peer_debug() {
+    sed -n 's/.*debug endpoints on \(http:[^ ]*\).*/\1/p' "$tmpdir/peer$1.log"
+}
+for _ in $(seq 1 100); do
+    p0_debug=$(peer_debug 0)
+    [ -n "$p0_debug" ] && curl -sf "$p0_debug" | jq -e '.cluster.role == "primary"' >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -sf "$(peer_debug 0)" | jq -e '.cluster.role == "primary" and (.cluster.peers | type == "array")' >/dev/null \
+    || { echo "peer 0 never became primary:"; cat "$tmpdir/peer0.log"; exit 1; }
+go build -o "$tmpdir/morphbench" ./cmd/morphbench
+"$tmpdir/morphbench" -exp replica -cluster "$cluster_peers" -shards 4 -duration 6s \
+    -replicajson "$tmpdir/BENCH_replica_live.json" >"$tmpdir/replica.log" 2>&1 &
+replica_pid=$!
+# The external run seeds 64 formats plus 16 lag probes before the load
+# window opens; once peer 1's table shows them all replicated, the resolve
+# loop is live and the SIGKILL lands mid-load.
+for _ in $(seq 1 200); do
+    p1_debug=$(peer_debug 1)
+    [ -n "$p1_debug" ] && count=$(curl -sf "$p1_debug" | jq '.count' 2>/dev/null) \
+        && [ "${count:-0}" -ge 80 ] && break
+    sleep 0.1
+done
+sleep 1
+kill -9 "$peer0_pid"
+peer0_pid=
+wait "$replica_pid" || { echo "replica live load failed:"; cat "$tmpdir/replica.log"; exit 1; }
+replica_pid=
+curl -sf "$(peer_debug 1)" | jq -e '.cluster.role == "primary"' >/dev/null \
+    || { echo "peer 1 did not take over after the primary was SIGKILLed"; cat "$tmpdir/peer1.log"; exit 1; }
+jq -e '.failed_resolutions == 0 and .resolutions > 0' "$tmpdir/BENCH_replica_live.json" >/dev/null \
+    || { echo "cluster smoke: resolutions failed during primary SIGKILL"; cat "$tmpdir/BENCH_replica_live.json"; exit 1; }
+jq -e '.blackout_ns < 5000000000 and .staleness_max_ns < 5000000000' "$tmpdir/BENCH_replica_live.json" >/dev/null \
+    || { echo "cluster smoke: failover blackout/staleness above the 5s ceiling"; cat "$tmpdir/BENCH_replica_live.json"; exit 1; }
+kill "$peer1_pid" "$peer2_pid"
+peer1_pid=; peer2_pid=
+echo "== replica floors (committed BENCH_replica.json)"
+jq -e '.failed_resolutions == 0 and .blackout_ns < 5000000000 and .hit_allocs_per_op == 0' BENCH_replica.json >/dev/null \
+    || { echo "BENCH_replica.json: failover acceptance floors not met"; exit 1; }
 echo "== echo telemetry plane (live /metrics golden, healthz/readyz)"
 go build -o "$tmpdir/echodemo" ./cmd/echodemo
 "$tmpdir/echodemo" -role server -addr 127.0.0.1:0 -debug 127.0.0.1:0 \
