@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	morphbench [-exp all|table1|fig8|fig9|fig10|pipeline|trace|registry|watch|obsload|fanout|tapload|replica|ablations] [-quick] [-csv dir] [-obs]
+//	morphbench [-exp all|table1|fig8|fig9|fig10|pipeline|trace|registry|watch|obsload|fanout|tapload|replica|fleet|ablations] [-quick] [-csv dir] [-obs]
 //
 // The replica experiment normally builds its 3-peer cluster in-process. With
 // -cluster host:port,host:port,... it instead drives an already-running
@@ -38,7 +38,7 @@ func main() {
 func run(stdout io.Writer, args []string) error {
 	fs := flag.NewFlagSet("morphbench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, pipeline, trace, registry, watch, obsload, fanout, tapload, replica, ablations")
+		exp       = fs.String("exp", "all", "experiment: all, table1, fig8, fig9, fig10, pipeline, trace, registry, watch, obsload, fanout, tapload, replica, fleet, ablations")
 		quick     = fs.Bool("quick", false, "shorter measuring windows and smaller max size (for CI)")
 		csvDir    = fs.String("csv", "", "also write CSV files into this directory")
 		withObs   = fs.Bool("obs", false, "attach an observability registry and print its final snapshot as JSON")
@@ -50,6 +50,8 @@ func run(stdout io.Writer, args []string) error {
 		fanJSON   = fs.String("fanoutjson", "BENCH_fanout.json", "file the fanout experiment writes its results to (empty disables)")
 		tapJSON   = fs.String("tapjson", "BENCH_tap.json", "file the tapload experiment writes its results to (empty disables)")
 		replJSON  = fs.String("replicajson", "BENCH_replica.json", "file the replica experiment writes its results to (empty disables)")
+		fleetJSON = fs.String("fleetjson", "BENCH_fleet.json", "file the fleet experiment writes its results to (empty disables)")
+		seed      = fs.Int64("seed", 1, "fleet: chaos schedule seed (logged in the result; rerun with the same seed to reproduce)")
 		clusterAd = fs.String("cluster", "", "replica: comma-separated addresses of a running formatd cluster (empty runs in-process)")
 		shards    = fs.Int("shards", 4, "replica: fingerprint-space shard count (must match the cluster's -shards)")
 		duration  = fs.Duration("duration", 3*time.Second, "replica: live-load window when driving an external cluster")
@@ -242,6 +244,16 @@ func run(stdout io.Writer, args []string) error {
 		}
 		bench.PrintReplica(stdout, result)
 		if err := writeJSON(*replJSON, result); err != nil {
+			return err
+		}
+	}
+	if want("fleet") {
+		result, err := h.FleetSoak(*seed, *quick)
+		if err != nil {
+			return err
+		}
+		bench.PrintFleet(stdout, result)
+		if err := writeJSON(*fleetJSON, result); err != nil {
 			return err
 		}
 	}

@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -334,6 +336,156 @@ func TestClusterClientZeroFailedResolutionsDuringFailover(t *testing.T) {
 	}
 	if tl.resolved == 0 {
 		t.Fatal("the load loop never resolved anything; the test proved nothing")
+	}
+}
+
+// TestElectionWindowWriteSurfacedRetryable pins the write contract for the
+// state every standby passes through between detaching from a dead primary
+// and attaching to the promoted one: clustered, standby role, no forward
+// path. A write landing in that window used to be applied locally and
+// acknowledged OK — stranding it on one peer, invisible to the eventual
+// primary and everyone replicating from it. It must instead be refused as
+// retryable with nothing applied, and start succeeding again the moment the
+// window closes.
+func TestElectionWindowWriteSurfacedRetryable(t *testing.T) {
+	srv, err := registry.NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close(); _ = ln.Close() })
+
+	// The election window: cluster member, not primary, forwarder detached.
+	srv.SetClustered(true)
+	srv.SetHelloInfo(registry.RoleStandby, 1, 4)
+
+	c := registry.NewClient(ln.Addr().String(), registry.WithWatchDisabled())
+	defer c.Close()
+	f := testFormat(t, "windowed", 1)
+	if err := c.Register(f); !errors.Is(err, registry.ErrRetryable) {
+		t.Fatalf("register in the election window: err = %v, want ErrRetryable", err)
+	}
+	if srv.Len() != 0 {
+		t.Fatalf("election-window write was applied locally (table len %d)", srv.Len())
+	}
+
+	// The other half of the window: a forwarder whose path to the primary is
+	// dead. Same contract — retryable, not applied.
+	srv.SetWriteForwarder(func([]byte) error { return fmt.Errorf("connection refused") })
+	if err := c.Register(f); !errors.Is(err, registry.ErrRetryable) {
+		t.Fatalf("register over a dead forward path: err = %v, want ErrRetryable", err)
+	}
+	if srv.Len() != 0 {
+		t.Fatalf("dead-forward write was applied locally (table len %d)", srv.Len())
+	}
+
+	// Promotion closes the window: the primary applies locally and acks.
+	srv.SetWriteForwarder(nil)
+	srv.SetHelloInfo(registry.RolePrimary, 1, 4)
+	if err := c.Register(f); err != nil {
+		t.Fatalf("register after promotion: %v", err)
+	}
+	if srv.Len() != 1 {
+		t.Fatalf("post-promotion table len = %d, want 1", srv.Len())
+	}
+
+	// And leaving the cluster restores standalone behavior even as a standby
+	// hello-role leftover.
+	srv.SetClustered(false)
+	srv.SetHelloInfo(registry.RoleStandby, 1, 4)
+	if err := c.Register(testFormat(t, "standalone", 2)); err != nil {
+		t.Fatalf("standalone register: %v", err)
+	}
+}
+
+// TestElectionDuringWrite drives a continuous write stream through a standby
+// while the primary is killed: every acknowledged write must be durable on
+// the promoted primary afterwards. With the silent local-apply bug, a write
+// hitting the standby's detached window was acked OK yet never forwarded —
+// it existed only on the accepting peer and this assertion fails.
+func TestElectionDuringWrite(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	tc.waitPrimary(0)
+	tc.waitStandbyOf(1, 0)
+	tc.waitStandbyOf(2, 0)
+
+	// All writes enter at peer 2, which stays a standby across the failover,
+	// so every write exercises the forwarding path before and after — and the
+	// detached window in between.
+	w := registry.NewClient(tc.addrs[2],
+		registry.WithWatchDisabled(),
+		registry.WithTimeout(300*time.Millisecond),
+		registry.WithBackoff(30*time.Millisecond),
+	)
+	defer w.Close()
+
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	var acked []*pbio.Format
+	retried := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f := testFormat(t, fmt.Sprintf("elect%d", i), i%6)
+			for { // retry this one format until it is acknowledged
+				err := w.Register(f)
+				if err == nil {
+					break
+				}
+				mu.Lock()
+				retried++
+				mu.Unlock()
+				select {
+				case <-stop:
+					return
+				case <-time.After(10 * time.Millisecond):
+				}
+			}
+			mu.Lock()
+			acked = append(acked, f)
+			mu.Unlock()
+		}
+	}()
+
+	time.Sleep(4 * testHB) // establish the stream against the healthy cluster
+	tc.kill(0)
+	tc.waitPrimary(1)
+	tc.waitStandbyOf(2, 1)
+	time.Sleep(4 * testHB) // acks must flow again after the promotion
+	close(stop)
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(acked) == 0 {
+		t.Fatal("no write was ever acknowledged; the test proved nothing")
+	}
+	t.Logf("%d writes acked, %d retries across the failover", len(acked), retried)
+	for _, f := range acked {
+		f := f
+		waitFor(t, fmt.Sprintf("acked %q durable on the new primary", f.Name()), func() bool {
+			_, err := tc.srvs[1].Resolve(f.Fingerprint())
+			return err == nil
+		})
+	}
+	// Applied-once: replication damping means re-sent writes are no-ops, so
+	// the surviving tables converge to exactly the acked set (the writer may
+	// have abandoned at most its final, unacked format mid-retry).
+	waitFor(t, "surviving peers converged", func() bool {
+		return tc.srvs[2].Len() >= len(acked) && tc.srvs[1].Len() == tc.srvs[2].Len()
+	})
+	if extra := tc.srvs[1].Len() - len(acked); extra > 1 {
+		t.Errorf("%d unacked formats applied (table %d vs %d acked)", extra, tc.srvs[1].Len(), len(acked))
 	}
 }
 

@@ -130,8 +130,12 @@ func New(srv *registry.Server, cfg Config) (*Node, error) {
 }
 
 // Start joins the cluster: the supervision loop elects, replicates, and
-// promotes on its own goroutine until Close.
+// promotes on its own goroutine until Close. The server is marked clustered
+// before anything else, so a write arriving ahead of the first election —
+// or during any later one, while no forward path exists — is answered
+// "retry" instead of being applied to this peer's table alone.
 func (n *Node) Start() {
+	n.srv.SetClustered(true)
 	n.srv.SetStatusFunc(n.Status)
 	n.wg.Add(1)
 	go n.run()
@@ -157,6 +161,7 @@ func (n *Node) Close() {
 	n.wg.Wait()
 	n.srv.SetStatusFunc(nil)
 	n.srv.SetWriteForwarder(nil)
+	n.srv.SetClustered(false)
 }
 
 // Role returns this node's current cluster role.

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pbio"
+)
+
+// freshPair builds two same-named formats one transform apart, for tests of
+// the out-of-band transform sources.
+func freshPair(t *testing.T) (wide, narrow *pbio.Format, x *Xform) {
+	t.Helper()
+	wide = fmtOrDie(t, "ev", []pbio.Field{bf("a", pbio.Integer), bf("b", pbio.Integer)})
+	narrow = fmtOrDie(t, "ev", []pbio.Field{bf("a", pbio.Integer)})
+	return wide, narrow, &Xform{From: wide, To: narrow, Code: "old.a = new.a;"}
+}
+
+// TestFreshTransformSourceConsultedBeforeReject: when the primary transform
+// source (a registry client's cached read) yields nothing routable, the
+// fresh source must get a chance before the reject is cached — the stale-LRU
+// case of a structurally reused fingerprint. The outcome is then cached like
+// any decision: neither source is consulted again for that fingerprint.
+func TestFreshTransformSourceConsultedBeforeReject(t *testing.T) {
+	wide, narrow, x := freshPair(t)
+	var stale, fresh int
+	m := NewMorpher(Thresholds{},
+		WithTransformSource(func(fp uint64) []*Xform { stale++; return nil }),
+		WithFreshTransformSource(func(fp uint64) []*Xform { fresh++; return []*Xform{x} }),
+	)
+	var got int
+	if err := m.RegisterFormat(narrow, func(r *pbio.Record) error { got++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	rec := pbio.NewRecord(wide).MustSet("a", pbio.Int(7)).MustSet("b", pbio.Int(8))
+	if err := m.Deliver(rec); err != nil {
+		t.Fatalf("delivery rejected despite fresh source holding the route: %v", err)
+	}
+	if got != 1 {
+		t.Fatalf("handler ran %d times, want 1", got)
+	}
+	if stale != 1 || fresh != 1 {
+		t.Fatalf("source consultations stale=%d fresh=%d, want 1/1", stale, fresh)
+	}
+	if err := m.Deliver(rec); err != nil {
+		t.Fatal(err)
+	}
+	if stale != 1 || fresh != 1 {
+		t.Fatalf("cached delivery re-consulted a source: stale=%d fresh=%d", stale, fresh)
+	}
+}
+
+// TestFreshSourceNotConsultedWhenCachedSourceRoutes: the fresh source is a
+// second chance, not a second round-trip — a primary source that already
+// produced a route must keep the fresh one idle.
+func TestFreshSourceNotConsultedWhenCachedSourceRoutes(t *testing.T) {
+	wide, narrow, x := freshPair(t)
+	var fresh int
+	m := NewMorpher(Thresholds{},
+		WithTransformSource(func(fp uint64) []*Xform { return []*Xform{x} }),
+		WithFreshTransformSource(func(fp uint64) []*Xform { fresh++; return nil }),
+	)
+	if err := m.RegisterFormat(narrow, func(r *pbio.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	rec := pbio.NewRecord(wide).MustSet("a", pbio.Int(1)).MustSet("b", pbio.Int(2))
+	if err := m.Deliver(rec); err != nil {
+		t.Fatal(err)
+	}
+	if fresh != 0 {
+		t.Fatalf("fresh source consulted %d times although the cached source routed", fresh)
+	}
+}
+
+// TestInvalidateHealsCachedReject: a reject decision is cached permanently —
+// no later message re-runs the cold path on its own — so a transform that
+// arrives after the reject (a registry watch event) must be able to heal it
+// via Invalidate. Without the call the reject must keep sticking: that it
+// does is exactly what makes the invalidation hook load-bearing.
+func TestInvalidateHealsCachedReject(t *testing.T) {
+	wide, narrow, x := freshPair(t)
+	var route []*Xform
+	var consults int
+	m := NewMorpher(Thresholds{},
+		WithTransformSource(func(fp uint64) []*Xform { consults++; return route }),
+	)
+	if err := m.RegisterFormat(narrow, func(r *pbio.Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	rec := pbio.NewRecord(wide).MustSet("a", pbio.Int(1)).MustSet("b", pbio.Int(2))
+	if err := m.Deliver(rec); !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	// The metadata lands (too late), but the cached reject keeps winning.
+	route = []*Xform{x}
+	if err := m.Deliver(rec); !errors.Is(err, ErrRejected) {
+		t.Fatalf("second delivery: err = %v, want the cached ErrRejected", err)
+	}
+	if consults != 1 {
+		t.Fatalf("source consulted %d times before invalidation, want 1 (reject cached)", consults)
+	}
+	m.Invalidate(wide.Fingerprint())
+	if err := m.Deliver(rec); err != nil {
+		t.Fatalf("delivery after Invalidate: %v", err)
+	}
+	if consults != 2 {
+		t.Fatalf("source consulted %d times after invalidation, want 2", consults)
+	}
+}

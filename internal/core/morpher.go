@@ -96,8 +96,11 @@ type Morpher struct {
 	tracer *trace.Tracer
 
 	// xsource is nil unless WithTransformSource attached one; the decision
-	// build consults it before rejecting an unmatched format.
+	// build consults it before rejecting an unmatched format. xfresh is its
+	// cache-bypassing second chance (WithFreshTransformSource), consulted
+	// only when xsource still left the format unroutable.
 	xsource TransformSource
+	xfresh  TransformSource
 }
 
 // morphCounters are the activity counters of Stats.
@@ -241,6 +244,20 @@ func WithTransformSource(src TransformSource) MorpherOption {
 	return func(m *Morpher) { m.xsource = src }
 }
 
+// WithFreshTransformSource attaches a second, cache-bypassing transform
+// source, consulted only when the primary source (WithTransformSource) still
+// left the incoming format unroutable — the last step before a reject is
+// cached. The distinction matters because format fingerprints are structural:
+// two generations of an evolving protocol can collide on one fingerprint,
+// and a later registration then replaces the entry's transform set at the
+// daemon while every cached copy (a registry client's LRU, fed by a watch
+// stream the data frame can outrun) keeps the old one. A source that
+// re-reads the daemon directly closes that window. Like the primary source
+// it runs on the cold path only and may block on I/O; a nil source is valid.
+func WithFreshTransformSource(src TransformSource) MorpherOption {
+	return func(m *Morpher) { m.xfresh = src }
+}
+
 // NewMorpher returns a Morpher with the given thresholds. Use
 // DefaultThresholds when in doubt; Thresholds{} (all zero) admits only
 // perfect matches, as the paper prescribes for strict deployments.
@@ -369,9 +386,17 @@ func (m *Morpher) AddTransform(x *Xform) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	key := x.From.Fingerprint()
-	for _, existing := range m.xforms[key] {
+	for i, existing := range m.xforms[key] {
 		if existing.To.Fingerprint() == x.To.Fingerprint() {
-			existing.Code = x.Code // refresh
+			if existing.Code == x.Code {
+				return nil // identical refresh: keep cached decisions
+			}
+			// Refresh by replacing the edge, never by writing through it:
+			// Xforms arrive from resolver caches that hand the same pointers
+			// to every connection, so a mutation here would race with — and
+			// rewrite — another morpher's concurrent compile of the same
+			// transform.
+			m.xforms[key][i] = x
 			m.invalidateLocked()
 			return nil
 		}
@@ -410,6 +435,18 @@ func (m *Morpher) invalidateLocked() {
 	if len(m.cache) > 0 {
 		m.cache = make(map[uint64]*decision)
 	}
+}
+
+// Invalidate drops the cached decision for one incoming fingerprint, so the
+// next message of that format re-runs the cold path. Transports hook this to
+// metadata-change notifications (a registry watch event): a decision built
+// before the metadata landed — in the worst case a reject, which no amount
+// of subsequent traffic would otherwise revisit — heals instead of sticking
+// for the connection's lifetime. Unknown fingerprints are a no-op.
+func (m *Morpher) Invalidate(fp uint64) {
+	m.mu.Lock()
+	delete(m.cache, fp)
+	m.mu.Unlock()
 }
 
 // Stats returns a snapshot of the engine's counters. The read order is
@@ -751,11 +788,19 @@ func (m *Morpher) buildDecisionLocked(fm *pbio.Format) (*decision, obs.Decision,
 	}
 	tr.Candidates = len(ft)
 	match, ok := m.matchLocked(ft, fr)
-	if !ok && m.xsource != nil {
+	for _, src := range []TransformSource{m.xsource, m.xfresh} {
+		if ok || src == nil {
+			continue
+		}
 		// Line 16, extended: before rejecting, pull transform meta-data the
 		// registry holds for this fingerprint — chains a peer published that
-		// never crossed this connection — and retry the match.
-		if m.importTransformsLocked(m.xsource(fm.Fingerprint())) > 0 {
+		// never crossed this connection — and retry the match. The second
+		// source (WithFreshTransformSource) repeats the pull past the
+		// registry client's caches, for the case where the cached entry is a
+		// stale copy of a fingerprint a later protocol generation reused.
+		xs := src(fm.Fingerprint())
+		added := m.importTransformsLocked(xs)
+		if added > 0 {
 			chains = m.reachableLocked(fm)
 			ft = make([]*pbio.Format, len(chains))
 			for i, ch := range chains {

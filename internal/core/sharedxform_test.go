@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pbio"
+)
+
+// TestAddTransformRefreshDoesNotMutateSharedXform is the regression test
+// for a race the fleet chaos soak caught under -race: resolver caches hand
+// the same *Xform pointers to every connection, and AddTransform's refresh
+// path used to write the new code through the shared pointer — racing with
+// (and silently rewriting) another morpher's concurrent compile of the same
+// transform. A refresh must replace the morpher's own edge and leave the
+// caller's Xform untouched.
+func TestAddTransformRefreshDoesNotMutateSharedXform(t *testing.T) {
+	wide := fmtOrDie(t, "ev", []pbio.Field{bf("a", pbio.Integer), bf("b", pbio.Integer)})
+	narrow := fmtOrDie(t, "ev", []pbio.Field{bf("a", pbio.Integer)})
+	shared := &Xform{From: wide, To: narrow, Code: "old.a = new.a;"}
+
+	m1 := NewMorpher(Thresholds{})
+	m2 := NewMorpher(Thresholds{})
+	if err := m1.AddTransform(shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.AddTransform(shared); err != nil {
+		t.Fatal(err)
+	}
+
+	// m2 refreshes the edge with different code; the shared object m1 still
+	// holds must not change underneath it.
+	if err := m2.AddTransform(&Xform{From: wide, To: narrow, Code: "old.a = new.a + 1;"}); err != nil {
+		t.Fatal(err)
+	}
+	if shared.Code != "old.a = new.a;" {
+		t.Fatalf("refresh wrote through the shared Xform: %q", shared.Code)
+	}
+
+	// And the original race, minimized: one goroutine validates (compiles)
+	// the shared transform while another refreshes the same edge. Run under
+	// -race this fails with the old write-through refresh.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if err := shared.Validate(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		codes := [2]string{"old.a = new.a;", "old.a = new.a + 1;"}
+		for i := 0; i < 200; i++ {
+			if err := m1.AddTransform(&Xform{From: wide, To: narrow, Code: codes[i%2]}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

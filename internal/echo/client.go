@@ -90,6 +90,7 @@ type Subscriber struct {
 	ct       *tap.ConnTap // nil unless Options.Tap was set
 	channel  string
 	registry *registry.Client // nil unless Options.Registry was set
+	unhook   func()           // removes the registry watch-event hook; nil without a registry
 
 	mu      sync.Mutex
 	members []Member
@@ -126,8 +127,13 @@ func open(nc net.Conn, channelID string, opts Options) (*Subscriber, error) {
 	if rc != nil {
 		// When a local morph decision finds no route, ask the registry for
 		// transformation meta-data before giving up (once per fingerprint;
-		// the decision cache remembers the outcome either way).
-		mopts = append(mopts, core.WithTransformSource(rc.TransformsFor))
+		// the decision cache remembers the outcome either way) — first
+		// through the client's caches, then past them: a structurally reused
+		// fingerprint can leave the LRU holding a transform set an earlier
+		// protocol generation registered, and only the daemon knows better.
+		mopts = append(mopts,
+			core.WithTransformSource(rc.TransformsFor),
+			core.WithFreshTransformSource(rc.TransformsForFresh))
 	}
 	s := &Subscriber{
 		morpher:  core.NewMorpher(th, mopts...),
@@ -226,6 +232,16 @@ func open(nc net.Conn, channelID string, opts Options) (*Subscriber, error) {
 			s.mu.Lock()
 			s.members = members
 			s.mu.Unlock()
+			if rc != nil {
+				// A watch event means a fingerprint's transform set changed
+				// at the daemon; any decision this subscriber cached for it —
+				// in the worst case a reject, which no later traffic would
+				// revisit — predates the change and must be rebuilt on the
+				// next message. Hooked only now, on handshake success, so the
+				// error paths above cannot leak the registration; Close
+				// removes it.
+				s.unhook = rc.OnEvent(s.morpher.Invalidate)
+			}
 			return s, nil
 		default:
 		}
@@ -271,9 +287,24 @@ func (s *Subscriber) HandleDefault(h core.Handler) {
 func (s *Subscriber) Declare(f *pbio.Format, xforms ...*core.Xform) {
 	if s.registry != nil {
 		// Publish the meta-data out-of-band first, so the in-band format
-		// frame can be suppressed from the very first event. Best-effort:
-		// on failure Holds stays false and the frame goes in-band as ever.
-		_ = s.registry.Register(f, xforms...)
+		// frame can be suppressed from the very first event. A retryable
+		// failure (a replica with no current write path: election in flight
+		// after a primary died) is ridden out here, before any data flows
+		// under this declaration — it is exactly the window where dropping
+		// the error loses the metadata for good: the standbys are up, so
+		// Holds keeps suppressing the in-band frame, and for a fingerprint
+		// an earlier generation already announced (structural reuse) the
+		// connection would not re-announce anyway. Elections resolve in a
+		// few heartbeats; the cap keeps a wedged cluster from stalling the
+		// publisher forever. Non-retryable failures keep the old contract:
+		// Holds goes false while down and the frame travels in-band.
+		for attempt := 0; ; attempt++ {
+			err := s.registry.Register(f, xforms...)
+			if err == nil || attempt >= 40 || !errors.Is(err, registry.ErrRetryable) {
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
 	}
 	s.conn.Declare(f, xforms...)
 }
@@ -310,8 +341,13 @@ func (s *Subscriber) Run() error {
 	return err
 }
 
-// Close leaves the channel by closing the connection.
+// Close leaves the channel by closing the connection. The registry client
+// (shared, caller-owned) stays open; only this subscriber's watch-event hook
+// on it is removed.
 func (s *Subscriber) Close() error {
+	if s.unhook != nil {
+		s.unhook()
+	}
 	s.ct.Close()
 	return s.conn.Close()
 }

@@ -275,6 +275,236 @@ func TestRegistryDownFallback(t *testing.T) {
 	}
 }
 
+// TestLegacyPeerChurnWhileParked is the degradation matrix for peers that
+// predate the registry plane, under format churn. A V1Compat sink (pre-watch,
+// pre-registry, original handshake) joins a registry-suppressed channel
+// mid-run: every frame it receives must arrive via the in-band format-frame
+// fallback and decode byte-identically to what the modern, fully-suppressed
+// sink gets. Then the churn continues while a late parked sink (registry
+// client firmly down) is still mid-recovery: frames parked behind the
+// frameFormatReq round-trip must replay in publish order, alongside a brand
+// new format generation declared during the outage — with the legacy peer,
+// which never depended on the registry, unaffected throughout.
+func TestLegacyPeerChurnWhileParked(t *testing.T) {
+	fsrv, faddr := startFormatd(t)
+
+	serverRC := registry.NewClient(faddr, registry.WithBackoff(10*time.Millisecond))
+	t.Cleanup(func() { _ = serverRC.Close() })
+	_, addr := startDomain(t, WithRegistry(serverRC))
+	waitFor(t, "response format registration", func() bool {
+		return serverRC.Holds(ResponseV2Format)
+	})
+
+	type sinkEnd struct {
+		sub *Subscriber
+		ch  chan *pbio.Record
+	}
+	newSink := func(opts Options) sinkEnd {
+		t.Helper()
+		opts.Sink = true
+		opts.Thresholds = &core.Thresholds{}
+		sub, err := Open(addr, "q", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = sub.Close() })
+		ch := make(chan *pbio.Record, 64)
+		if err := sub.Handle(regQuoteV1, func(r *pbio.Record) error {
+			ch <- r
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = sub.Run() }()
+		return sinkEnd{sub, ch}
+	}
+	recv := func(se sinkEnd, who string, cents ...int64) [][]byte {
+		t.Helper()
+		var encs [][]byte
+		for _, want := range cents {
+			select {
+			case got := <-se.ch:
+				if v, _ := got.Get("cents"); v.Int64() != want {
+					t.Fatalf("%s: cents = %d, want %d (out of order or corrupted)", who, v.Int64(), want)
+				}
+				encs = append(encs, pbio.EncodeRecord(got))
+			case <-time.After(5 * time.Second):
+				t.Fatalf("%s: event %d not delivered", who, want)
+			}
+		}
+		return encs
+	}
+
+	modernRC := registry.NewClient(faddr)
+	t.Cleanup(func() { _ = modernRC.Close() })
+	modern := newSink(Options{Registry: modernRC})
+
+	pubRC := registry.NewClient(faddr, registry.WithBackoff(time.Hour))
+	t.Cleanup(func() { _ = pubRC.Close() })
+	pub, err := Open(addr, "q", Options{Source: true, Registry: pubRC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	pub.Declare(regQuoteV2, regQuoteXform)
+	publishV2 := func(cents int64) {
+		t.Helper()
+		ev := pbio.NewRecord(regQuoteV2).
+			MustSet("symbol", pbio.Str("XYZ")).
+			MustSet("dollars", pbio.Float64(float64(cents)/100)).
+			MustSet("volume", pbio.Int(1))
+		if err := pub.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Establish the suppressed path before the legacy peer exists.
+	publishV2(100)
+	recv(modern, "modern", 100)
+
+	// The legacy peer joins mid-run. Its handshake is the original v1.0
+	// exchange; the domain must fall back to in-band format frames for it
+	// while keeping the modern sink suppressed.
+	legacy := newSink(Options{V1Compat: true})
+	publishV2(200)
+	wantBytes := recv(modern, "modern", 200)
+	gotBytes := recv(legacy, "legacy", 200)
+	if !bytes.Equal(gotBytes[0], wantBytes[0]) {
+		t.Fatalf("legacy delivery differs from suppressed delivery:\n got %x\nwant %x", gotBytes[0], wantBytes[0])
+	}
+
+	// Churn while the legacy peer is a member: a new format generation, also
+	// morphing down to Quote v1.
+	quoteV3 := pbio.MustFormat("Quote", []pbio.Field{
+		{Name: "symbol", Kind: pbio.String},
+		{Name: "dollars", Kind: pbio.Float},
+		{Name: "volume", Kind: pbio.Integer},
+		{Name: "venue", Kind: pbio.String},
+	})
+	pub.Declare(quoteV3, &core.Xform{
+		From: quoteV3,
+		To:   regQuoteV1,
+		Code: `old.symbol = new.symbol; old.cents = new.dollars * 100.0;`,
+	})
+	publishV3 := func(cents int64) {
+		t.Helper()
+		ev := pbio.NewRecord(quoteV3).
+			MustSet("symbol", pbio.Str("XYZ")).
+			MustSet("dollars", pbio.Float64(float64(cents)/100)).
+			MustSet("volume", pbio.Int(1)).
+			MustSet("venue", pbio.Str("NY"))
+		if err := pub.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	publishV3(300)
+	wantBytes = recv(modern, "modern", 300)
+	gotBytes = recv(legacy, "legacy", 300)
+	if !bytes.Equal(gotBytes[0], wantBytes[0]) {
+		t.Fatalf("legacy post-churn delivery differs:\n got %x\nwant %x", gotBytes[0], wantBytes[0])
+	}
+
+	// The split so far: the legacy peer lived on in-band frames and never
+	// resolved anything; the modern sink never saw an in-band format frame.
+	if ls := legacy.sub.WireStats(); ls.FormatFramesRecv == 0 || ls.FormatsResolved != 0 {
+		t.Errorf("legacy peer stats: recv=%d resolved=%d, want in-band frames and zero resolutions",
+			ls.FormatFramesRecv, ls.FormatsResolved)
+	}
+	if ms := modern.sub.WireStats(); ms.FormatFramesRecv != 0 {
+		t.Errorf("modern sink received %d in-band format frames, want 0 (suppression broke)", ms.FormatFramesRecv)
+	}
+
+	// Kill formatd and wait out the domain client's backoff: the domain now
+	// (wrongly) suppresses the already-published formats again — the trap the
+	// park/NACK protocol exists for.
+	_ = fsrv.Close()
+	time.Sleep(30 * time.Millisecond)
+
+	// A late sink joins with its own registry client firmly down, and the
+	// churn does not pause for its recovery: a burst of established-format
+	// events lands while its frameFormatReq round-trips are still in flight,
+	// plus a fourth generation declared (in-band, the registry being dead)
+	// mid-recovery.
+	lateRC := registry.NewClient("127.0.0.1:1", registry.WithTimeout(200*time.Millisecond), registry.WithBackoff(time.Hour))
+	t.Cleanup(func() { _ = lateRC.Close() })
+	late := newSink(Options{Registry: lateRC})
+
+	publishV2(400)
+	publishV3(500)
+	publishV2(600)
+	quoteV4 := pbio.MustFormat("Quote", []pbio.Field{
+		{Name: "symbol", Kind: pbio.String},
+		{Name: "dollars", Kind: pbio.Float},
+		{Name: "volume", Kind: pbio.Integer},
+		{Name: "venue", Kind: pbio.String},
+		{Name: "flags", Kind: pbio.Unsigned, Size: 4},
+	})
+	pub.Declare(quoteV4, &core.Xform{
+		From: quoteV4,
+		To:   regQuoteV1,
+		Code: `old.symbol = new.symbol; old.cents = new.dollars * 100.0;`,
+	})
+	ev := pbio.NewRecord(quoteV4).
+		MustSet("symbol", pbio.Str("XYZ")).
+		MustSet("dollars", pbio.Float64(7)).
+		MustSet("volume", pbio.Int(1)).
+		MustSet("venue", pbio.Str("NY")).
+		MustSet("flags", pbio.Uint(1))
+	if err := pub.Publish(ev); err != nil {
+		t.Fatal(err)
+	}
+
+	// The modern and legacy sinks never parked anything, so they see strict
+	// publish order. The late sink must receive every event byte-exactly, but
+	// parking holds back only the formats awaiting re-announcement: the v4
+	// event, whose format frame arrived in-band mid-park, may legitimately
+	// overtake the parked v2/v3 replay. The recovery contract is completeness
+	// plus per-generation order, not total order.
+	modernBytes := recv(modern, "modern", 400, 500, 600, 700)
+	legacyBytes := recv(legacy, "legacy", 400, 500, 600, 700)
+	byCents := map[int64][]byte{400: modernBytes[0], 500: modernBytes[1], 600: modernBytes[2], 700: modernBytes[3]}
+	for i := range legacyBytes {
+		if !bytes.Equal(legacyBytes[i], modernBytes[i]) {
+			t.Errorf("legacy delivery %d differs from modern:\n got %x\nwant %x", i, legacyBytes[i], modernBytes[i])
+		}
+	}
+	var lateOrder []int64
+	for i := 0; i < 4; i++ {
+		select {
+		case got := <-late.ch:
+			v, _ := got.Get("cents")
+			cents := v.Int64()
+			want, ok := byCents[cents]
+			if !ok {
+				t.Fatalf("late: unexpected event cents=%d", cents)
+			}
+			delete(byCents, cents)
+			if enc := pbio.EncodeRecord(got); !bytes.Equal(enc, want) {
+				t.Errorf("late delivery of %d differs from modern:\n got %x\nwant %x", cents, enc, want)
+			}
+			lateOrder = append(lateOrder, cents)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("late sink delivered only %v of the four events", lateOrder)
+		}
+	}
+	// Per-generation order: 400 before 600 (both Quote v2).
+	i400, i600 := -1, -1
+	for i, c := range lateOrder {
+		switch c {
+		case 400:
+			i400 = i
+		case 600:
+			i600 = i
+		}
+	}
+	if i400 > i600 {
+		t.Errorf("late sink reordered within a generation: %v", lateOrder)
+	}
+	if ls := late.sub.WireStats(); ls.FormatReqsSent == 0 {
+		t.Error("late sink never exercised the re-announcement protocol (FormatReqsSent = 0)")
+	}
+}
+
 // TestFormatdDeathMidRun kills the registry daemon while a channel is live
 // and keeps publishing: established suppressed formats keep flowing (the
 // receivers already adopted them), new formats fall back to in-band frames,

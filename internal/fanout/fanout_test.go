@@ -355,6 +355,77 @@ func TestQueueConcurrentChurn(t *testing.T) {
 	}
 }
 
+// TestQueueCloseVsDrainRace is the targeted refcount audit for the
+// Close/DrainNow collision: 1k rounds, each racing a publisher, a
+// synchronous drain, a Close, and (on writer-backed rounds) the spawned
+// writer over one queue — with every fourth round's flush failing mid-race.
+// Whatever interleaving the scheduler picks, every frame must settle exactly
+// once: a double-Release panics in Frame.Release, a leak leaves LiveFrames
+// nonzero, an unpaired gauge leaves depth residue.
+func TestQueueCloseVsDrainRace(t *testing.T) {
+	waitZeroLive(t)
+	var a acct
+	const (
+		rounds = 1000
+		frames = 16
+	)
+	var offered int64
+	for round := 0; round < rounds; round++ {
+		cfg := a.config()
+		cfg.Cap = frames / 2 // force the overflow path into the mix too
+		cfg.Manual = round%2 == 1
+		fail := round%4 == 3
+		cfg.Flush = func(batch []*Frame) error {
+			if fail {
+				return errors.New("sink died mid-drain")
+			}
+			return nil
+		}
+		if round%8 == 5 {
+			cfg.Policy = Disconnect
+		}
+		q := NewQueue(cfg)
+
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := uint64(0); i < frames; i++ {
+				q.Enqueue(testFrame(t, i))
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			<-start
+			q.DrainNow()
+			q.DrainNow()
+		}()
+		go func() {
+			defer wg.Done()
+			<-start
+			q.Close()
+		}()
+		close(start)
+		wg.Wait()
+		q.Close() // settle frames enqueued after the racing Close lost
+		offered += frames
+	}
+	waitZeroLive(t)
+	deadline := time.Now().Add(5 * time.Second)
+	for a.depth.Load() != 0 || a.pending.Load() != 0 {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.assertZeroInFlight(t)
+	if settled := a.delivered.Load() + a.drop.Load(); settled != offered {
+		t.Errorf("settled %d of %d offered frames across %d close-vs-drain races", settled, offered, rounds)
+	}
+}
+
 // TestFramePathAllocs is the 0-alloc floor for the shared-frame delivery
 // path: wrap, retain across k sinks, enqueue, drain, release — steady
 // state must not allocate per delivery.

@@ -1,0 +1,276 @@
+// Package fleetgen generates evolving wire-format lineages for fleet-scale
+// soak testing. A Lineage starts from a base format and walks forward one
+// Generation at a time by applying a randomly chosen evolution operator —
+// add, drop, rename, retype, or reorder, the catalog from the schema
+// evolution literature — while tracking per-field provenance so that a
+// morphing transform between ANY two generations of the lineage can be
+// emitted mechanically. Everything is driven by a caller-supplied seed:
+// the same seed reproduces the same formats, the same transform code, and
+// the same record payloads, which is what lets a chaos harness log one
+// integer and replay the exact fleet.
+//
+// Every generation keeps three protected verification fields that no
+// operator may touch and every generated transform copies verbatim:
+//
+//	src   uint64 — the publishing lineage's identity
+//	seq   uint64 — the publisher's per-message sequence number
+//	check uint64 — Check(src, seq), an integrity stamp over the other two
+//
+// A receiver of ANY generation can therefore verify ordering, attribution,
+// and payload integrity without knowing which operators separate its schema
+// from the publisher's.
+package fleetgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pbio"
+)
+
+// Evolution operator names, as recorded in Generation.Op.
+const (
+	OpAdd     = "add"
+	OpDrop    = "drop"
+	OpRename  = "rename"
+	OpRetype  = "retype"
+	OpReorder = "reorder"
+)
+
+// field is one payload field with provenance: id survives renames, retypes,
+// and reorders, which is what lets XformBetween match fields across
+// arbitrarily distant generations.
+type field struct {
+	id   int
+	name string
+	kind pbio.Kind
+	size int
+}
+
+// Generation is one step of a lineage's schema history.
+type Generation struct {
+	// Index is the generation number, 0 for the lineage's base format.
+	Index int
+	// Format is the pbio wire format of this generation.
+	Format *pbio.Format
+	// Op is the evolution operator that produced this generation from its
+	// predecessor ("" for the base), with the affected field appended —
+	// e.g. "rename f3→r3_4".
+	Op string
+
+	src    uint64
+	fields []field // payload fields, in declared order
+}
+
+// Lineage is one evolving protocol: a base format plus every generation
+// derived from it so far. Not safe for concurrent use.
+type Lineage struct {
+	name   string
+	src    uint64
+	rng    *rand.Rand
+	nextID int
+	gens   []*Generation
+}
+
+// numeric kinds the generator draws from; retype moves within this set and
+// only ever widens or converts at equal width, so a value that fits its
+// original field survives every downstream conversion.
+var kinds = []struct {
+	kind pbio.Kind
+	size int
+}{
+	{pbio.Integer, 4},
+	{pbio.Integer, 8},
+	{pbio.Unsigned, 8},
+	{pbio.Float, 8},
+}
+
+// NewLineage builds a lineage whose base format has the three protected
+// fields plus `payload` generated numeric fields. src tags every record the
+// lineage's publisher emits; seed fixes the whole evolution future.
+func NewLineage(name string, src uint64, seed int64, payload int) (*Lineage, error) {
+	if payload < 1 {
+		payload = 1
+	}
+	l := &Lineage{name: name, src: src, rng: rand.New(rand.NewSource(seed))}
+	fs := make([]field, 0, payload)
+	for i := 0; i < payload; i++ {
+		k := kinds[l.rng.Intn(len(kinds))]
+		fs = append(fs, field{id: l.nextID, name: fmt.Sprintf("f%d", l.nextID), kind: k.kind, size: k.size})
+		l.nextID++
+	}
+	g, err := l.build(0, "", fs)
+	if err != nil {
+		return nil, err
+	}
+	l.gens = append(l.gens, g)
+	return l, nil
+}
+
+// build assembles a Generation from a payload field list.
+func (l *Lineage) build(index int, op string, fs []field) (*Generation, error) {
+	pf := make([]pbio.Field, 0, len(fs)+3)
+	pf = append(pf,
+		pbio.Field{Name: "src", Kind: pbio.Unsigned, Size: 8},
+		pbio.Field{Name: "seq", Kind: pbio.Unsigned, Size: 8},
+		pbio.Field{Name: "check", Kind: pbio.Unsigned, Size: 8},
+	)
+	for _, f := range fs {
+		pf = append(pf, pbio.Field{Name: f.name, Kind: f.kind, Size: f.size})
+	}
+	format, err := pbio.NewFormat(l.name, pf)
+	if err != nil {
+		return nil, fmt.Errorf("fleetgen: gen %d (%s): %w", index, op, err)
+	}
+	return &Generation{Index: index, Format: format, Op: op, src: l.src, fields: fs}, nil
+}
+
+// Latest returns the newest generation — the one the lineage's publisher
+// emits.
+func (l *Lineage) Latest() *Generation { return l.gens[len(l.gens)-1] }
+
+// Generations returns the full history, base first.
+func (l *Lineage) Generations() []*Generation { return l.gens }
+
+// Evolve applies one randomly chosen operator to the latest generation and
+// appends the result. Drop keeps at least one payload field (a lineage that
+// dropped everything would have nothing left to churn); when only one field
+// remains the drop becomes an add.
+func (l *Lineage) Evolve() (*Generation, error) {
+	cur := l.Latest()
+	fs := append([]field(nil), cur.fields...)
+	op := [...]string{OpAdd, OpDrop, OpRename, OpRetype, OpReorder}[l.rng.Intn(5)]
+	if op == OpDrop && len(fs) <= 1 {
+		op = OpAdd
+	}
+	var detail string
+	switch op {
+	case OpAdd:
+		k := kinds[l.rng.Intn(len(kinds))]
+		f := field{id: l.nextID, name: fmt.Sprintf("f%d", l.nextID), kind: k.kind, size: k.size}
+		l.nextID++
+		fs = append(fs, f)
+		detail = f.name
+	case OpDrop:
+		i := l.rng.Intn(len(fs))
+		detail = fs[i].name
+		fs = append(fs[:i], fs[i+1:]...)
+	case OpRename:
+		i := l.rng.Intn(len(fs))
+		old := fs[i].name
+		fs[i].name = fmt.Sprintf("r%d_%d", fs[i].id, cur.Index+1)
+		detail = old + "→" + fs[i].name
+	case OpRetype:
+		i := l.rng.Intn(len(fs))
+		// Widen (or switch representation at width 8): values written within
+		// the original field's range stay representable after every hop.
+		from := fmt.Sprintf("%v%d", fs[i].kind, fs[i].size)
+		switch {
+		case fs[i].size == 4:
+			fs[i].size = 8
+		case fs[i].kind == pbio.Float:
+			fs[i].kind = pbio.Integer
+		default:
+			fs[i].kind = pbio.Float
+		}
+		detail = fmt.Sprintf("%s: %s→%v%d", fs[i].name, from, fs[i].kind, fs[i].size)
+	case OpReorder:
+		l.rng.Shuffle(len(fs), func(i, j int) { fs[i], fs[j] = fs[j], fs[i] })
+		detail = fmt.Sprintf("%d fields", len(fs))
+	}
+	g, err := l.build(cur.Index+1, op+" "+detail, fs)
+	if err != nil {
+		return nil, err
+	}
+	l.gens = append(l.gens, g)
+	return g, nil
+}
+
+// XformBetween emits the morphing transform from one generation's format to
+// another's (typically newer → older, the direction a publisher declares).
+// Fields are matched by provenance id, so renames, retypes, and reorders in
+// between are bridged by plain assignment; fields of `to` with no surviving
+// source get a deterministic zero default. The protected trio always copies.
+func XformBetween(from, to *Generation) (*core.Xform, error) {
+	if from == to {
+		return nil, fmt.Errorf("fleetgen: transform from a generation to itself")
+	}
+	src := make(map[int]field, len(from.fields))
+	for _, f := range from.fields {
+		src[f.id] = f
+	}
+	var b strings.Builder
+	b.WriteString("old.src = new.src; old.seq = new.seq; old.check = new.check; ")
+	for _, f := range to.fields {
+		if s, ok := src[f.id]; ok {
+			fmt.Fprintf(&b, "old.%s = new.%s; ", f.name, s.name)
+		} else if f.kind == pbio.Float {
+			fmt.Fprintf(&b, "old.%s = 0.0; ", f.name)
+		} else {
+			fmt.Fprintf(&b, "old.%s = 0; ", f.name)
+		}
+	}
+	x := &core.Xform{From: from.Format, To: to.Format, Code: b.String()}
+	if err := x.Validate(); err != nil {
+		return nil, fmt.Errorf("fleetgen: generated transform gen%d→gen%d: %w", from.Index, to.Index, err)
+	}
+	return x, nil
+}
+
+// Check is the integrity stamp carried in every record's protected `check`
+// field: a mix of the publisher identity and sequence number that any
+// receiver can recompute.
+func Check(src, seq uint64) uint64 {
+	x := src*0x9E3779B97F4A7C15 ^ seq*0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	return x
+}
+
+// NewRecord builds this generation's record for sequence number seq, with
+// the protected fields stamped and every payload field filled
+// deterministically from (field id, seq) — independent of which generation
+// the field first appeared in, and small enough to survive any retype hop
+// the generator can produce.
+func (g *Generation) NewRecord(seq uint64) *pbio.Record {
+	rec := pbio.NewRecord(g.Format).
+		MustSet("src", pbio.Uint(g.src)).
+		MustSet("seq", pbio.Uint(seq)).
+		MustSet("check", pbio.Uint(Check(g.src, seq)))
+	for _, f := range g.fields {
+		v := (seq*2654435761 + uint64(f.id)*40503) % 30000
+		switch f.kind {
+		case pbio.Float:
+			rec.MustSet(f.name, pbio.Float64(float64(v)+0.25))
+		case pbio.Unsigned:
+			rec.MustSet(f.name, pbio.Uint(v))
+		default:
+			rec.MustSet(f.name, pbio.Int(int64(v)))
+		}
+	}
+	return rec
+}
+
+// Verify checks a received record's protected fields: attribution, the
+// integrity stamp, and (via the returned seq) ordering is left to the
+// caller. The record may be of any generation of any lineage.
+func Verify(rec *pbio.Record) (src, seq uint64, err error) {
+	sv, ok := rec.Get("src")
+	if !ok {
+		return 0, 0, fmt.Errorf("fleetgen: record lost protected field src")
+	}
+	qv, ok := rec.Get("seq")
+	if !ok {
+		return 0, 0, fmt.Errorf("fleetgen: record lost protected field seq")
+	}
+	cv, ok := rec.Get("check")
+	if !ok {
+		return 0, 0, fmt.Errorf("fleetgen: record lost protected field check")
+	}
+	src, seq = sv.Uint64(), qv.Uint64()
+	if got, want := cv.Uint64(), Check(src, seq); got != want {
+		return src, seq, fmt.Errorf("fleetgen: check stamp %016x, want %016x (src=%d seq=%d)", got, want, src, seq)
+	}
+	return src, seq, nil
+}

@@ -1,0 +1,142 @@
+package fleetgen
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pbio"
+)
+
+func mustLineage(t *testing.T, seed int64, payload, evolutions int) *Lineage {
+	t.Helper()
+	l, err := NewLineage("fleet.test", 42, seed, payload)
+	if err != nil {
+		t.Fatalf("NewLineage: %v", err)
+	}
+	for i := 0; i < evolutions; i++ {
+		if _, err := l.Evolve(); err != nil {
+			t.Fatalf("Evolve %d: %v", i, err)
+		}
+	}
+	return l
+}
+
+func TestDeterministicEvolution(t *testing.T) {
+	a := mustLineage(t, 7, 3, 20)
+	b := mustLineage(t, 7, 3, 20)
+	for i, ga := range a.Generations() {
+		gb := b.Generations()[i]
+		if ga.Op != gb.Op {
+			t.Fatalf("gen %d: op %q vs %q", i, ga.Op, gb.Op)
+		}
+		if ga.Format.Fingerprint() != gb.Format.Fingerprint() {
+			t.Fatalf("gen %d: fingerprints diverge for same seed", i)
+		}
+		ra := pbio.EncodeRecord(ga.NewRecord(uint64(i)))
+		rb := pbio.EncodeRecord(gb.NewRecord(uint64(i)))
+		if string(ra) != string(rb) {
+			t.Fatalf("gen %d: records diverge for same seed", i)
+		}
+	}
+	if c := mustLineage(t, 8, 3, 20); c.Latest().Format.Fingerprint() == a.Latest().Format.Fingerprint() {
+		t.Fatalf("different seeds produced identical latest formats")
+	}
+}
+
+func TestOperatorCoverageAndProtectedFields(t *testing.T) {
+	l := mustLineage(t, 3, 3, 40)
+	seen := map[string]bool{}
+	for _, g := range l.Generations()[1:] {
+		for _, op := range []string{OpAdd, OpDrop, OpRename, OpRetype, OpReorder} {
+			if len(g.Op) >= len(op) && g.Op[:len(op)] == op {
+				seen[op] = true
+			}
+		}
+		for _, name := range []string{"src", "seq", "check"} {
+			f := g.Format.FieldByName(name)
+			if f == nil {
+				t.Fatalf("gen %d lost protected field %s", g.Index, name)
+			}
+			if f.Kind != pbio.Unsigned || f.Size != 8 {
+				t.Fatalf("gen %d mutated protected field %s: %v/%d", g.Index, name, f.Kind, f.Size)
+			}
+		}
+		if len(g.fields) < 1 {
+			t.Fatalf("gen %d has no payload fields", g.Index)
+		}
+	}
+	for _, op := range []string{OpAdd, OpDrop, OpRename, OpRetype, OpReorder} {
+		if !seen[op] {
+			t.Errorf("40 evolutions never produced operator %q", op)
+		}
+	}
+}
+
+// TestXformBetweenMorphRoundTrip drives generated transforms through the
+// real morphing engine: a subscriber at every historical generation, a
+// publisher at the latest, and the protected fields must survive verbatim.
+func TestXformBetweenMorphRoundTrip(t *testing.T) {
+	l := mustLineage(t, 11, 4, 12)
+	latest := l.Latest()
+	for _, g := range l.Generations()[:len(l.Generations())-1] {
+		x, err := XformBetween(latest, g)
+		if err != nil {
+			t.Fatalf("XformBetween latest→gen%d: %v", g.Index, err)
+		}
+		m := core.NewMorpher(core.DefaultThresholds)
+		var got *pbio.Record
+		if err := m.RegisterFormat(g.Format, func(r *pbio.Record) error { got = r; return nil }); err != nil {
+			t.Fatalf("register gen%d: %v", g.Index, err)
+		}
+		if err := m.AddTransform(x); err != nil {
+			t.Fatalf("add transform gen%d: %v", g.Index, err)
+		}
+		const seq = 9001
+		if err := m.Deliver(latest.NewRecord(seq)); err != nil {
+			t.Fatalf("deliver to gen%d subscriber: %v", g.Index, err)
+		}
+		if got == nil {
+			t.Fatalf("gen%d subscriber saw nothing", g.Index)
+		}
+		src, gotSeq, err := Verify(got)
+		if err != nil {
+			t.Fatalf("gen%d subscriber: %v", g.Index, err)
+		}
+		if src != 42 || gotSeq != seq {
+			t.Fatalf("gen%d subscriber: src=%d seq=%d, want 42/%d", g.Index, src, gotSeq, seq)
+		}
+		// Shared-provenance payload fields must carry the publisher's value
+		// through rename/retype/reorder hops.
+		byID := map[int]field{}
+		for _, f := range latest.fields {
+			byID[f.id] = f
+		}
+		for _, f := range g.fields {
+			s, shared := byID[f.id]
+			v, ok := got.Get(f.name)
+			if !ok {
+				t.Fatalf("gen%d: morphed record missing %s", g.Index, f.name)
+			}
+			want := (uint64(seq)*2654435761 + uint64(f.id)*40503) % 30000
+			if !shared {
+				want = 0
+			}
+			if got := v.Uint64(); got != want {
+				t.Fatalf("gen%d field %s (id %d, shared=%v via %q): got %d want %d",
+					g.Index, f.name, f.id, shared, s.name, got, want)
+			}
+		}
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	l := mustLineage(t, 5, 2, 0)
+	rec := l.Latest().NewRecord(77)
+	if _, _, err := Verify(rec); err != nil {
+		t.Fatalf("clean record: %v", err)
+	}
+	rec.MustSet("seq", pbio.Uint(78))
+	if _, _, err := Verify(rec); err == nil {
+		t.Fatalf("tampered seq passed verification")
+	}
+}

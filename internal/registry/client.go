@@ -89,6 +89,22 @@ type Client struct {
 	onDown    func()
 	onWatchUp func(instChanged bool)
 
+	// Watch-event subscribers (guarded by mu): callbacks observing every
+	// applied table mutation, keyed for removal. Consumers hook cache
+	// invalidation here — e.g. a Morpher dropping its cached decision for a
+	// fingerprint whose transform set just changed under it.
+	eventSubs map[uint64]func(fp uint64)
+	nextSub   uint64
+	// Callback dispatch is decoupled from the watch pump: the pump enqueues
+	// fingerprints here (coalesced — Invalidate-style callbacks are
+	// idempotent per fp) and a dispatcher goroutine (subRunning) drains them.
+	// A callback is allowed to block: if it contended on a lock held by a
+	// caller that is itself waiting for an RPC response on this client's
+	// connection (a morpher mid-decision doing a fresh read), an in-pump
+	// callback would wedge the pump and deadlock the response it waits for.
+	subPending map[uint64]struct{}
+	subRunning bool
+
 	// Cluster routing (set only on a NewClusterClient parent, which uses
 	// none of the transport fields above): one child client per peer, and
 	// the fingerprint-space shard count steering route(). reconverging
@@ -125,11 +141,18 @@ type publishedEntry struct {
 	xforms []*core.Xform
 }
 
-// cacheEntry is one resolved format in the intrusive LRU list.
+// cacheEntry is one resolved format in the intrusive LRU list. gen is the
+// watch-event seqno that installed (or last refreshed) the entry — 0 when it
+// came from a cold fetch, a Register acknowledgment, or cluster read-repair.
+// ResolveFormat compares gen against the seqno it observed before
+// dispatching a cold fetch, so a fetch result that was overtaken by an
+// invalidation event mid-flight can never overwrite the event's fresher
+// entry.
 type cacheEntry struct {
 	fp         uint64
 	format     *pbio.Format
 	xforms     []*core.Xform
+	gen        uint64
 	prev, next *cacheEntry
 }
 
@@ -290,6 +313,10 @@ func (c *Client) Register(f *pbio.Format, xforms ...*core.Xform) error {
 		c.insertLocked(fp, f, xforms)
 		c.cmu.Unlock()
 		return nil
+	case statusRetry:
+		// A cluster peer without a current write path (election in flight,
+		// or its forward to the primary failed). The write was not applied.
+		return fmt.Errorf("%w: put %q: %s", ErrRetryable, f.Name(), resp.payload)
 	default:
 		return fmt.Errorf("registry: put %q rejected: %s", f.Name(), resp.payload)
 	}
@@ -380,9 +407,12 @@ func (c *Client) ResolveFormat(fp uint64) (*pbio.Format, []*core.Xform, error) {
 	c.cmu.Lock()
 	if e := c.lru[fp]; e != nil {
 		c.moveFrontLocked(e)
+		// Copy the fields while still holding cmu: a watch event refreshes
+		// entries in place, so dereferencing e after the unlock races it.
+		f, xf := e.format, e.xforms
 		c.cmu.Unlock()
 		c.hits.Inc()
-		return e.format, e.xforms, nil
+		return f, xf, nil
 	}
 	if exp, ok := c.neg[fp]; ok {
 		if time.Now().Before(exp) {
@@ -399,13 +429,26 @@ func (c *Client) ResolveFormat(fp uint64) (*pbio.Format, []*core.Xform, error) {
 	}
 	fc := &flightCall{done: make(chan struct{})}
 	c.flight[fp] = fc
+	// Capture the watch seqno before the fetch leaves: an invalidation event
+	// that lands on this fingerprint while the round-trip is in flight stamps
+	// the entry with a higher gen, and the fetch result — a snapshot from
+	// before the event — must then be discarded, not inserted.
+	startSeq := c.watchSeq
 	c.cmu.Unlock()
 
-	fc.format, fc.xforms, fc.err = c.fetch(fp)
+	fc.format, fc.xforms, fc.err = c.fetch(fp, false)
 
 	c.cmu.Lock()
 	delete(c.flight, fp)
-	if fc.err == nil {
+	if e := c.lru[fp]; e != nil && e.gen > startSeq {
+		// A watch event overtook the in-flight fetch: its entry is the
+		// fresher truth. Serve it to this caller and every flight follower —
+		// even when the daemon answered "unknown", which only means the
+		// registration raced the fetch — and drop the negative entry that
+		// stale unknown may have re-poisoned the cache with.
+		delete(c.neg, fp)
+		fc.format, fc.xforms, fc.err = e.format, e.xforms, nil
+	} else if fc.err == nil {
 		c.insertLocked(fp, fc.format, fc.xforms)
 	}
 	c.cmu.Unlock()
@@ -609,12 +652,100 @@ func (c *Client) onEvent(seq uint64, rest []byte) {
 	c.cmu.Lock()
 	delete(c.neg, fp)
 	c.insertLocked(fp, e.Format, e.Xforms)
+	if ce := c.lru[fp]; ce != nil && seq > ce.gen {
+		ce.gen = seq
+	}
 	if seq > c.watchSeq {
 		c.watchSeq = seq
 	}
 	c.cmu.Unlock()
 	c.watchEvs.Inc()
+	// Hand the fingerprint to the dispatcher instead of invoking callbacks
+	// here: this runs on the connection's read pump, and a callback that
+	// blocks (say, on a morpher lock held by a decision that is itself
+	// waiting for a fresh-read response from this very connection) would
+	// stop the pump from ever delivering that response. Coalescing by
+	// fingerprint is lossless for invalidation semantics.
+	c.mu.Lock()
+	if len(c.eventSubs) > 0 && !c.closed {
+		if c.subPending == nil {
+			c.subPending = make(map[uint64]struct{})
+		}
+		c.subPending[fp] = struct{}{}
+		if !c.subRunning {
+			c.subRunning = true
+			go c.dispatchEvents()
+		}
+	}
+	c.mu.Unlock()
 	span.End()
+}
+
+// dispatchEvents drains subPending, invoking every registered event callback
+// for each pending fingerprint, until the queue is empty or the client
+// closes. It runs on its own goroutine so callbacks may block without
+// stalling the watch pump; the caches already reflect every enqueued event
+// by the time its callback fires.
+func (c *Client) dispatchEvents() {
+	for {
+		c.mu.Lock()
+		if c.closed || len(c.subPending) == 0 {
+			c.subRunning = false
+			c.mu.Unlock()
+			return
+		}
+		pending := c.subPending
+		c.subPending = make(map[uint64]struct{})
+		subs := make([]func(fp uint64), 0, len(c.eventSubs))
+		for _, fn := range c.eventSubs {
+			subs = append(subs, fn)
+		}
+		c.mu.Unlock()
+		for fp := range pending {
+			for _, fn := range subs {
+				fn(fp)
+			}
+		}
+	}
+}
+
+// OnEvent registers fn to run after every watch event this client applies to
+// its caches, with the event's fingerprint. It returns a function that
+// removes the registration — callers with a shorter lifetime than the client
+// (a subscriber connection on a process-wide registry client) must call it
+// on teardown or the client accumulates dead callbacks. fn runs on a
+// dispatcher goroutine (never the watch pump) after the caches already
+// reflect the event, so a callback that re-resolves the fingerprint sees the
+// fresh entry, and it may block without stalling event application. Bursts
+// are coalesced by fingerprint, so fn fires at least once after the last
+// event for a fingerprint, not once per event. On a cluster client the
+// registration spans every replica's stream (the same mutation may fire fn
+// once per replica that pushes it).
+func (c *Client) OnEvent(fn func(fp uint64)) func() {
+	if c.children != nil {
+		removes := make([]func(), 0, len(c.children))
+		for _, ch := range c.children {
+			removes = append(removes, ch.OnEvent(fn))
+		}
+		return func() {
+			for _, r := range removes {
+				r()
+			}
+		}
+	}
+	c.mu.Lock()
+	if c.eventSubs == nil {
+		c.eventSubs = make(map[uint64]func(fp uint64))
+	}
+	id := c.nextSub
+	c.nextSub++
+	c.eventSubs[id] = fn
+	c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		delete(c.eventSubs, id)
+		c.mu.Unlock()
+	}
 }
 
 // scheduleResubLocked (mu held) arms one jittered resubscription attempt
@@ -661,8 +792,59 @@ func (c *Client) TransformsFor(fp uint64) []*core.Xform {
 	return xforms
 }
 
-// fetch performs one cold resolution round-trip.
-func (c *Client) fetch(fp uint64) (*pbio.Format, []*core.Xform, error) {
+// ResolveFormatFresh resolves a fingerprint with a daemon round-trip,
+// bypassing the LRU and negative caches. Fingerprints are structural, so an
+// evolving protocol can legitimately reuse one (a reorder that returns to an
+// earlier layout), and the daemon's entry — last write wins — then carries a
+// transform set every cached copy predates; the watch event that would
+// refresh those copies can lose the race to the data frame that needs it.
+// This is the read for callers who suspect exactly that: it returns what the
+// daemon holds NOW, refreshes the LRU with it (unless a concurrent watch
+// event installed something fresher mid-flight), and on a cluster client
+// unions the transform sets of every reachable replica so one lagging
+// standby cannot hide a transform the primary already acknowledged. Failures
+// leave the positive cache untouched; a daemon that answers "unknown" starts
+// the negative TTL as any cold fetch does.
+func (c *Client) ResolveFormatFresh(fp uint64) (*pbio.Format, []*core.Xform, error) {
+	if c.children != nil {
+		return c.clusterResolveFresh(fp)
+	}
+	c.cmu.Lock()
+	startSeq := c.watchSeq
+	c.cmu.Unlock()
+	// Forced past the down gate: after a failover the replica most likely to
+	// hold the entry is the just-restarted one still inside its backoff
+	// window, and this read is the last consult before live data is rejected.
+	f, xforms, err := c.fetch(fp, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.cmu.Lock()
+	if e := c.lru[fp]; e != nil && e.gen > startSeq {
+		// A watch event overtook the fetch; its entry is the fresher truth.
+		f, xforms = e.format, e.xforms
+	} else {
+		delete(c.neg, fp)
+		c.insertLocked(fp, f, xforms)
+	}
+	c.cmu.Unlock()
+	return f, xforms, nil
+}
+
+// TransformsForFresh is ResolveFormatFresh reduced to the transform list, or
+// nil when the round-trip fails. It is the core.WithFreshTransformSource
+// hook: the Morpher's last consultation before caching a reject.
+func (c *Client) TransformsForFresh(fp uint64) []*core.Xform {
+	_, xforms, err := c.ResolveFormatFresh(fp)
+	if err != nil {
+		return nil
+	}
+	return xforms
+}
+
+// fetch performs one cold resolution round-trip. force routes the RPC past
+// the down-state gate (the fresh-read contract; see rpcForce).
+func (c *Client) fetch(fp uint64, force bool) (*pbio.Format, []*core.Xform, error) {
 	span := c.tracer.StartTrace(trace.StageRegistryFetch)
 	span.FP = fp
 	var t0 time.Time
@@ -671,7 +853,13 @@ func (c *Client) fetch(fp uint64) (*pbio.Format, []*core.Xform, error) {
 	}
 	var key [8]byte
 	binary.LittleEndian.PutUint64(key[:], fp)
-	resp, err := c.rpc(opGet, key[:])
+	var resp rpcResp
+	var err error
+	if force {
+		resp, err = c.rpcForce(opGet, key[:])
+	} else {
+		resp, err = c.rpc(opGet, key[:])
+	}
 	if c.fetchNS != nil {
 		c.fetchNS.ObserveNS(time.Since(t0).Nanoseconds())
 	}
@@ -716,7 +904,7 @@ func (c *Client) fetch(fp uint64) (*pbio.Format, []*core.Xform, error) {
 
 // rpc sends one request and waits for its matched response or the deadline.
 func (c *Client) rpc(op byte, payload []byte) (rpcResp, error) {
-	return c.rpcMaybeProbe(op, payload, false)
+	return c.rpcOpts(op, payload, false, false)
 }
 
 // rpcMaybeProbe is rpc with one twist for background watch probes: a failed
@@ -727,18 +915,38 @@ func (c *Client) rpc(op byte, payload []byte) (rpcResp, error) {
 // layer's park/NACK/re-announce recovery is designed around. A probe that
 // got as far as a live connection reports failures normally.
 func (c *Client) rpcMaybeProbe(op byte, payload []byte, probe bool) (rpcResp, error) {
+	return c.rpcOpts(op, payload, probe, false)
+}
+
+// rpcForce is rpc past the down gate: it attempts a real dial and round-trip
+// even while the client is inside its post-failure backoff window. The gate
+// exists to keep ordinary traffic from hammering a dead daemon, but the
+// fresh-read path (ResolveFormatFresh) is a last consult before rejecting
+// live data — and the replica most likely to hold the newest entry after a
+// failover is exactly the just-restarted one the gate still writes off. A
+// forced round-trip that succeeds clears the down state: the daemon has
+// demonstrably answered, so making cached reads and the Holds suppressor
+// wait out the rest of the backoff would be pure lag.
+func (c *Client) rpcForce(op byte, payload []byte) (rpcResp, error) {
+	return c.rpcOpts(op, payload, false, true)
+}
+
+func (c *Client) rpcOpts(op byte, payload []byte, probe, force bool) (rpcResp, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return rpcResp{}, ErrClosed
 	}
-	if time.Now().Before(c.downUntil) {
+	if !force && time.Now().Before(c.downUntil) {
 		c.mu.Unlock()
 		return rpcResp{}, fmt.Errorf("%w until %s", ErrDown, c.downUntil.Format(time.RFC3339))
 	}
 	if c.conn == nil {
 		if err := c.dialLocked(); err != nil {
-			if !probe {
+			// Forced RPCs share the probe exemption: the client is already
+			// down, and a fresh read retrying through the window must not
+			// keep pushing the deadline out.
+			if !probe && !force {
 				c.markDownLocked()
 				c.scheduleResubLocked()
 			}
@@ -770,6 +978,13 @@ func (c *Client) rpcMaybeProbe(op byte, payload []byte, probe bool) (rpcResp, er
 		if resp.err != nil {
 			c.errs.Inc()
 			return rpcResp{}, resp.err
+		}
+		if force {
+			c.mu.Lock()
+			if time.Now().Before(c.downUntil) {
+				c.downUntil = time.Time{}
+			}
+			c.mu.Unlock()
 		}
 		return resp, nil
 	case <-timer.C:

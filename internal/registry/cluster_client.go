@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -67,7 +68,7 @@ func (c *Client) route(fp uint64) int {
 func (c *Client) clusterRegister(f *pbio.Format, xforms []*core.Xform) error {
 	fp := f.Fingerprint()
 	start := c.route(fp)
-	var firstErr error
+	var firstErr, retryable error
 	for i := range c.children {
 		ch := c.children[(start+i)%len(c.children)]
 		err := ch.Register(f, xforms...)
@@ -77,9 +78,20 @@ func (c *Client) clusterRegister(f *pbio.Format, xforms []*core.Xform) error {
 			c.mu.Unlock()
 			return nil
 		}
+		if retryable == nil && errors.Is(err, ErrRetryable) {
+			retryable = err
+		}
 		if firstErr == nil {
 			firstErr = err
 		}
+	}
+	// A retryable refusal (a standby with no write path: election in flight)
+	// dominates transport errors from other replicas — typically the dead
+	// primary that caused the election. The caller can usefully wait and
+	// retry, because a write path is about to exist; reporting the transport
+	// error instead would read as "cluster unreachable" when it is not.
+	if retryable != nil {
+		return retryable
 	}
 	return firstErr
 }
@@ -114,6 +126,68 @@ func (c *Client) clusterResolve(fp uint64) (*pbio.Format, []*core.Xform, error) 
 		return nil, nil, fmt.Errorf("%w: %016x (all replicas)", ErrUnknownFingerprint, fp)
 	}
 	return nil, nil, firstErr
+}
+
+// clusterResolveFresh is the cluster arm of ResolveFormatFresh: every
+// reachable replica is asked directly (no caches) and the transform sets are
+// unioned, deduplicated by destination fingerprint. The union — rather than
+// first-answer-wins like clusterResolve — is the point: after a fingerprint
+// collision the richer transform set may sit only on the primary while a
+// standby still serves the pre-collision entry, and which replica answers
+// first must not decide whether a route exists. The replicas are asked
+// concurrently: a dead peer prices one RPC timeout into the wall-clock, not
+// one per peer, and this path can run under a morpher's decision lock with
+// live traffic queued behind it. The union is read-repaired into the
+// preferred child so the next warm resolve sees it too. Ordering is by
+// replica preference (not answer arrival), so the result is deterministic
+// for a given cluster state.
+func (c *Client) clusterResolveFresh(fp uint64) (*pbio.Format, []*core.Xform, error) {
+	start := c.route(fp)
+	type answer struct {
+		f      *pbio.Format
+		xforms []*core.Xform
+		err    error
+	}
+	answers := make([]answer, len(c.children))
+	var wg sync.WaitGroup
+	for i := range c.children {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ch := c.children[(start+i)%len(c.children)]
+			a := &answers[i]
+			a.f, a.xforms, a.err = ch.ResolveFormatFresh(fp)
+		}(i)
+	}
+	wg.Wait()
+	var (
+		format   *pbio.Format
+		union    []*core.Xform
+		seen     = make(map[uint64]bool)
+		firstErr error
+	)
+	for _, a := range answers {
+		if a.err != nil {
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			continue
+		}
+		if format == nil {
+			format = a.f
+		}
+		for _, x := range a.xforms {
+			if to := x.To.Fingerprint(); !seen[to] {
+				seen[to] = true
+				union = append(union, x)
+			}
+		}
+	}
+	if format == nil {
+		return nil, nil, firstErr
+	}
+	c.children[start].cacheDirect(fp, format, union)
+	return format, union, nil
 }
 
 // clusterReconverge re-announces every format this process published, with

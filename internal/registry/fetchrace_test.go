@@ -1,0 +1,247 @@
+package registry
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pbio"
+	"repro/internal/wire"
+)
+
+// stallDaemon is a fake registry daemon whose opGet responses park until the
+// test releases them, so the test can interleave a watch-event push against
+// an in-flight cold fetch in either order — deterministically, which a real
+// Server cannot offer.
+type stallDaemon struct {
+	ln net.Listener
+
+	mu   sync.Mutex
+	conn *wire.Conn // the (single) client connection, once accepted
+
+	getParked chan uint64 // reqID of each parked opGet, in arrival order
+	getReply  chan stallReply
+}
+
+type stallReply struct {
+	status  byte
+	payload []byte
+}
+
+func startStallDaemon(t *testing.T) *stallDaemon {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &stallDaemon{
+		ln:        ln,
+		getParked: make(chan uint64, 4),
+		getReply:  make(chan stallReply, 4),
+	}
+	go d.serve()
+	t.Cleanup(func() { _ = ln.Close() })
+	return d
+}
+
+func (d *stallDaemon) serve() {
+	nc, err := d.ln.Accept()
+	if err != nil {
+		return
+	}
+	var conn *wire.Conn
+	conn = wire.NewConn(nc, wire.WithControlHook(wire.FrameRegistry, func(body []byte) error {
+		op, reqID, _, err := parseHeader(body)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case opGet:
+			// Park: the response waits for the test's explicit release. The
+			// read pump blocks with it, but event pushes come from the test's
+			// goroutine through the wire write lock, so they still flow.
+			d.getParked <- reqID
+			r := <-d.getReply
+			return conn.WriteControl(wire.FrameRegistry,
+				appendResponse(nil, opGetResp, reqID, r.status, r.payload))
+		case opHello:
+			return conn.WriteControl(wire.FrameRegistry,
+				appendResponse(nil, opHelloResp, reqID, statusOK, appendHello(nil, capWatch, 7, 0)))
+		case opWatch:
+			return conn.WriteControl(wire.FrameRegistry,
+				appendResponse(nil, opWatchResp, reqID, statusOK, []byte{0}))
+		}
+		return nil
+	}))
+	d.mu.Lock()
+	d.conn = conn
+	d.mu.Unlock()
+	for {
+		if _, _, err := conn.ReadEncoded(); err != nil {
+			return
+		}
+	}
+}
+
+// pushEvent injects one watch-event frame at the connected client, exactly
+// as the daemon's watch pump would.
+func (d *stallDaemon) pushEvent(t *testing.T, seq, fp uint64, blob []byte) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d.mu.Lock()
+		conn := d.conn
+		d.mu.Unlock()
+		if conn != nil {
+			if err := conn.WriteControl(wire.FrameRegistry, appendEvent(nil, seq, fp, blob)); err != nil {
+				t.Fatalf("push event: %v", err)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no client connection to push the event at")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// fetchRaceFixture builds the shared pieces: one format, an old and a new
+// entry blob for its fingerprint (the revisions differ in their transform
+// code, which is not part of the fingerprint), and a client against the
+// stalling daemon.
+func fetchRaceFixture(t *testing.T) (*stallDaemon, *Client, *pbio.Format, []byte, []byte) {
+	t.Helper()
+	d := startStallDaemon(t)
+	f := testFormat(t, "raced", 1)
+	old := testFormat(t, "raced", 0)
+	oldBlob := encodeEntry(f, []*core.Xform{{From: f, To: old, Code: "old.id = new.id;"}})
+	newBlob := encodeEntry(f, []*core.Xform{{From: f, To: old, Code: "old.id = new.id; old.body = new.body;"}})
+	// Watch disabled keeps the connection free of hello/watch RPC noise; the
+	// client applies pushed events regardless of subscription state.
+	c := NewClient(d.ln.Addr().String(), WithWatchDisabled(), WithNegTTL(time.Hour))
+	t.Cleanup(func() { _ = c.Close() })
+	return d, c, f, oldBlob, newBlob
+}
+
+// xformCode extracts the (single) transform code of a resolution result for
+// telling the two entry revisions apart.
+func xformCode(t *testing.T, xforms []*core.Xform) string {
+	t.Helper()
+	if len(xforms) != 1 {
+		t.Fatalf("resolved %d transforms, want 1", len(xforms))
+	}
+	return xforms[0].Code
+}
+
+// TestWatchEventDuringInflightFetch is the regression test for the
+// stale-overwrite race: a watch invalidation event that lands while a cold
+// fetch for the same fingerprint is in flight used to be clobbered when the
+// fetch completed afterwards — the LRU ended up holding the older revision
+// the daemon had answered with before the event was emitted. The fetch
+// result must yield to the event's entry.
+func TestWatchEventDuringInflightFetch(t *testing.T) {
+	d, c, f, oldBlob, newBlob := fetchRaceFixture(t)
+	fp := f.Fingerprint()
+
+	type outcome struct {
+		xforms []*core.Xform
+		err    error
+	}
+	got := make(chan outcome, 1)
+	go func() {
+		_, xf, err := c.ResolveFormat(fp)
+		got <- outcome{xf, err}
+	}()
+
+	// The fetch is now parked inside the daemon. Deliver the invalidation
+	// event carrying the NEW revision and wait until the client applied it.
+	<-d.getParked
+	d.pushEvent(t, 1, fp, newBlob)
+	waitFor(t, "event applied to the LRU", func() bool { return c.Holds(f) })
+
+	// Release the fetch with the OLD revision — the state of the table
+	// before the event. Completing now, it must not overwrite the event.
+	d.getReply <- stallReply{status: statusOK, payload: oldBlob}
+
+	res := <-got
+	if res.err != nil {
+		t.Fatalf("resolve: %v", res.err)
+	}
+	if code := xformCode(t, res.xforms); code != "old.id = new.id; old.body = new.body;" {
+		t.Errorf("resolve returned the stale fetch revision: %q", code)
+	}
+	// The cache must keep serving the event's revision too.
+	_, xf, err := c.ResolveFormat(fp)
+	if err != nil {
+		t.Fatalf("re-resolve: %v", err)
+	}
+	if code := xformCode(t, xf); code != "old.id = new.id; old.body = new.body;" {
+		t.Errorf("LRU holds the stale fetch revision: %q", code)
+	}
+}
+
+// TestWatchEventDuringInflightUnknown covers the negative-cache half of the
+// same race: the daemon answers the parked fetch "unknown fingerprint"
+// (true when the fetch was dispatched), but the registration event arrives
+// before that answer does. The stale unknown must neither be returned nor
+// re-poison the negative cache the event already cleared.
+func TestWatchEventDuringInflightUnknown(t *testing.T) {
+	d, c, f, _, newBlob := fetchRaceFixture(t)
+	fp := f.Fingerprint()
+
+	type outcome struct {
+		xforms []*core.Xform
+		err    error
+	}
+	got := make(chan outcome, 1)
+	go func() {
+		_, xf, err := c.ResolveFormat(fp)
+		got <- outcome{xf, err}
+	}()
+
+	<-d.getParked
+	d.pushEvent(t, 1, fp, newBlob)
+	waitFor(t, "event applied to the LRU", func() bool { return c.Holds(f) })
+	d.getReply <- stallReply{status: statusUnknown}
+
+	res := <-got
+	if res.err != nil {
+		t.Fatalf("resolve answered the stale unknown instead of the event's entry: %v", res.err)
+	}
+	// With an hour-long negative TTL, any re-poisoning would stick: the next
+	// resolution must hit the LRU, not the negative cache.
+	if _, _, err := c.ResolveFormat(fp); errors.Is(err, ErrUnknownFingerprint) {
+		t.Fatal("stale unknown re-poisoned the negative cache over the event")
+	}
+}
+
+// TestFetchCompletesBeforeWatchEvent pins the opposite interleaving: when
+// the fetch completes first, its insertion is legitimate — and the event
+// arriving afterwards must still supersede it, exactly as invalidation
+// events always have.
+func TestFetchCompletesBeforeWatchEvent(t *testing.T) {
+	d, c, f, oldBlob, newBlob := fetchRaceFixture(t)
+	fp := f.Fingerprint()
+
+	go func() {
+		reqID := <-d.getParked
+		_ = reqID
+		d.getReply <- stallReply{status: statusOK, payload: oldBlob}
+	}()
+	_, xf, err := c.ResolveFormat(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := xformCode(t, xf); code != "old.id = new.id;" {
+		t.Fatalf("fetch-first resolve returned %q, want the old revision", code)
+	}
+
+	d.pushEvent(t, 1, fp, newBlob)
+	waitFor(t, "event superseded the fetched entry", func() bool {
+		_, xf, err := c.ResolveFormat(fp)
+		return err == nil && len(xf) == 1 && xf[0].Code == "old.id = new.id; old.body = new.body;"
+	})
+}

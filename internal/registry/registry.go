@@ -106,6 +106,7 @@ const (
 	statusOK      byte = 0
 	statusUnknown byte = 1 // fingerprint not in the table
 	statusError   byte = 2 // payload: error text
+	statusRetry   byte = 3 // transient: retry this write (here or on another replica)
 )
 
 // Registry errors.
@@ -126,6 +127,14 @@ var (
 	// opHello with an error as pre-watch daemons do). The client then stays
 	// on poll-on-miss resolution — the PR 4 behavior — without retrying.
 	ErrWatchUnsupported = errors.New("registry: daemon does not support watch")
+
+	// ErrRetryable is returned by Register when the daemon refused the write
+	// for a transient cluster reason — it is a standby whose forward path to
+	// the primary is down, or an election is still in flight — and the write
+	// was NOT applied anywhere. Retrying (the same replica after a beat, or
+	// another one: the cluster client's rotation does exactly this) is the
+	// correct response.
+	ErrRetryable = errors.New("registry: write not accepted (retry)")
 
 	// errBadEntry wraps malformed entry blobs.
 	errBadEntry = errors.New("registry: malformed entry")

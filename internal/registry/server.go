@@ -95,8 +95,13 @@ type Server struct {
 	// standalone daemon). role/peerIndex/shards ride the hello extension;
 	// forward, when non-nil, intercepts opPut — the standby relays the write
 	// to the primary before applying it locally; statusFn contributes the
-	// "cluster" section of /debug/registryz.
+	// "cluster" section of /debug/registryz. clustered marks the server as a
+	// cluster member for the whole life of its Node: while set, a peer that
+	// is not the primary and has no forward path (mid-election) answers opPut
+	// with statusRetry instead of applying the write to its local table only
+	// — an "OK" that the rest of the cluster would never see.
 	clusterMu sync.Mutex
+	clustered bool
 	role      byte
 	peerIndex int
 	shards    int
@@ -210,6 +215,30 @@ func (s *Server) put(fp uint64, blob []byte, persist bool) error {
 	if got := e.Format.Fingerprint(); got != fp {
 		return fmt.Errorf("registry: entry fingerprint %016x does not match key %016x", got, fp)
 	}
+	s.mu.Lock()
+	// Merge, don't replace: fingerprints are structural, so a later protocol
+	// generation can reuse one, and from then on several writers legitimately
+	// hold different vintages of the "same" entry — the current publisher
+	// with the full transform set, and older peers (or their reconvergence
+	// sweeps, or a replication replay) with a subset. Last-write-wins would
+	// let any stale writer stomp the newest edges at an arbitrary later
+	// moment; the union makes every write monotone and idempotent, which is
+	// the invariant the cluster's resync-everything recovery story leans on.
+	// A write whose transforms are already all present (same destination,
+	// same code) collapses to a no-op: no event, no snapshot.
+	if old := s.table[fp]; old != nil {
+		oe, derr := decodeEntry(old.blob)
+		if derr == nil {
+			merged, changed := mergeXforms(oe.Xforms, e.Xforms)
+			if !changed {
+				s.mu.Unlock()
+				s.puts.Inc()
+				return nil
+			}
+			e.Xforms = merged
+			blob = encodeEntry(e.Format, merged)
+		}
+	}
 	te := &tableEntry{
 		blob:    blob,
 		name:    e.Format.Name(),
@@ -217,7 +246,6 @@ func (s *Server) put(fp uint64, blob []byte, persist bool) error {
 		xforms:  len(e.Xforms),
 		addedAt: time.Now(),
 	}
-	s.mu.Lock()
 	s.table[fp] = te
 	s.size.Set(int64(len(s.table)))
 	// Append the mutation to the watch stream while still holding mu, so
@@ -233,6 +261,42 @@ func (s *Server) put(fp uint64, blob []byte, persist bool) error {
 	s.mu.Unlock()
 	s.puts.Inc()
 	return err
+}
+
+// mergeXforms unions incoming transform edges into old, keyed by destination
+// fingerprint. An edge with an unseen destination is appended; one whose
+// destination is already present replaces the stored code when it differs
+// (the newest write wins for that destination — a publisher that fixed a
+// transform's code must be able to ship the fix). changed reports whether
+// the result differs from old; old is never mutated in place.
+func mergeXforms(old, incoming []*core.Xform) ([]*core.Xform, bool) {
+	merged := old
+	byTo := make(map[uint64]int, len(old))
+	for i, x := range old {
+		byTo[x.To.Fingerprint()] = i
+	}
+	changed := false
+	for _, x := range incoming {
+		to := x.To.Fingerprint()
+		if i, ok := byTo[to]; ok {
+			if merged[i].Code == x.Code {
+				continue
+			}
+			if !changed {
+				merged = append([]*core.Xform(nil), merged...)
+			}
+			merged[i] = x
+			changed = true
+			continue
+		}
+		if !changed {
+			merged = append([]*core.Xform(nil), merged...)
+		}
+		merged = append(merged, x)
+		byTo[to] = len(merged) - 1
+		changed = true
+	}
+	return merged, changed
 }
 
 // appendEventLocked (mu held) records one table mutation in the replay ring
@@ -339,6 +403,18 @@ func (s *Server) SetHelloInfo(role byte, index, shards int) {
 	s.clusterMu.Unlock()
 }
 
+// SetClustered marks (or, with false, unmarks) the server as a cluster
+// member. internal/cluster sets it at Node.Start — before the first
+// election, so the boot window is covered too — and clears it at Node.Close,
+// restoring standalone write behavior. While clustered, only the primary may
+// apply an opPut locally; a standby without a live forward path answers
+// statusRetry, never a silent local apply.
+func (s *Server) SetClustered(on bool) {
+	s.clusterMu.Lock()
+	s.clustered = on
+	s.clusterMu.Unlock()
+}
+
 // SetStatusFunc installs the callback whose result is embedded as the
 // "cluster" section of /debug/registryz (nil removes it).
 func (s *Server) SetStatusFunc(fn func() any) {
@@ -352,6 +428,14 @@ func (s *Server) clusterState() (role byte, index, shards int, fwd func([]byte) 
 	s.clusterMu.Lock()
 	defer s.clusterMu.Unlock()
 	return s.role, s.peerIndex, s.shards, s.forward, s.statusFn
+}
+
+// writeState snapshots what opPut needs: the forward path, whether the
+// server is a cluster member, and whether it is the write authority.
+func (s *Server) writeState() (fwd func([]byte) error, clustered, isPrimary bool) {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	return s.forward, s.clustered, s.role == RolePrimary
 }
 
 // Serve accepts registry connections on ln until the listener closes.
@@ -484,20 +568,34 @@ func (s *Server) dispatch(conn *wire.Conn, body []byte) error {
 		}
 		blob := append([]byte(nil), payload...)
 		fp := e.Format.Fingerprint()
-		if _, _, _, fwd, _ := s.clusterState(); fwd != nil {
+		fwd, clustered, isPrimary := s.writeState()
+		if fwd != nil {
 			// Standby: the primary is the write authority. Forward first;
 			// only an acknowledged write is applied locally (read-your-writes
 			// on this replica — the echo from the primary's event stream is
 			// then damped as an identical blob).
 			if ferr := fwd(blob); ferr != nil {
+				// The primary died (or is dying) under this forward: the
+				// write was not applied anywhere, so it is cleanly retryable
+				// — here once a new primary exists, or on another replica.
 				s.rerrs.Inc()
-				return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusError, []byte(ferr.Error())))
+				return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusRetry, []byte(ferr.Error())))
 			}
 			if _, aerr := s.ApplyReplicated(fp, blob); aerr != nil {
 				s.rerrs.Inc()
 				return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusError, []byte(aerr.Error())))
 			}
 			return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusOK, nil))
+		}
+		if clustered && !isPrimary {
+			// Cluster member with no write authority and no forward path:
+			// the election that will produce one is still in flight (the old
+			// primary just died, or the cluster is booting). Applying the
+			// write locally and acking OK here would strand it on this one
+			// peer — acknowledged, yet invisible to the eventual primary and
+			// every other replica. Surface it as retryable instead.
+			s.rerrs.Inc()
+			return conn.WriteControl(wire.FrameRegistry, appendResponse(nil, opPutResp, reqID, statusRetry, []byte("no primary (election in progress)")))
 		}
 		if perr := s.putBlob(fp, blob); perr != nil {
 			s.rerrs.Inc()

@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pbio"
+)
+
+// TestServeSurvivesRejectedDelivery: a message the Morpher rejects is a
+// per-message outcome, not a connection failure. Before the fix, Serve
+// returned on the first ErrRejected, killing the subscriber — every later
+// message on the stream, including ones in formats the receiver handles
+// fine, was silently lost.
+func TestServeSurvivesRejectedDelivery(t *testing.T) {
+	known := fmtOrDie(t, "Known", []pbio.Field{{Name: "a", Kind: pbio.Integer, Size: 4}})
+	alien := fmtOrDie(t, "Alien", []pbio.Field{{Name: "z", Kind: pbio.Float, Size: 8}})
+
+	m := core.NewMorpher(core.Thresholds{}) // strict: only perfect matches
+	var got atomic.Int64
+	if err := m.RegisterFormat(known, func(r *pbio.Record) error { got.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, rx := pipePair(t, WithMorpher(m))
+	done := make(chan error, 1)
+	go func() { done <- rx.Serve() }()
+
+	// An unroutable message first, then traffic the receiver handles: the
+	// reject must not take the handled messages down with it.
+	if err := tx.WriteRecord(pbio.NewRecord(alien).MustSet("z", pbio.Float64(1.5))); err != nil {
+		t.Fatal(err)
+	}
+	const want = 3
+	for i := 0; i < want; i++ {
+		if err := tx.WriteRecord(pbio.NewRecord(known).MustSet("a", pbio.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d deliveries after the rejected frame (Serve died?)", got.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = tx.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v, want nil after peer close", err)
+	}
+	if n := rx.Stats().RejectedDeliveries; n != 1 {
+		t.Fatalf("RejectedDeliveries = %d, want 1", n)
+	}
+}

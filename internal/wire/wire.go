@@ -232,6 +232,7 @@ type Conn struct {
 		formatsResolved          atomic.Uint64 // unknown fingerprints resolved out-of-band by the resolver
 		formatReqSent, reqRecv   atomic.Uint64 // frameFormatReq frames sent / received
 		parkedFrames, parkedLost atomic.Uint64 // data frames parked awaiting re-announcement / dropped at close
+		rejectedDeliveries       atomic.Uint64 // Serve deliveries the Morpher rejected (connection kept alive)
 	}
 
 	// obs instruments are nil unless WithObs attached a registry; unlike
@@ -272,49 +273,51 @@ type parkedFrame struct {
 // frame headers/bodies (CorruptFrames), and frames rejected by the size
 // limit (OversizedFrames).
 type Stats struct {
-	DataFramesSent    uint64
-	DataFramesRecv    uint64
-	FormatFramesSent  uint64
-	FormatFramesRecv  uint64
-	TraceFramesSent   uint64
-	TraceFramesRecv   uint64
-	ControlFramesSent uint64 // custom control frames (WriteControl)
-	ControlFramesRecv uint64 // custom control frames dispatched to a hook
-	BytesSent         uint64
-	BytesRecv         uint64
-	FormatErrors      uint64
-	CorruptFrames     uint64
-	OversizedFrames   uint64
-	UnknownFrames     uint64 // well-formed control frames of unknown kind, skipped
-	FormatsSuppressed uint64 // format frames skipped: the peer resolves them from the registry
-	FormatsResolved   uint64 // unknown fingerprints resolved via the attached FormatResolver
-	FormatReqsSent    uint64 // re-announcement requests sent after a resolver miss
-	FormatReqsRecv    uint64 // re-announcement requests answered with an in-band format frame
-	ParkedFrames      uint64 // data frames parked while awaiting re-announcement
+	DataFramesSent     uint64
+	DataFramesRecv     uint64
+	FormatFramesSent   uint64
+	FormatFramesRecv   uint64
+	TraceFramesSent    uint64
+	TraceFramesRecv    uint64
+	ControlFramesSent  uint64 // custom control frames (WriteControl)
+	ControlFramesRecv  uint64 // custom control frames dispatched to a hook
+	BytesSent          uint64
+	BytesRecv          uint64
+	FormatErrors       uint64
+	CorruptFrames      uint64
+	OversizedFrames    uint64
+	UnknownFrames      uint64 // well-formed control frames of unknown kind, skipped
+	FormatsSuppressed  uint64 // format frames skipped: the peer resolves them from the registry
+	FormatsResolved    uint64 // unknown fingerprints resolved via the attached FormatResolver
+	FormatReqsSent     uint64 // re-announcement requests sent after a resolver miss
+	FormatReqsRecv     uint64 // re-announcement requests answered with an in-band format frame
+	ParkedFrames       uint64 // data frames parked while awaiting re-announcement
+	RejectedDeliveries uint64 // Serve deliveries the Morpher rejected (the connection stays up)
 }
 
 // Stats returns the connection's counters.
 func (c *Conn) Stats() Stats {
 	return Stats{
-		DataFramesSent:    c.stats.dataSent.Load(),
-		DataFramesRecv:    c.stats.dataRecv.Load(),
-		FormatFramesSent:  c.stats.formatSent.Load(),
-		FormatFramesRecv:  c.stats.formatRecv.Load(),
-		TraceFramesSent:   c.stats.traceSent.Load(),
-		TraceFramesRecv:   c.stats.traceRecv.Load(),
-		ControlFramesSent: c.stats.ctrlSent.Load(),
-		ControlFramesRecv: c.stats.ctrlRecv.Load(),
-		BytesSent:         c.stats.bytesSent.Load(),
-		BytesRecv:         c.stats.bytesRecv.Load(),
-		FormatErrors:      c.stats.formatErrors.Load(),
-		CorruptFrames:     c.stats.corruptFrames.Load(),
-		OversizedFrames:   c.stats.oversizedFrames.Load(),
-		UnknownFrames:     c.stats.unknownFrames.Load(),
-		FormatsSuppressed: c.stats.formatsSuppressed.Load(),
-		FormatsResolved:   c.stats.formatsResolved.Load(),
-		FormatReqsSent:    c.stats.formatReqSent.Load(),
-		FormatReqsRecv:    c.stats.reqRecv.Load(),
-		ParkedFrames:      c.stats.parkedFrames.Load(),
+		DataFramesSent:     c.stats.dataSent.Load(),
+		DataFramesRecv:     c.stats.dataRecv.Load(),
+		FormatFramesSent:   c.stats.formatSent.Load(),
+		FormatFramesRecv:   c.stats.formatRecv.Load(),
+		TraceFramesSent:    c.stats.traceSent.Load(),
+		TraceFramesRecv:    c.stats.traceRecv.Load(),
+		ControlFramesSent:  c.stats.ctrlSent.Load(),
+		ControlFramesRecv:  c.stats.ctrlRecv.Load(),
+		BytesSent:          c.stats.bytesSent.Load(),
+		BytesRecv:          c.stats.bytesRecv.Load(),
+		FormatErrors:       c.stats.formatErrors.Load(),
+		CorruptFrames:      c.stats.corruptFrames.Load(),
+		OversizedFrames:    c.stats.oversizedFrames.Load(),
+		UnknownFrames:      c.stats.unknownFrames.Load(),
+		FormatsSuppressed:  c.stats.formatsSuppressed.Load(),
+		FormatsResolved:    c.stats.formatsResolved.Load(),
+		FormatReqsSent:     c.stats.formatReqSent.Load(),
+		FormatReqsRecv:     c.stats.reqRecv.Load(),
+		ParkedFrames:       c.stats.parkedFrames.Load(),
+		RejectedDeliveries: c.stats.rejectedDeliveries.Load(),
 	}
 }
 
@@ -1149,6 +1152,13 @@ func (c *Conn) adoptFormat(f *pbio.Format, xforms []*core.Xform, validate bool) 
 // Messages stay in encoded form across the transport boundary: the Morpher
 // decides per cached plan whether a delivery can complete on the byte-level
 // splice lane or needs a materialized Record.
+//
+// A delivery the Morpher rejects (core.ErrRejected — no registered format
+// within thresholds) is a per-message outcome, not a connection failure: the
+// frame is counted (Stats.RejectedDeliveries) and the loop keeps reading.
+// Tearing the connection down here would turn one unroutable format into the
+// silent loss of every later message on the stream — including formats the
+// receiver handles fine.
 func (c *Conn) Serve() error {
 	if c.morpher == nil {
 		return errors.New("wire: Serve requires a Morpher (use WithMorpher)")
@@ -1162,6 +1172,10 @@ func (c *Conn) Serve() error {
 			return err
 		}
 		if err := c.morpher.DeliverEncodedCtx(body, f, c.rctx); err != nil {
+			if errors.Is(err, core.ErrRejected) {
+				c.stats.rejectedDeliveries.Add(1)
+				continue
+			}
 			return err
 		}
 	}

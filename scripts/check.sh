@@ -163,6 +163,19 @@ peer1_pid=; peer2_pid=
 echo "== replica floors (committed BENCH_replica.json)"
 jq -e '.failed_resolutions == 0 and .blackout_ns < 5000000000 and .hit_allocs_per_op == 0' BENCH_replica.json >/dev/null \
     || { echo "BENCH_replica.json: failover acceptance floors not met"; exit 1; }
+echo "== fleet chaos soak smoke (quick, race-enabled, seeded)"
+go run -race ./cmd/morphbench -exp fleet -quick -seed 1 -fleetjson "$tmpdir/BENCH_fleet_quick.json"
+jq -e '.lost_messages == 0 and .byte_mismatches == 0 and .check_failures == 0' "$tmpdir/BENCH_fleet_quick.json" >/dev/null \
+    || { echo "fleet smoke: message loss or corruption under chaos"; cat "$tmpdir/BENCH_fleet_quick.json"; exit 1; }
+jq -e '.live_frames_at_drain == 0' "$tmpdir/BENCH_fleet_quick.json" >/dev/null \
+    || { echo "fleet smoke: frames still live after drain (refcount leak)"; exit 1; }
+jq -e '.formatd_recovery_ns < 5000000000 and .broker_recovery_ns < 5000000000' "$tmpdir/BENCH_fleet_quick.json" >/dev/null \
+    || { echo "fleet smoke: kill recovery above the 5s ceiling"; cat "$tmpdir/BENCH_fleet_quick.json"; exit 1; }
+echo "== fleet floors (committed BENCH_fleet.json)"
+jq -e '.lost_messages == 0 and .byte_mismatches == 0 and .check_failures == 0 and .live_frames_at_drain == 0' BENCH_fleet.json >/dev/null \
+    || { echo "BENCH_fleet.json: loss/corruption acceptance floors not met"; exit 1; }
+jq -e '.generations >= 100 and .formatd_kills >= 1 and .broker_kills >= 1' BENCH_fleet.json >/dev/null \
+    || { echo "BENCH_fleet.json: full run must cover >=100 generations with formatd and broker kills"; exit 1; }
 echo "== echo telemetry plane (live /metrics golden, healthz/readyz)"
 go build -o "$tmpdir/echodemo" ./cmd/echodemo
 "$tmpdir/echodemo" -role server -addr 127.0.0.1:0 -debug 127.0.0.1:0 \
